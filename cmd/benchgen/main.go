@@ -1,0 +1,76 @@
+// Command benchgen emits the synthetic benchmark suite as ISCAS'89
+// .bench files, so the circuits the experiments run on can be inspected
+// or fed to other tools.
+//
+// Usage:
+//
+//	benchgen [-out dir] [-scale 1.0] [-seed 1] [-circuits s1423,s5378]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro"
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", ".", "output directory")
+		scale    = flag.Float64("scale", 1.0, "profile scale factor in (0,1]")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		circuits = flag.String("circuits", "", "comma-separated circuit names (default: whole suite)")
+		verilog  = flag.Bool("verilog", false, "also emit structural Verilog (.v) next to each .bench")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *circuits != "" {
+		for _, n := range strings.Split(*circuits, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	for _, p := range fsct.Suite() {
+		if len(want) > 0 && !want[p.Name] {
+			continue
+		}
+		if *scale > 0 && *scale < 1 {
+			p = p.Scale(*scale)
+		}
+		c := fsct.GenerateCircuit(p, *seed)
+		path := filepath.Join(*out, p.Name+".bench")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := fsct.WriteBench(f, c); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		f.Close()
+		if *verilog {
+			vpath := filepath.Join(*out, p.Name+".v")
+			vf, err := os.Create(vpath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+				os.Exit(1)
+			}
+			if err := bench.WriteVerilog(vf, c); err != nil {
+				fmt.Fprintf(os.Stderr, "benchgen: %s: %v\n", vpath, err)
+				os.Exit(1)
+			}
+			vf.Close()
+		}
+		st := c.Stat()
+		fmt.Printf("%-12s %6d gates %5d FFs -> %s\n", p.Name, st.Gates, st.FFs, path)
+	}
+}

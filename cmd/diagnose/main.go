@@ -1,0 +1,116 @@
+// Command diagnose plays back a failing device against a scan design's
+// fault dictionary and localizes the chain corruption. The failing
+// device is simulated: -inject picks the hidden fault by index (or use
+// -worst to scan every candidate and report dictionary resolution
+// statistics).
+//
+// Usage:
+//
+//	diagnose -profile s3330 -scale 0.1 -chains 2 -inject 7
+//	diagnose -profile s9234 -scale 0.05 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/diagnose"
+	"repro/internal/fault"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "s3330", "suite profile (or \"s27\")")
+		scale   = flag.Float64("scale", 0.1, "profile scale factor")
+		chains  = flag.Int("chains", 0, "scan chains (0 = default)")
+		seed    = flag.Int64("seed", 1, "seed")
+		inject  = flag.Int("inject", 0, "index of the hidden fault among chain-affecting candidates")
+		stats   = flag.Bool("stats", false, "diagnose every candidate and report resolution statistics")
+	)
+	flag.Parse()
+
+	var c *fsct.Circuit
+	if *profile == "s27" {
+		c = fsct.S27()
+	} else {
+		p := fsct.MustProfile(*profile)
+		if *scale > 0 && *scale < 1 {
+			p = p.Scale(*scale)
+		}
+		c = fsct.GenerateCircuit(p, *seed)
+	}
+	n := *chains
+	if n == 0 {
+		n = fsct.DefaultChains(len(c.FFs))
+	}
+	d, err := fsct.InsertScan(c, fsct.ScanOptions{NumChains: n, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	var affecting []fault.Fault
+	for _, s := range fsct.ScreenFaults(d, fsct.CollapsedFaults(d.C)) {
+		if s.Cat != fsct.CatUnaffecting {
+			affecting = append(affecting, s.Fault)
+		}
+	}
+	fmt.Printf("circuit %s: dictionary over %d chain-affecting faults\n", d.C.Name, len(affecting))
+	dict := fsct.BuildDictionary(d, affecting, uint64(*seed))
+
+	if *stats {
+		exact, ambiguous, silent := 0, 0, 0
+		totalMatches := 0
+		for _, f := range affecting {
+			hidden := f
+			sig := dict.Observe(&diagnose.SimulatedDevice{C: d.C, Hidden: &hidden})
+			if sig == dict.GoodSignature() {
+				silent++
+				continue
+			}
+			m := dict.Match(sig)
+			totalMatches += len(m)
+			if len(m) == 1 {
+				exact++
+			} else {
+				ambiguous++
+			}
+		}
+		diagnosable := exact + ambiguous
+		fmt.Printf("diagnosable: %d (%.1f%%)  exact: %d  ambiguous: %d  silent: %d\n",
+			diagnosable, 100*float64(diagnosable)/float64(len(affecting)), exact, ambiguous, silent)
+		if diagnosable > 0 {
+			fmt.Printf("mean candidates per diagnosis: %.2f\n", float64(totalMatches)/float64(diagnosable))
+		}
+		return
+	}
+
+	if *inject < 0 || *inject >= len(affecting) {
+		fail(fmt.Errorf("-inject out of range [0,%d)", len(affecting)))
+	}
+	hidden := affecting[*inject]
+	fmt.Printf("hidden defect: %s\n", hidden.Describe(d.C))
+	sig := dict.Observe(&diagnose.SimulatedDevice{C: d.C, Hidden: &hidden})
+	if sig == dict.GoodSignature() {
+		fmt.Println("device matches the fault-free signature on the diagnostic set;")
+		fmt.Println("the defect needs the full ATPG flow to even show (see cmd/fsctest)")
+		return
+	}
+	fmt.Printf("observed signature %016x\n", uint64(sig))
+	for _, m := range dict.Match(sig) {
+		mark := ""
+		if m == hidden {
+			mark = "   <-- injected"
+		}
+		fmt.Printf("  candidate: %s%s\n", m.Describe(d.C), mark)
+	}
+	for _, sus := range dict.Localize(sig) {
+		fmt.Printf("  suspect region: chain %d segments %d..%d (%v)\n",
+			sus.Chain, sus.LoSeg, sus.HiSeg, sus.Category)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "diagnose: %v\n", err)
+	os.Exit(1)
+}

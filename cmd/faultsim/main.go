@@ -1,0 +1,149 @@
+// Command faultsim is a standalone sequential fault simulator: it loads
+// a circuit (.bench), a test sequence (file, or generated), and reports
+// stuck-at fault coverage with an optional detection profile.
+//
+// Usage:
+//
+//	faultsim -in circuit.bench -seq tests.txt
+//	faultsim -profile s9234 -scale 0.1 -random 2000 -profileplot
+//	faultsim -in scan.bench -alternating   # needs scan-inserted circuit? no: plain shift stimulus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/fault"
+	"repro/internal/faultsim"
+	"repro/internal/logic"
+)
+
+func main() {
+	var (
+		in          = flag.String("in", "", "input .bench file")
+		profile     = flag.String("profile", "", "generate this suite profile (or \"s27\")")
+		scale       = flag.Float64("scale", 0.1, "profile scale factor")
+		seed        = flag.Int64("seed", 1, "generation / stimulus seed")
+		seqFile     = flag.String("seq", "", "test sequence file (see internal/faultsim format)")
+		random      = flag.Int("random", 0, "generate this many random cycles instead of -seq")
+		uncollapsed = flag.Bool("uncollapsed", false, "use the full fault list (no equivalence collapsing)")
+		profilePlot = flag.Bool("profileplot", false, "print the cumulative detection profile")
+		emit        = flag.String("emit", "", "write the stimulus used to this file")
+	)
+	flag.Parse()
+
+	var c *fsct.Circuit
+	var err error
+	switch {
+	case *in != "":
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			fail(ferr)
+		}
+		c, err = fsct.ParseBench(f, *in)
+		f.Close()
+	case *profile == "s27":
+		c = fsct.S27()
+	case *profile != "":
+		p := fsct.MustProfile(*profile)
+		if *scale > 0 && *scale < 1 {
+			p = p.Scale(*scale)
+		}
+		c = fsct.GenerateCircuit(p, *seed)
+	default:
+		fail(fmt.Errorf("need -in or -profile"))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	var seq faultsim.Sequence
+	switch {
+	case *seqFile != "":
+		f, ferr := os.Open(*seqFile)
+		if ferr != nil {
+			fail(ferr)
+		}
+		seq, err = faultsim.ReadSequence(f, c)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	case *random > 0:
+		rng := uint64(*seed)*2862933555777941757 + 3037000493
+		next := func() logic.V {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return logic.V((rng >> 33) & 1)
+		}
+		seq = make(faultsim.Sequence, *random)
+		for t := range seq {
+			pi := make([]logic.V, len(c.Inputs))
+			for i := range pi {
+				pi[i] = next()
+			}
+			seq[t] = pi
+		}
+	default:
+		fail(fmt.Errorf("need -seq or -random"))
+	}
+
+	if *emit != "" {
+		f, ferr := os.Create(*emit)
+		if ferr != nil {
+			fail(ferr)
+		}
+		if err := faultsim.WriteSequence(f, c, seq); err != nil {
+			fail(err)
+		}
+		f.Close()
+	}
+
+	var faults []fault.Fault
+	if *uncollapsed {
+		faults = fault.All(c)
+	} else {
+		faults = fault.Collapsed(c)
+	}
+	st := c.Stat()
+	fmt.Printf("circuit %s: %d gates, %d FFs; %d faults; %d cycles\n",
+		c.Name, st.Gates, st.FFs, len(faults), len(seq))
+
+	res := faultsim.Run(c, seq, faults, faultsim.Options{})
+	det := res.NumDetected()
+	fmt.Printf("detected %d / %d faults (%.2f%% coverage)\n",
+		det, len(faults), 100*float64(det)/float64(len(faults)))
+
+	if *profilePlot {
+		step := len(seq) / 20
+		if step < 1 {
+			step = 1
+		}
+		var bounds []int
+		for b := 0; b <= len(seq); b += step {
+			bounds = append(bounds, b)
+		}
+		prof := res.Profile(bounds)
+		for i, b := range bounds {
+			bar := 0
+			if det > 0 {
+				bar = prof[i] * 50 / det
+			}
+			fmt.Printf("%7d cyc |%-50s| %d\n", b, bars(bar), prof[i])
+		}
+	}
+}
+
+func bars(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command fsctest reproduces the paper's experiments: it generates the
+// twelve-circuit suite, inserts functional scan chains via TPI, runs the
+// three-step scan-chain testing flow, and prints Tables 1-3 and Figure 5
+// in the paper's layout.
+//
+// Usage:
+//
+//	fsctest [-scale 0.1] [-circuits s1423,s5378] [-chains N] [-seed 1]
+//	        [-table all|1|2|3] [-fig5 s38584] [-v]
+//
+// Absolute numbers differ from the paper (synthetic circuits, different
+// ATPG engines, modern hardware); the shapes are the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 1.0, "profile scale factor in (0,1]; smaller = faster")
+		circuits = flag.String("circuits", "", "comma-separated circuit names (default: whole suite)")
+		chains   = flag.Int("chains", 0, "scan chains per circuit (0 = size-based default)")
+		seed     = flag.Int64("seed", 1, "generation and insertion seed")
+		table    = flag.String("table", "all", "which table to print: all, 1, 2, 3")
+		fig5     = flag.String("fig5", "", "circuit whose detection profile to plot (default: largest run)")
+		verbose  = flag.Bool("v", false, "print per-circuit reports while running")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *circuits != "" {
+		for _, n := range strings.Split(*circuits, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+
+	var reports []*fsct.Report
+	for _, p := range fsct.Suite() {
+		if len(want) > 0 && !want[p.Name] {
+			continue
+		}
+		exp := fsct.Experiment{Profile: p, Scale: *scale, Chains: *chains, Seed: *seed}
+		rep, _, err := exp.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsctest: %s: %v\n", p.Name, err)
+			os.Exit(1)
+		}
+		reports = append(reports, rep)
+		if *verbose {
+			fmt.Print(fsct.FormatReport(rep))
+		}
+	}
+	if len(reports) == 0 {
+		fmt.Fprintln(os.Stderr, "fsctest: no circuits selected")
+		os.Exit(1)
+	}
+
+	switch *table {
+	case "1":
+		fmt.Print(fsct.Table1(reports))
+	case "2":
+		fmt.Print(fsct.Table2(reports))
+	case "3":
+		fmt.Print(fsct.Table3(reports))
+	case "all":
+		fmt.Print(fsct.Table1(reports))
+		fmt.Println()
+		fmt.Print(fsct.Table2(reports))
+		fmt.Println()
+		fmt.Print(fsct.Table3(reports))
+		fmt.Println()
+		fmt.Print(fsct.Figure5(pickFig5(reports, *fig5)))
+	default:
+		fmt.Fprintf(os.Stderr, "fsctest: unknown -table %q\n", *table)
+		os.Exit(1)
+	}
+	if *fig5 != "" && *table != "all" {
+		fmt.Println()
+		fmt.Print(fsct.Figure5(pickFig5(reports, *fig5)))
+	}
+}
+
+// pickFig5 selects the named circuit's report, defaulting to the one
+// with the most faults (the paper plots s38584, its largest).
+func pickFig5(reports []*fsct.Report, name string) *fsct.Report {
+	if name != "" {
+		for _, r := range reports {
+			if r.Circuit == name {
+				return r
+			}
+		}
+	}
+	best := reports[0]
+	for _, r := range reports[1:] {
+		if r.Faults > best.Faults {
+			best = r
+		}
+	}
+	return best
+}

@@ -1,0 +1,149 @@
+// Command testability reports SCOAP controllability/observability
+// measures for a circuit's scan-mode (or plain combinational) model:
+// distribution of testability costs and the hardest nets — the classic
+// candidates for test point insertion.
+//
+// Usage:
+//
+//	testability -profile s9234 -scale 0.1 [-scan] [-top 15]
+//	testability -in circuit.bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/atpg"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input .bench file")
+		profile = flag.String("profile", "", "generate this suite profile (or \"s27\")")
+		scale   = flag.Float64("scale", 0.1, "profile scale factor")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		scanned = flag.Bool("scan", false, "analyze the scan-mode model after TPI (pins applied)")
+		top     = flag.Int("top", 12, "how many hardest nets to list")
+	)
+	flag.Parse()
+
+	var c *fsct.Circuit
+	var err error
+	switch {
+	case *in != "":
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			fail(ferr)
+		}
+		c, err = fsct.ParseBench(f, *in)
+		f.Close()
+	case *profile == "s27":
+		c = fsct.S27()
+	case *profile != "":
+		p := fsct.MustProfile(*profile)
+		if *scale > 0 && *scale < 1 {
+			p = p.Scale(*scale)
+		}
+		c = fsct.GenerateCircuit(p, *seed)
+	default:
+		fail(fmt.Errorf("need -in or -profile"))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	fixed := map[netlist.SignalID]logic.V{}
+	if *scanned {
+		d, err := fsct.InsertScan(c, fsct.ScanOptions{
+			NumChains: fsct.DefaultChains(len(c.FFs)), Seed: *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		c = d.C
+		for k, v := range d.Assignments {
+			fixed[k] = v
+		}
+		fmt.Printf("analyzing scan-mode model (%d pinned inputs)\n", len(fixed))
+	}
+
+	cm, err := atpg.BuildCombModel(c)
+	if err != nil {
+		fail(err)
+	}
+	model, err := atpg.NewModel(cm.C, fixed)
+	if err != nil {
+		fail(err)
+	}
+	ta := atpg.Analyze(model)
+
+	// Distribution of per-gate combined costs.
+	const inf = int64(1) << 40
+	buckets := []int64{4, 8, 16, 32, 64, 128, 256}
+	counts := make([]int, len(buckets)+2) // +overflow +uncontrollable/unobservable
+	gates := 0
+	for id := netlist.SignalID(0); int(id) < len(cm.C.Signals); id++ {
+		if !cm.C.IsGate(id) {
+			continue
+		}
+		gates++
+		cost := min64(ta.CC0[id], ta.CC1[id]) + ta.CO[id]
+		if cost >= inf {
+			counts[len(counts)-1]++
+			continue
+		}
+		placed := false
+		for i, b := range buckets {
+			if cost <= b {
+				counts[i]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			counts[len(buckets)]++
+		}
+	}
+	st := c.Stat()
+	fmt.Printf("circuit %s: %d gates, %d FFs (model: %d signals)\n",
+		c.Name, st.Gates, st.FFs, len(cm.C.Signals))
+	fmt.Println("testability cost distribution (SCOAP, min(CC0,CC1)+CO):")
+	lo := int64(0)
+	for i, b := range buckets {
+		fmt.Printf("  %5d..%-5d %6d (%4.1f%%)\n", lo, b, counts[i], 100*float64(counts[i])/float64(gates))
+		lo = b + 1
+	}
+	fmt.Printf("  > %-9d %6d (%4.1f%%)\n", buckets[len(buckets)-1],
+		counts[len(buckets)], 100*float64(counts[len(buckets)])/float64(gates))
+	fmt.Printf("  untestable   %6d (%4.1f%%)  (unreachable or pinned off)\n",
+		counts[len(counts)-1], 100*float64(counts[len(counts)-1])/float64(gates))
+
+	fmt.Printf("\nhardest %d nets:\n", *top)
+	for _, id := range ta.Hardest(cm.C, *top) {
+		fmt.Printf("  %-16s CC0=%-8s CC1=%-8s CO=%s\n", cm.C.NameOf(id),
+			fmtCost(ta.CC0[id]), fmtCost(ta.CC1[id]), fmtCost(ta.CO[id]))
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fmtCost(v int64) string {
+	if v >= int64(1)<<40 {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "testability: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,274 @@
+// Package fsct is the public facade of the Functional Scan Chain Testing
+// library — a Go reproduction of Chang, Lee, Cheng and Marek-Sadowska,
+// "Functional Scan Chain Testing", DATE 1998.
+//
+// The library covers the whole stack the paper depends on:
+//
+//   - gate-level netlists and the ISCAS'89 .bench format,
+//   - a deterministic generator for the paper's benchmark size profiles,
+//   - three-valued (0/1/X) logic simulation, scalar and 64-way packed,
+//   - the single stuck-at fault model with equivalence collapsing,
+//   - parallel-fault sequential fault simulation,
+//   - PODEM combinational ATPG and time-frame-expansion sequential ATPG,
+//   - test point insertion (TPI) establishing functional scan paths,
+//   - and the paper's three-step scan-chain testing methodology.
+//
+// Typical use:
+//
+//	c := fsct.GenerateCircuit(fsct.MustProfile("s5378").Scale(0.1), 1)
+//	d, _ := fsct.InsertScan(c, fsct.ScanOptions{NumChains: 2})
+//	rep, _ := fsct.RunFlow(d, fsct.FlowParams{})
+//	fmt.Println(fsct.FormatReport(rep))
+package fsct
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/atpg"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/diagnose"
+	"repro/internal/fault"
+	"repro/internal/faultsim"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+	"repro/internal/tpi"
+)
+
+// Re-exported core types. Aliases keep the internal packages as the
+// single source of truth while giving library users one import.
+type (
+	// Circuit is a gate-level sequential netlist.
+	Circuit = netlist.Circuit
+	// Profile describes a benchmark size target.
+	Profile = gen.Profile
+	// Design is a circuit with functional scan inserted.
+	Design = scan.Design
+	// ScanOptions tunes test point insertion and chain construction.
+	ScanOptions = tpi.Options
+	// FlowParams tunes the three-step testing flow.
+	FlowParams = core.Params
+	// Report is the per-circuit outcome (Tables 1-3, Figure 5 data).
+	Report = core.Report
+	// Fault is a single stuck-at fault.
+	Fault = fault.Fault
+	// Value is a three-valued logic value (V0, V1, VX).
+	Value = logic.V
+	// SignalID indexes a signal within a circuit.
+	SignalID = netlist.SignalID
+	// Screened is a fault together with its scan-chain screening verdict.
+	Screened = core.Screened
+	// Category classifies a fault's relation to the scan chain.
+	Category = core.Category
+	// Sequence is a per-cycle primary-input test sequence.
+	Sequence = faultsim.Sequence
+	// SimResult is the outcome of fault-simulating a sequence.
+	SimResult = faultsim.Result
+)
+
+// Logic constants.
+const (
+	V0 = logic.Zero
+	V1 = logic.One
+	VX = logic.X
+)
+
+// Screening categories (paper Section 3): CatUnaffecting faults do not
+// touch the chain, CatEasy (category 1) are caught by the alternating
+// sequence, CatHard (category 2) need the paper's flow.
+const (
+	CatUnaffecting = core.Cat3
+	CatEasy        = core.Cat1
+	CatHard        = core.Cat2
+)
+
+// Suite returns the twelve ISCAS'89 size profiles of the paper's test
+// suite.
+func Suite() []Profile { return gen.Suite() }
+
+// MustProfile returns the named suite profile or panics.
+func MustProfile(name string) Profile {
+	p, err := gen.ProfileByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// GenerateCircuit builds the deterministic synthetic circuit for a
+// profile.
+func GenerateCircuit(p Profile, seed int64) *Circuit { return gen.Generate(p, seed) }
+
+// S27 returns the embedded real ISCAS'89 s27 benchmark.
+func S27() *Circuit { return bench.MustS27() }
+
+// ParseBench reads a circuit in ISCAS'89 .bench format.
+func ParseBench(r io.Reader, name string) (*Circuit, error) { return bench.Parse(r, name) }
+
+// WriteBench writes a circuit in ISCAS'89 .bench format.
+func WriteBench(w io.Writer, c *Circuit) error { return bench.Write(w, c) }
+
+// InsertScan runs test point insertion and chain construction.
+func InsertScan(c *Circuit, opts ScanOptions) (*Design, error) { return tpi.Insert(c, opts) }
+
+// OptimizeScanOrdering tries several chain orderings (the freedom the
+// paper leaves to the designer) and returns the design with the least
+// inserted-gate overhead, the winning seed, and each candidate's cost.
+func OptimizeScanOrdering(c *Circuit, opts ScanOptions, seeds []int64) (*Design, int64, []int, error) {
+	return tpi.OptimizeOrdering(c, opts, seeds)
+}
+
+// SelectPartialScan chooses a feedback-breaking flip-flop subset for
+// partial scan (in the spirit of the paper's reference [3], Cheng &
+// Agrawal), topped up to at least minFraction of all flip-flops. Feed
+// the result to ScanOptions.ScanFFs.
+func SelectPartialScan(c *Circuit, minFraction float64) []netlist.SignalID {
+	return tpi.SelectPartialScan(c, minFraction)
+}
+
+// RunFlow executes the paper's three-step methodology on a scan design.
+func RunFlow(d *Design, p FlowParams) (*Report, error) { return core.Run(d, p) }
+
+// CollapsedFaults returns the equivalence-collapsed stuck-at fault list
+// of a circuit (the paper's "#faults").
+func CollapsedFaults(c *Circuit) []Fault { return fault.Collapsed(c) }
+
+// DominanceFaults returns the dominance-collapsed fault list: a smaller
+// ATPG target set that preserves full stuck-at coverage (but not
+// per-fault counting semantics — reports use CollapsedFaults).
+func DominanceFaults(c *Circuit) []Fault { return fault.Dominance(c) }
+
+// ScreenFaults runs the forward-implication screening (paper Section 3)
+// of the given faults against a scan design.
+func ScreenFaults(d *Design, faults []Fault) []Screened { return core.Screen(d, faults) }
+
+// SimulateFaults fault-simulates a test sequence against every fault (63
+// faulty machines per packed pass) and reports first-detection cycles.
+func SimulateFaults(c *Circuit, seq Sequence, faults []Fault) *SimResult {
+	return faultsim.Run(c, seq, faults, faultsim.Options{})
+}
+
+// WriteSequence / ReadSequence persist test sequences in the simple
+// text format of internal/faultsim (header naming inputs, one 0/1/X
+// line per cycle).
+func WriteSequence(w io.Writer, c *Circuit, seq Sequence) error {
+	return faultsim.WriteSequence(w, c, seq)
+}
+
+// ReadSequence parses a sequence file for circuit c.
+func ReadSequence(r io.Reader, c *Circuit) (Sequence, error) {
+	return faultsim.ReadSequence(r, c)
+}
+
+// WriteVerilog exports the circuit as a structural gate-level Verilog
+// module.
+func WriteVerilog(w io.Writer, c *Circuit) error { return bench.WriteVerilog(w, c) }
+
+// Dictionary is a response-signature fault dictionary for scan-chain
+// diagnosis.
+type Dictionary = diagnose.Dictionary
+
+// BuildDictionary simulates the candidate faults against the default
+// diagnostic sequences and indexes their response signatures.
+func BuildDictionary(d *Design, faults []Fault, seed uint64) *Dictionary {
+	return diagnose.Build(d, faults, diagnose.DefaultSequences(d, seed))
+}
+
+// ChainNets returns every on-path net of the design's chains.
+func ChainNets(d *Design) []SignalID { return core.ChainNets(d) }
+
+// ChainTransitionCoverage measures how the alternating shift test
+// doubles as a two-pattern (transition fault) test for the chain links:
+// detections over slow-to-rise/slow-to-fall faults on every on-path net.
+func ChainTransitionCoverage(d *Design, extraCycles int) (detected, total int) {
+	detected, total, _ = core.ChainTransitionCoverage(d, extraCycles)
+	return detected, total
+}
+
+// CompactVectors statically compacts a step-2 vector set against a
+// fault list, keeping only vectors that own detections (verified by
+// re-simulation; coverage never drops).
+func CompactVectors(d *Design, vectors []ScanVector, faults []Fault) core.CompactResult {
+	return core.CompactVectors(d, vectors, faults)
+}
+
+// ScanVector is one scan-mode combinational test vector (flip-flop
+// values to shift in plus free primary-input values).
+type ScanVector = scan.Vector
+
+// WriteReportJSON serializes a report (durations in nanoseconds).
+func WriteReportJSON(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Testability carries SCOAP controllability/observability measures.
+type Testability = atpg.Testability
+
+// AnalyzeTestability computes SCOAP measures for a circuit's
+// combinational model under the given pinned inputs (nil for none).
+func AnalyzeTestability(c *Circuit, pinned map[SignalID]Value) (*Testability, *Circuit, error) {
+	cm, err := atpg.BuildCombModel(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := atpg.NewModel(cm.C, pinned)
+	if err != nil {
+		return nil, nil, err
+	}
+	return atpg.Analyze(m), cm.C, nil
+}
+
+// DefaultChains picks the chain count the experiments use: enough chains
+// to keep the longest chain near 350 flip-flops, as the paper keeps
+// chain length "reasonable" on the larger circuits.
+func DefaultChains(ffs int) int {
+	switch {
+	case ffs <= 250:
+		return 1
+	case ffs <= 700:
+		return 2
+	case ffs <= 1200:
+		return 3
+	case ffs <= 1500:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// Experiment is one suite entry to reproduce: a profile at a scale, with
+// seeded generation and scan insertion.
+type Experiment struct {
+	Profile Profile
+	Scale   float64 // 0 or 1 = full size
+	Chains  int     // 0 = DefaultChains
+	Seed    int64
+	Flow    FlowParams
+}
+
+// Run generates the circuit, inserts scan, and executes the flow.
+func (e Experiment) Run() (*Report, *Design, error) {
+	p := e.Profile
+	if e.Scale > 0 && e.Scale < 1 {
+		p = p.Scale(e.Scale)
+	}
+	c := gen.Generate(p, e.Seed)
+	chains := e.Chains
+	if chains == 0 {
+		chains = DefaultChains(len(c.FFs))
+	}
+	d, err := tpi.Insert(c, tpi.Options{NumChains: chains, Seed: e.Seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := core.Run(d, e.Flow)
+	if err != nil {
+		return nil, d, err
+	}
+	return rep, d, nil
+}

@@ -1,0 +1,74 @@
+package atpg
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// CombModel is the single-time-frame combinational view of a sequential
+// circuit: flip-flop outputs become assignable pseudo-inputs and
+// flip-flop D pins become observable pseudo-outputs. Signal IDs of the
+// original circuit are preserved in the model circuit; only the D-pin
+// observation buffers are appended.
+type CombModel struct {
+	Orig *netlist.Circuit
+	C    *netlist.Circuit
+	// DBuf maps each original flip-flop output signal to the appended
+	// observation buffer that mirrors its D pin in the model.
+	DBuf map[netlist.SignalID]netlist.SignalID
+}
+
+// BuildCombModel constructs the combinational model of orig.
+func BuildCombModel(orig *netlist.Circuit) (*CombModel, error) {
+	c := netlist.New(orig.Name + "$comb")
+	// Recreate every signal in order so IDs carry over.
+	for id := netlist.SignalID(0); int(id) < len(orig.Signals); id++ {
+		s := orig.Signals[id]
+		var err error
+		switch s.Kind {
+		case netlist.KindInput, netlist.KindFF:
+			_, err = c.AddInput(s.Name)
+		case netlist.KindGate:
+			// Fanin IDs are identical by construction; they may point
+			// forward (test points rewire earlier gates onto later ones).
+			_, err = c.AddGateForward(s.Name, s.Op, s.Fanin...)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("atpg: comb model: %v", err)
+		}
+	}
+	for _, o := range orig.Outputs {
+		if err := c.MarkOutput(o); err != nil {
+			return nil, err
+		}
+	}
+	dbuf := make(map[netlist.SignalID]netlist.SignalID, len(orig.FFs))
+	for _, ff := range orig.FFs {
+		d := orig.Signals[ff].Fanin[0]
+		buf, err := c.AddGate(orig.NameOf(ff)+"$D", logic.OpBuf, d)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.MarkOutput(buf); err != nil {
+			return nil, err
+		}
+		dbuf[ff] = buf
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return &CombModel{Orig: orig, C: c, DBuf: dbuf}, nil
+}
+
+// MapFault translates a fault on the original circuit into the model. A
+// branch fault whose consumer is a flip-flop moves to the corresponding
+// observation buffer; everything else carries over unchanged.
+func (m *CombModel) MapFault(f fault.Fault) fault.Fault {
+	if !f.IsStem() && m.Orig.IsFF(f.Gate) {
+		return fault.Fault{Signal: f.Signal, Gate: m.DBuf[f.Gate], Pin: 0, Stuck: f.Stuck}
+	}
+	return f
+}

@@ -1,0 +1,124 @@
+package atpg
+
+import (
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Observability computes SCOAP-style combinational observability per
+// signal for a model: the cost of propagating a value from the signal
+// to some primary output (0 at outputs; through a gate, the cost of the
+// gate's output plus setting every other input non-controlling).
+// Signals that cannot reach an output saturate at ccInf.
+func Observability(m *Model) []int64 {
+	c := m.C
+	cc0, cc1 := controllability(m)
+	co := make([]int64, len(c.Signals))
+	for i := range co {
+		co[i] = ccInf
+	}
+	for _, o := range c.Outputs {
+		co[o] = 0
+	}
+	sat := func(a, b int64) int64 {
+		s := a + b
+		if s > ccInf {
+			return ccInf
+		}
+		return s
+	}
+	// Sweep gates output-to-input repeatedly until stable (the netlist
+	// is a DAG, so reverse topological order converges in one pass; the
+	// loop guards against any ordering surprises).
+	order := append([]netlist.SignalID(nil), c.Order...)
+	for changed := true; changed; {
+		changed = false
+		for i := len(order) - 1; i >= 0; i-- {
+			g := order[i]
+			s := &c.Signals[g]
+			if co[g] >= ccInf {
+				continue
+			}
+			for pin, f := range s.Fanin {
+				var cost int64
+				switch s.Op {
+				case logic.OpBuf, logic.OpNot:
+					cost = sat(co[g], 1)
+				case logic.OpXor, logic.OpXnor:
+					// Other inputs just need definite values; use their
+					// cheaper controllability.
+					cost = sat(co[g], 1)
+					for p2, f2 := range s.Fanin {
+						if p2 == pin {
+							continue
+						}
+						cost = sat(cost, min64(cc0[f2], cc1[f2]))
+					}
+				default:
+					nc, _ := s.Op.NonControlling()
+					cost = sat(co[g], 1)
+					for p2, f2 := range s.Fanin {
+						if p2 == pin {
+							continue
+						}
+						if nc == logic.Zero {
+							cost = sat(cost, cc0[f2])
+						} else {
+							cost = sat(cost, cc1[f2])
+						}
+					}
+				}
+				if cost < co[f] {
+					co[f] = cost
+					changed = true
+				}
+			}
+		}
+	}
+	return co
+}
+
+// Testability summarizes controllability/observability for reports.
+type Testability struct {
+	CC0, CC1, CO []int64
+}
+
+// Analyze computes the full testability measures of a model.
+func Analyze(m *Model) *Testability {
+	cc0, cc1 := controllability(m)
+	return &Testability{CC0: cc0, CC1: cc1, CO: Observability(m)}
+}
+
+// Hardest returns the n signals with the highest combined testability
+// cost (min(CC0,CC1) + CO), hardest first — the classic test-point
+// insertion candidates.
+func (t *Testability) Hardest(c *netlist.Circuit, n int) []netlist.SignalID {
+	type sc struct {
+		id   netlist.SignalID
+		cost int64
+	}
+	var all []sc
+	for id := netlist.SignalID(0); int(id) < len(c.Signals); id++ {
+		if !c.IsGate(id) {
+			continue
+		}
+		cost := min64(t.CC0[id], t.CC1[id]) + t.CO[id]
+		all = append(all, sc{id, cost})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].cost != all[j].cost {
+			return all[i].cost > all[j].cost
+		}
+		return all[i].id < all[j].id
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]netlist.SignalID, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].id
+	}
+	return out
+}

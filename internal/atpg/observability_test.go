@@ -1,0 +1,117 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+func TestObservabilityBasics(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+g = AND(a, b)
+y = OR(g, c)
+`
+	cc, err := bench.ParseString(src, "obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewModel(cc, nil)
+	co := Observability(m)
+	y, _ := cc.Lookup("y")
+	g, _ := cc.Lookup("g")
+	a, _ := cc.Lookup("a")
+	ci, _ := cc.Lookup("c")
+	if co[y] != 0 {
+		t.Errorf("output observability %d", co[y])
+	}
+	// g through OR: co[y] + cc0(c) + 1 = 0+1+1 = 2.
+	if co[g] != 2 {
+		t.Errorf("co[g] = %d, want 2", co[g])
+	}
+	// a through AND: co[g] + cc1(b) + 1 = 2+1+1 = 4.
+	if co[a] != 4 {
+		t.Errorf("co[a] = %d, want 4", co[a])
+	}
+	// c through OR: co[y] + cc0(g) + 1 = 0+2+1 = 3.
+	if co[ci] != 3 {
+		t.Errorf("co[c] = %d, want 3", co[ci])
+	}
+}
+
+func TestObservabilityUnreachable(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NOT(a)
+dead = NOT(b)
+z = AND(dead, a)
+`
+	cc, err := bench.ParseString(src, "dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewModel(cc, nil)
+	co := Observability(m)
+	z, _ := cc.Lookup("z")
+	dead, _ := cc.Lookup("dead")
+	if co[z] < ccInf || co[dead] < ccInf {
+		t.Errorf("dead logic observable: z=%d dead=%d", co[z], co[dead])
+	}
+}
+
+func TestObservabilityWithFixedSide(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(en)
+OUTPUT(y)
+y = AND(a, en)
+`
+	cc, err := bench.ParseString(src, "gate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, _ := cc.Lookup("en")
+	a, _ := cc.Lookup("a")
+	// en pinned to 0: a becomes unobservable (the gate is blocked).
+	m, _ := NewModel(cc, map[netlist.SignalID]logic.V{en: logic.Zero})
+	co := Observability(m)
+	if co[a] < ccInf {
+		t.Errorf("blocked input observable: %d", co[a])
+	}
+	// en pinned to 1: a observable cheaply.
+	m2, _ := NewModel(cc, map[netlist.SignalID]logic.V{en: logic.One})
+	co2 := Observability(m2)
+	if co2[a] != 1 {
+		t.Errorf("co[a] with en=1: %d, want 1", co2[a])
+	}
+}
+
+func TestAnalyzeHardest(t *testing.T) {
+	c := bench.MustS27()
+	cm, err := BuildCombModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewModel(cm.C, nil)
+	ta := Analyze(m)
+	hardest := ta.Hardest(cm.C, 3)
+	if len(hardest) != 3 {
+		t.Fatalf("hardest returned %d", len(hardest))
+	}
+	// Costs must be non-increasing.
+	cost := func(id netlist.SignalID) int64 {
+		return min64(ta.CC0[id], ta.CC1[id]) + ta.CO[id]
+	}
+	for i := 1; i < len(hardest); i++ {
+		if cost(hardest[i]) > cost(hardest[i-1]) {
+			t.Error("hardest not sorted by cost")
+		}
+	}
+}

@@ -1,0 +1,744 @@
+// Package atpg implements PODEM, a complete combinational automatic
+// test-pattern generator, over a dual-machine (fault-free / faulty)
+// three-valued simulation with event-driven implication.
+//
+// The engine runs on a purely combinational circuit (no flip-flops);
+// sequential circuits are first mapped with CombModel (flip-flop outputs
+// become assignable pseudo-inputs, flip-flop D pins become observable
+// pseudo-outputs) or unrolled by the seqatpg package. Inputs whose value
+// is pinned by test point insertion are supplied as fixed assignments and
+// never used as decision variables.
+package atpg
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Status is the outcome of a PODEM run for one fault.
+type Status int
+
+// PODEM outcomes.
+const (
+	// Found: a test vector was generated.
+	Found Status = iota
+	// Redundant: the search space was exhausted, proving the fault
+	// untestable in this combinational model (and therefore, for the
+	// scan-mode model, sequentially undetectable — see the paper §4).
+	Redundant
+	// Aborted: the backtrack limit was reached before a decision.
+	Aborted
+)
+
+func (s Status) String() string {
+	switch s {
+	case Found:
+		return "found"
+	case Redundant:
+		return "redundant"
+	case Aborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Result of generating a test for one fault.
+type Result struct {
+	Status     Status
+	Assignment map[netlist.SignalID]logic.V // assigned free inputs (others X)
+	Backtracks int
+}
+
+// Model is the combinational ATPG view: the circuit must contain no
+// flip-flops; Fixed pins inputs to constant values (TPI assignments and
+// scan_mode=1), all remaining inputs are decision variables.
+type Model struct {
+	C     *netlist.Circuit
+	Fixed map[netlist.SignalID]logic.V
+}
+
+// NewModel validates that c is combinational and builds a model.
+func NewModel(c *netlist.Circuit, fixed map[netlist.SignalID]logic.V) (*Model, error) {
+	if len(c.FFs) != 0 {
+		return nil, fmt.Errorf("atpg: model circuit %q contains flip-flops", c.Name)
+	}
+	if !c.Finalized() {
+		return nil, fmt.Errorf("atpg: model circuit %q not finalized", c.Name)
+	}
+	return &Model{C: c, Fixed: fixed}, nil
+}
+
+// FreeInputs returns the decision inputs (inputs not fixed), in input
+// order.
+func (m *Model) FreeInputs() []netlist.SignalID {
+	var free []netlist.SignalID
+	for _, in := range m.C.Inputs {
+		if _, ok := m.Fixed[in]; !ok {
+			free = append(free, in)
+		}
+	}
+	return free
+}
+
+// Engine is a reusable PODEM engine for one model. Not safe for
+// concurrent use.
+type Engine struct {
+	m    *Model
+	c    *netlist.Circuit
+	good []logic.V
+	flty []logic.V
+
+	// Injection sites: a plain fault has one; a time-frame-expanded
+	// fault has one per frame (the same physical defect replicated).
+	injs     []sim.Inject
+	stemInj  map[netlist.SignalID]logic.V
+	brInj    map[netlist.SignalID][]sim.Inject // keyed by consuming gate
+	obsDist  []int32
+	buckets  [][]netlist.SignalID
+	inQueue  []bool
+	maxLevel int
+
+	// Fault cone: only signals downstream of an injection site can be
+	// D-frontier members or observe the fault; restricting the frontier
+	// and observation scans to the cone keeps each PODEM iteration
+	// proportional to the fault's region, not the whole model.
+	coneGates   []netlist.SignalID // gates in the cone, topological order
+	coneOutputs []netlist.SignalID // observation points in the cone
+	inCone      []bool
+	isOut       []bool // cone observation points, indexed by signal
+
+	// SCOAP controllability per signal (computed once per model).
+	cc0, cc1 []int64
+
+	// Epoch-tagged scratch for xPathExists.
+	seenEpoch []uint32
+	epoch     uint32
+
+	// decision stack
+	stack []decision
+}
+
+type decision struct {
+	pi        netlist.SignalID
+	value     logic.V
+	triedBoth bool
+}
+
+// NewEngine builds an engine for m.
+func NewEngine(m *Model) *Engine {
+	c := m.C
+	e := &Engine{
+		m:       m,
+		c:       c,
+		good:    make([]logic.V, len(c.Signals)),
+		flty:    make([]logic.V, len(c.Signals)),
+		inQueue: make([]bool, len(c.Signals)),
+		stemInj: make(map[netlist.SignalID]logic.V),
+		brInj:   make(map[netlist.SignalID][]sim.Inject),
+		inCone:  make([]bool, len(c.Signals)),
+		isOut:   make([]bool, len(c.Signals)),
+
+		seenEpoch: make([]uint32, len(c.Signals)),
+	}
+	for _, l := range c.Level {
+		if l > e.maxLevel {
+			e.maxLevel = l
+		}
+	}
+	e.buckets = make([][]netlist.SignalID, e.maxLevel+1)
+	e.obsDist = observationDistance(c)
+	e.cc0, e.cc1 = controllability(m)
+	return e
+}
+
+// ccInf is the saturation value for uncontrollable signals.
+const ccInf = int64(1) << 40
+
+// controllability computes SCOAP-style combinational 0/1
+// controllability per signal, honouring fixed inputs (a pinned input is
+// free to its pinned value and uncontrollable to the other; an input
+// pinned to X is uncontrollable entirely). Backtrace uses these to pick
+// cheap inputs when one controlling value suffices and hard inputs when
+// every input must be justified.
+func controllability(m *Model) (cc0, cc1 []int64) {
+	c := m.C
+	cc0 = make([]int64, len(c.Signals))
+	cc1 = make([]int64, len(c.Signals))
+	sat := func(a, b int64) int64 {
+		s := a + b
+		if s > ccInf {
+			return ccInf
+		}
+		return s
+	}
+	for _, in := range c.Inputs {
+		switch v, fixed := m.Fixed[in]; {
+		case !fixed:
+			cc0[in], cc1[in] = 1, 1
+		case v == logic.Zero:
+			cc0[in], cc1[in] = 0, ccInf
+		case v == logic.One:
+			cc0[in], cc1[in] = ccInf, 0
+		default: // pinned X: uncontrollable
+			cc0[in], cc1[in] = ccInf, ccInf
+		}
+	}
+	for _, g := range c.Order {
+		s := &c.Signals[g]
+		switch s.Op {
+		case logic.OpBuf:
+			cc0[g], cc1[g] = sat(cc0[s.Fanin[0]], 1), sat(cc1[s.Fanin[0]], 1)
+		case logic.OpNot:
+			cc0[g], cc1[g] = sat(cc1[s.Fanin[0]], 1), sat(cc0[s.Fanin[0]], 1)
+		case logic.OpConst0:
+			cc0[g], cc1[g] = 0, ccInf
+		case logic.OpConst1:
+			cc0[g], cc1[g] = ccInf, 0
+		case logic.OpAnd, logic.OpNand, logic.OpOr, logic.OpNor:
+			ctrl, _ := s.Op.Controlling()
+			// Cost of the controlled output: cheapest controlling input.
+			// Cost of the other value: all inputs non-controlling.
+			ctrlCost, allCost := ccInf, int64(0)
+			for _, f := range s.Fanin {
+				cCtrl, cNon := cc0[f], cc1[f]
+				if ctrl == logic.One {
+					cCtrl, cNon = cc1[f], cc0[f]
+				}
+				if cCtrl < ctrlCost {
+					ctrlCost = cCtrl
+				}
+				allCost = sat(allCost, cNon)
+			}
+			ctrlCost = sat(ctrlCost, 1)
+			allCost = sat(allCost, 1)
+			controlledOut := ctrl
+			if s.Op.Inverting() {
+				controlledOut = ctrl.Not()
+			}
+			if controlledOut == logic.Zero {
+				cc0[g], cc1[g] = ctrlCost, allCost
+			} else {
+				cc1[g], cc0[g] = ctrlCost, allCost
+			}
+		case logic.OpXor, logic.OpXnor:
+			// Fold pairwise.
+			a0, a1 := int64(0), ccInf // accumulator starts at constant 0
+			for i, f := range s.Fanin {
+				b0, b1 := cc0[f], cc1[f]
+				if i == 0 {
+					a0, a1 = b0, b1
+					continue
+				}
+				n0 := min64(sat(a0, b0), sat(a1, b1))
+				n1 := min64(sat(a0, b1), sat(a1, b0))
+				a0, a1 = n0, n1
+			}
+			if s.Op == logic.OpXnor {
+				a0, a1 = a1, a0
+			}
+			cc0[g], cc1[g] = sat(a0, 1), sat(a1, 1)
+		}
+	}
+	return cc0, cc1
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// cc returns the controllability cost of setting signal s to v.
+func (e *Engine) cc(s netlist.SignalID, v logic.V) int64 {
+	if v == logic.Zero {
+		return e.cc0[s]
+	}
+	return e.cc1[s]
+}
+
+// observationDistance computes, per signal, the minimum number of gate
+// hops to any primary output (used to rank D-frontier gates).
+func observationDistance(c *netlist.Circuit) []int32 {
+	const inf = int32(1) << 30
+	dist := make([]int32, len(c.Signals))
+	for i := range dist {
+		dist[i] = inf
+	}
+	queue := make([]netlist.SignalID, 0, len(c.Outputs))
+	for _, o := range c.Outputs {
+		if dist[o] != 0 {
+			dist[o] = 0
+			queue = append(queue, o)
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, f := range c.Signals[s].Fanin {
+			if dist[f] > dist[s]+1 {
+				dist[f] = dist[s] + 1
+				queue = append(queue, f)
+			}
+		}
+	}
+	return dist
+}
+
+// Generate runs PODEM for fault f with the given backtrack limit.
+func (e *Engine) Generate(f fault.Fault, backtrackLimit int) Result {
+	return e.GenerateMulti([]sim.Inject{f.Inject()}, backtrackLimit)
+}
+
+// GenerateMulti runs PODEM for a fault present at several injection
+// sites simultaneously — the time-frame-expansion case, where one
+// physical defect appears once per unrolled frame. A test is found when
+// any site activates and its effect reaches an output.
+func (e *Engine) GenerateMulti(injs []sim.Inject, backtrackLimit int) Result {
+	e.loadFault(injs)
+	e.reset()
+
+	backtracks := 0
+	for {
+		e.drain()
+		if e.observedD() {
+			return Result{Status: Found, Assignment: e.assignment(), Backtracks: backtracks}
+		}
+		frontier := e.dFrontier()
+		ok := e.feasible(frontier)
+		if ok {
+			obj, objOK := e.objective(frontier)
+			if objOK {
+				pi, v, btOK := e.backtrace(obj.sig, obj.val)
+				if btOK {
+					e.stack = append(e.stack, decision{pi: pi, value: v})
+					e.assign(pi, v)
+					continue
+				}
+			}
+			ok = false
+		}
+		// Dead end: backtrack.
+		flipped := false
+		for len(e.stack) > 0 {
+			top := &e.stack[len(e.stack)-1]
+			if !top.triedBoth {
+				top.triedBoth = true
+				top.value = top.value.Not()
+				e.assign(top.pi, top.value)
+				backtracks++
+				flipped = true
+				break
+			}
+			e.assign(top.pi, logic.X)
+			e.stack = e.stack[:len(e.stack)-1]
+		}
+		if !flipped {
+			return Result{Status: Redundant, Backtracks: backtracks}
+		}
+		if backtracks > backtrackLimit {
+			return Result{Status: Aborted, Backtracks: backtracks}
+		}
+	}
+}
+
+type objectiveT struct {
+	sig netlist.SignalID
+	val logic.V
+}
+
+func (e *Engine) loadFault(injs []sim.Inject) {
+	e.injs = append(e.injs[:0], injs...)
+	clear(e.stemInj)
+	clear(e.brInj)
+	for _, in := range injs {
+		if in.IsStem() {
+			e.stemInj[in.Signal] = in.Value
+		} else {
+			e.brInj[in.Gate] = append(e.brInj[in.Gate], in)
+		}
+	}
+	e.stack = e.stack[:0]
+	e.buildCone()
+}
+
+// buildCone collects the fanout cone of every injection site: the only
+// region where fault effects can live.
+func (e *Engine) buildCone() {
+	for i := range e.inCone {
+		e.inCone[i] = false
+		e.isOut[i] = false
+	}
+	e.coneGates = e.coneGates[:0]
+	e.coneOutputs = e.coneOutputs[:0]
+	var stack []netlist.SignalID
+	push := func(s netlist.SignalID) {
+		if !e.inCone[s] {
+			e.inCone[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for _, in := range e.injs {
+		if in.IsStem() {
+			push(in.Signal)
+		} else {
+			push(in.Gate)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, fo := range e.c.Fanouts[s] {
+			push(fo)
+		}
+	}
+	// Cone gates in global topological order keeps frontier iteration
+	// deterministic.
+	for _, g := range e.c.Order {
+		if e.inCone[g] {
+			e.coneGates = append(e.coneGates, g)
+		}
+	}
+	for _, o := range e.c.Outputs {
+		if e.inCone[o] && !e.isOut[o] {
+			e.isOut[o] = true
+			e.coneOutputs = append(e.coneOutputs, o)
+		}
+	}
+}
+
+// reset initializes values: everything X, fixed inputs assigned, full
+// propagation.
+func (e *Engine) reset() {
+	for i := range e.good {
+		e.good[i] = logic.X
+		e.flty[i] = logic.X
+	}
+	for i := range e.inQueue {
+		e.inQueue[i] = false
+	}
+	for i := range e.buckets {
+		e.buckets[i] = e.buckets[i][:0]
+	}
+	for _, in := range e.c.Inputs {
+		v, fixed := e.m.Fixed[in]
+		if !fixed {
+			v = logic.X
+		}
+		e.setInput(in, v)
+	}
+	e.drain()
+}
+
+// setInput writes an input value into both machines (honouring a stem
+// fault on the input in the faulty machine) and schedules its fanout.
+func (e *Engine) setInput(in netlist.SignalID, v logic.V) {
+	e.good[in] = v
+	fv := v
+	if sv, ok := e.stemInj[in]; ok {
+		fv = sv
+	}
+	e.flty[in] = fv
+	for _, fo := range e.c.Fanouts[in] {
+		e.schedule(fo)
+	}
+}
+
+func (e *Engine) assign(pi netlist.SignalID, v logic.V) {
+	e.setInput(pi, v)
+}
+
+func (e *Engine) schedule(s netlist.SignalID) {
+	if e.c.Signals[s].Kind != netlist.KindGate || e.inQueue[s] {
+		return
+	}
+	e.inQueue[s] = true
+	lvl := e.c.Level[s]
+	e.buckets[lvl] = append(e.buckets[lvl], s)
+}
+
+// drain runs event-driven levelized propagation until stable.
+func (e *Engine) drain() {
+	var gbuf, fbuf [12]logic.V
+	for lvl := 1; lvl <= e.maxLevel; lvl++ {
+		bucket := e.buckets[lvl]
+		for i := 0; i < len(bucket); i++ {
+			g := bucket[i]
+			e.inQueue[g] = false
+			s := &e.c.Signals[g]
+			gin := gbuf[:0]
+			fin := fbuf[:0]
+			for _, f := range s.Fanin {
+				gin = append(gin, e.good[f])
+				fin = append(fin, e.flty[f])
+			}
+			for _, br := range e.brInj[g] {
+				fin[br.Pin] = br.Value
+			}
+			gv := s.Op.Eval(gin)
+			fv := s.Op.Eval(fin)
+			if sv, ok := e.stemInj[g]; ok {
+				fv = sv
+			}
+			if gv != e.good[g] || fv != e.flty[g] {
+				e.good[g] = gv
+				e.flty[g] = fv
+				for _, fo := range e.c.Fanouts[g] {
+					e.schedule(fo)
+				}
+			}
+		}
+		e.buckets[lvl] = e.buckets[lvl][:0]
+	}
+}
+
+// hasD reports whether signal s carries a fault effect (definite and
+// different in the two machines).
+func (e *Engine) hasD(s netlist.SignalID) bool {
+	return e.good[s].Known() && e.flty[s].Known() && e.good[s] != e.flty[s]
+}
+
+// observedD reports whether any primary output carries a fault effect.
+func (e *Engine) observedD() bool {
+	for _, o := range e.coneOutputs {
+		if e.hasD(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// activated reports whether some injection site currently sees opposite
+// definite values in the two machines.
+func (e *Engine) activated() bool {
+	for _, in := range e.injs {
+		gv := e.good[in.Signal]
+		if gv.Known() && gv != in.Value {
+			return true
+		}
+	}
+	return false
+}
+
+// activationPending reports whether some site could still activate (its
+// source value is undetermined).
+func (e *Engine) activationPending() bool {
+	for _, in := range e.injs {
+		if e.good[in.Signal] == logic.X {
+			return true
+		}
+	}
+	return false
+}
+
+// feasible checks whether the current partial assignment can still lead
+// to a test: either some site can still activate, or an activated
+// effect has a D-frontier with an X-path to an output.
+func (e *Engine) feasible(frontier []netlist.SignalID) bool {
+	if e.activated() {
+		if len(frontier) > 0 && e.xPathExists(frontier) {
+			return true
+		}
+	}
+	return e.activationPending()
+}
+
+// dFrontier returns gates with a fault effect on an input and an
+// undetermined output, scanning only the fault cone.
+func (e *Engine) dFrontier() []netlist.SignalID {
+	var frontier []netlist.SignalID
+	for _, g := range e.coneGates {
+		if e.good[g].Known() && e.flty[g].Known() {
+			continue
+		}
+		s := &e.c.Signals[g]
+		for pin, f := range s.Fanin {
+			gv, fv := e.good[f], e.flty[f]
+			for _, br := range e.brInj[g] {
+				if br.Pin == pin {
+					fv = br.Value
+				}
+			}
+			if gv.Known() && fv.Known() && gv != fv {
+				frontier = append(frontier, g)
+				break
+			}
+		}
+	}
+	return frontier
+}
+
+// xPathExists reports whether some frontier gate reaches an output
+// through signals undetermined in at least one machine.
+func (e *Engine) xPathExists(frontier []netlist.SignalID) bool {
+	e.epoch++
+	ep := e.epoch
+	stack := append([]netlist.SignalID(nil), frontier...)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if e.seenEpoch[s] == ep {
+			continue
+		}
+		e.seenEpoch[s] = ep
+		if e.isOutput(s) {
+			return true
+		}
+		for _, fo := range e.c.Fanouts[s] {
+			if e.seenEpoch[fo] != ep && (!e.good[fo].Known() || !e.flty[fo].Known()) {
+				stack = append(stack, fo)
+			}
+		}
+	}
+	return false
+}
+
+func (e *Engine) isOutput(s netlist.SignalID) bool { return e.isOut[s] }
+
+// objective picks the next (signal, value) goal: activate the fault if
+// not yet activated, otherwise advance the best D-frontier gate by
+// setting one of its undetermined side inputs to the non-controlling
+// value.
+func (e *Engine) objective(frontier []netlist.SignalID) (objectiveT, bool) {
+	if !e.activated() || len(frontier) == 0 {
+		// Work on activating a pending site.
+		for _, in := range e.injs {
+			if e.good[in.Signal] == logic.X {
+				return objectiveT{sig: in.Signal, val: in.Value.Not()}, true
+			}
+		}
+		return objectiveT{}, false
+	}
+	best := frontier[0]
+	for _, g := range frontier[1:] {
+		if e.obsDist[g] < e.obsDist[best] {
+			best = g
+		}
+	}
+	s := &e.c.Signals[best]
+	nc, hasNC := s.Op.NonControlling()
+	pick := netlist.None
+	for _, f := range s.Fanin {
+		if e.good[f] != logic.X {
+			continue
+		}
+		if !hasNC {
+			return objectiveT{sig: f, val: logic.Zero}, true // XOR/XNOR side: any definite value
+		}
+		if pick == netlist.None || e.cc(f, nc) < e.cc(pick, nc) {
+			pick = f
+		}
+	}
+	if pick == netlist.None {
+		return objectiveT{}, false
+	}
+	return objectiveT{sig: pick, val: nc}, true
+}
+
+// backtrace maps an objective back to an unassigned decision input,
+// choosing easy (minimum level) inputs when a single controlling value
+// suffices and hard (maximum level) inputs when all inputs must be set.
+func (e *Engine) backtrace(sig netlist.SignalID, val logic.V) (netlist.SignalID, logic.V, bool) {
+	for {
+		s := &e.c.Signals[sig]
+		if s.Kind == netlist.KindInput {
+			if _, fixed := e.m.Fixed[sig]; fixed {
+				return netlist.None, logic.X, false
+			}
+			if e.good[sig] != logic.X {
+				return netlist.None, logic.X, false
+			}
+			return sig, val, true
+		}
+		op := s.Op
+		switch op {
+		case logic.OpBuf:
+			sig = s.Fanin[0]
+		case logic.OpNot:
+			sig = s.Fanin[0]
+			val = val.Not()
+		case logic.OpConst0, logic.OpConst1:
+			return netlist.None, logic.X, false
+		case logic.OpXor, logic.OpXnor:
+			// Target the first undetermined input; required value assumes
+			// remaining X inputs resolve to 0.
+			acc := logic.Zero
+			var pick netlist.SignalID = netlist.None
+			for _, f := range s.Fanin {
+				if e.good[f] == logic.X && pick == netlist.None {
+					pick = f
+					continue
+				}
+				acc = acc.Xor(e.good[f])
+			}
+			if pick == netlist.None {
+				return netlist.None, logic.X, false
+			}
+			want := val
+			if op == logic.OpXnor {
+				want = want.Not()
+			}
+			if acc.Known() {
+				want = want.Xor(acc)
+			}
+			if !want.Known() {
+				want = logic.Zero
+			}
+			sig, val = pick, want
+		default:
+			ctrl, _ := op.Controlling()
+			inv := op.Inverting()
+			controlledOut := ctrl
+			if inv {
+				controlledOut = ctrl.Not()
+			}
+			if val == controlledOut {
+				// One controlling input suffices: pick the cheapest
+				// (SCOAP) undetermined input.
+				pick := netlist.None
+				for _, f := range s.Fanin {
+					if e.good[f] != logic.X {
+						continue
+					}
+					if pick == netlist.None || e.cc(f, ctrl) < e.cc(pick, ctrl) {
+						pick = f
+					}
+				}
+				if pick == netlist.None {
+					return netlist.None, logic.X, false
+				}
+				sig, val = pick, ctrl
+			} else {
+				// All inputs must be non-controlling: pick the hardest
+				// (highest SCOAP cost) undetermined input first.
+				pick := netlist.None
+				nc := ctrl.Not()
+				for _, f := range s.Fanin {
+					if e.good[f] != logic.X {
+						continue
+					}
+					if pick == netlist.None || e.cc(f, nc) > e.cc(pick, nc) {
+						pick = f
+					}
+				}
+				if pick == netlist.None {
+					return netlist.None, logic.X, false
+				}
+				sig, val = pick, nc
+			}
+		}
+	}
+}
+
+// assignment snapshots the current free-input assignment.
+func (e *Engine) assignment() map[netlist.SignalID]logic.V {
+	out := make(map[netlist.SignalID]logic.V, len(e.stack))
+	for _, d := range e.stack {
+		out[d.pi] = d.value
+	}
+	return out
+}

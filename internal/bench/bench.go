@@ -1,0 +1,267 @@
+// Package bench reads and writes circuits in the ISCAS'89 .bench netlist
+// format, the interchange format the original benchmarks (and the paper's
+// SIS-mapped versions of them) are distributed in.
+//
+// Supported syntax:
+//
+//	# comment
+//	INPUT(a)
+//	OUTPUT(y)
+//	q = DFF(d)
+//	y = NAND(a, b, c)     # also AND OR NOR NOT BUF BUFF XOR XNOR
+//
+// Flip-flop D inputs may reference signals defined later in the file, as
+// the original benchmarks do.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+type pending struct {
+	name   string
+	op     string
+	args   []string
+	lineNo int
+}
+
+// Parse reads a .bench description and returns the finalized circuit.
+func Parse(r io.Reader, name string) (*netlist.Circuit, error) {
+	c := netlist.New(name)
+	var (
+		defs    []pending
+		outputs []string
+		inputs  = map[string]bool{}
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "INPUT(") || strings.HasPrefix(line, "input("):
+			arg, err := insideParens(line[len("INPUT("):], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if inputs[arg] {
+				return nil, fmt.Errorf("bench: line %d: duplicate INPUT(%s)", lineNo, arg)
+			}
+			inputs[arg] = true
+			if _, err := c.AddInput(arg); err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", lineNo, err)
+			}
+		case strings.HasPrefix(line, "OUTPUT(") || strings.HasPrefix(line, "output("):
+			arg, err := insideParens(line[len("OUTPUT("):], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.IndexByte(line, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("bench: line %d: cannot parse %q", lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			op, args, err := splitCall(rhs, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			defs = append(defs, pending{name: lhs, op: op, args: args, lineNo: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: %v", err)
+	}
+
+	// First pass: declare all flip-flops so forward references resolve.
+	for _, d := range defs {
+		if d.op == "DFF" {
+			if len(d.args) != 1 {
+				return nil, fmt.Errorf("bench: line %d: DFF takes one input", d.lineNo)
+			}
+			if _, err := c.AddFF(d.name); err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", d.lineNo, err)
+			}
+		}
+	}
+	// Second pass: gates in dependency order (multiple sweeps; gate
+	// definitions in .bench may be in any order).
+	remaining := make([]pending, 0, len(defs))
+	for _, d := range defs {
+		if d.op != "DFF" {
+			remaining = append(remaining, d)
+		}
+	}
+	for len(remaining) > 0 {
+		progress := false
+		next := remaining[:0]
+		for _, d := range remaining {
+			ids, ok := resolveAll(c, d.args)
+			if !ok {
+				next = append(next, d)
+				continue
+			}
+			op, err := parseBenchOp(d.op)
+			if err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", d.lineNo, err)
+			}
+			if _, err := c.AddGate(d.name, op, ids...); err != nil {
+				return nil, fmt.Errorf("bench: line %d: %v", d.lineNo, err)
+			}
+			progress = true
+		}
+		remaining = next
+		if !progress {
+			return nil, fmt.Errorf("bench: line %d: unresolvable reference in %q (cycle or undefined signal)",
+				remaining[0].lineNo, remaining[0].name)
+		}
+	}
+	// Connect flip-flop D inputs.
+	for _, d := range defs {
+		if d.op != "DFF" {
+			continue
+		}
+		ff, _ := c.Lookup(d.name)
+		din, ok := c.Lookup(d.args[0])
+		if !ok {
+			return nil, fmt.Errorf("bench: line %d: DFF %s: undefined D input %q", d.lineNo, d.name, d.args[0])
+		}
+		if err := c.SetFFInput(ff, din); err != nil {
+			return nil, fmt.Errorf("bench: line %d: %v", d.lineNo, err)
+		}
+	}
+	for _, o := range outputs {
+		id, ok := c.Lookup(o)
+		if !ok {
+			return nil, fmt.Errorf("bench: undefined OUTPUT(%s)", o)
+		}
+		if err := c.MarkOutput(id); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s, name string) (*netlist.Circuit, error) {
+	return Parse(strings.NewReader(s), name)
+}
+
+func insideParens(rest string, lineNo int) (string, error) {
+	i := strings.IndexByte(rest, ')')
+	if i < 0 {
+		return "", fmt.Errorf("bench: line %d: missing ')'", lineNo)
+	}
+	arg := strings.TrimSpace(rest[:i])
+	if arg == "" {
+		return "", fmt.Errorf("bench: line %d: empty argument", lineNo)
+	}
+	return arg, nil
+}
+
+func splitCall(rhs string, lineNo int) (op string, args []string, err error) {
+	open := strings.IndexByte(rhs, '(')
+	closeP := strings.LastIndexByte(rhs, ')')
+	if open < 0 || closeP < open {
+		return "", nil, fmt.Errorf("bench: line %d: cannot parse gate %q", lineNo, rhs)
+	}
+	op = strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	inner := strings.TrimSpace(rhs[open+1 : closeP])
+	if inner == "" {
+		return op, nil, nil // zero-input gate (CONST0/CONST1)
+	}
+	for _, a := range strings.Split(inner, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return "", nil, fmt.Errorf("bench: line %d: empty gate argument", lineNo)
+		}
+		args = append(args, a)
+	}
+	return op, args, nil
+}
+
+func parseBenchOp(op string) (logic.Op, error) {
+	switch op {
+	case "BUFF", "BUF":
+		return logic.OpBuf, nil
+	case "NOT", "INV":
+		return logic.OpNot, nil
+	}
+	return logic.ParseOp(op)
+}
+
+func resolveAll(c *netlist.Circuit, names []string) ([]netlist.SignalID, bool) {
+	ids := make([]netlist.SignalID, len(names))
+	for i, n := range names {
+		id, ok := c.Lookup(n)
+		if !ok {
+			return nil, false
+		}
+		ids[i] = id
+	}
+	return ids, true
+}
+
+// Write emits the circuit in .bench format. Gates are written in
+// topological order; flip-flops and outputs keep declaration order.
+func Write(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	st := c.Stat()
+	fmt.Fprintf(bw, "# %d inputs  %d outputs  %d D-type flipflops  %d gates\n",
+		st.Inputs, st.Outputs, st.FFs, st.Gates)
+	for _, in := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.NameOf(in))
+	}
+	for _, o := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.NameOf(o))
+	}
+	fmt.Fprintln(bw)
+	for _, ff := range c.FFs {
+		fmt.Fprintf(bw, "%s = DFF(%s)\n", c.NameOf(ff), c.NameOf(c.Signals[ff].Fanin[0]))
+	}
+	order := append([]netlist.SignalID(nil), c.Order...)
+	sort.SliceStable(order, func(i, j int) bool {
+		if c.Level[order[i]] != c.Level[order[j]] {
+			return c.Level[order[i]] < c.Level[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	for _, g := range order {
+		s := &c.Signals[g]
+		names := make([]string, len(s.Fanin))
+		for i, f := range s.Fanin {
+			names[i] = c.NameOf(f)
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", s.Name, benchOpName(s.Op), strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+func benchOpName(op logic.Op) string {
+	switch op {
+	case logic.OpBuf:
+		return "BUFF"
+	}
+	return op.String()
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestParseS27(t *testing.T) {
+	c := MustS27()
+	st := c.Stat()
+	if st.Inputs != 4 || st.Outputs != 1 || st.FFs != 3 || st.Gates != 10 {
+		t.Fatalf("s27 stats = %+v", st)
+	}
+	g11, ok := c.Lookup("G11")
+	if !ok {
+		t.Fatal("G11 missing")
+	}
+	if c.Signals[g11].Op != logic.OpNor || len(c.Signals[g11].Fanin) != 2 {
+		t.Errorf("G11 = %v(%d inputs)", c.Signals[g11].Op, len(c.Signals[g11].Fanin))
+	}
+	// G6 = DFF(G11): flip-flop wiring.
+	g6, _ := c.Lookup("G6")
+	if !c.IsFF(g6) || c.Signals[g6].Fanin[0] != g11 {
+		t.Error("G6 DFF wiring wrong")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := MustS27()
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseString(buf.String(), "s27rt")
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, buf.String())
+	}
+	if c2.Stat() != c.Stat() {
+		t.Errorf("round-trip stats differ: %+v vs %+v", c2.Stat(), c.Stat())
+	}
+	// Same gate functions per name.
+	for _, s := range c.Signals {
+		id2, ok := c2.Lookup(s.Name)
+		if !ok {
+			t.Fatalf("signal %s lost in round trip", s.Name)
+		}
+		s2 := c2.Signals[id2]
+		if s2.Kind != s.Kind || s2.Op != s.Op || len(s2.Fanin) != len(s.Fanin) {
+			t.Errorf("signal %s changed: %+v vs %+v", s.Name, s2, s)
+		}
+		for i, f := range s.Fanin {
+			if c.NameOf(f) != c2.NameOf(s2.Fanin[i]) {
+				t.Errorf("signal %s fanin %d: %s vs %s", s.Name, i, c.NameOf(f), c2.NameOf(s2.Fanin[i]))
+			}
+		}
+	}
+}
+
+func TestParseForwardReference(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(y)
+y = AND(w, a)
+w = NOT(a)
+`
+	c, err := ParseString(src, "fwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 2 {
+		t.Errorf("gates = %d", c.NumGates())
+	}
+}
+
+func TestParseConstGate(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(y)
+one = CONST1()
+y = AND(a, one)
+`
+	c, err := ParseString(src, "const")
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, _ := c.Lookup("one")
+	if c.Signals[one].Op != logic.OpConst1 {
+		t.Error("CONST1 not parsed")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseString(buf.String(), "const2"); err != nil {
+		t.Errorf("const round trip: %v", err)
+	}
+}
+
+func TestParseCommentsAndCase(t *testing.T) {
+	src := "# header\ninput(a)\noutput(y)\ny = not(a) # trailing comment\n"
+	c, err := ParseString(src, "case")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 1 {
+		t.Errorf("gates = %d", c.NumGates())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"INPUT(a",                           // missing paren
+		"INPUT(a)\nINPUT(a)",                // duplicate input
+		"INPUT(a)\ny = ",                    // empty rhs
+		"INPUT(a)\ny AND(a)",                // missing =
+		"INPUT(a)\ny = MAJ(a)",              // unknown op
+		"INPUT(a)\ny = AND(a, )",            // empty arg
+		"INPUT(a)\nOUTPUT(z)\ny = NOT(a)",   // undefined output
+		"INPUT(a)\ny = DFF(a, a)",           // DFF arity
+		"INPUT(a)\ny = AND(q, a)",           // undefined signal
+		"INPUT(a)\nx = NOT(y)\ny = NOT(x)",  // combinational cycle
+		"INPUT(a)\nOUTPUT(y)\ny = NOT(a,b)", // NOT arity
+	}
+	for _, src := range bad {
+		if _, err := ParseString(src, "bad"); err == nil {
+			t.Errorf("accepted invalid source %q", src)
+		}
+	}
+}
+
+func TestWriteHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, MustS27()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "4 inputs  1 outputs  3 D-type flipflops  10 gates") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "G5 = DFF(G10)") {
+		t.Errorf("DFF line missing:\n%s", out)
+	}
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// TestRoundTripGeneratedProperty: for a spread of generated circuits,
+// write → parse must preserve structure and, more importantly,
+// behaviour: identical sequential traces on a fixed input sequence.
+func TestRoundTripGeneratedProperty(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		p := gen.Profile{Name: "rt", PIs: 5, POs: 4, FFs: 8, Gates: 80 + 20*int(seed)}
+		orig := gen.Generate(p, seed)
+
+		var buf bytes.Buffer
+		if err := Write(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseString(buf.String(), "rt")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if back.Stat() != orig.Stat() {
+			t.Fatalf("seed %d: stats changed: %+v vs %+v", seed, back.Stat(), orig.Stat())
+		}
+
+		// Behavioural equivalence on a deterministic input sequence.
+		so := sim.NewSeq(orig)
+		sb := sim.NewSeq(back)
+		zero := make([]logic.V, len(orig.FFs))
+		so.SetState(zero)
+		sb.SetState(zero)
+		rng := uint64(seed) * 0x9e3779b97f4a7c15
+		pi := make([]logic.V, len(orig.Inputs))
+		pib := make([]logic.V, len(back.Inputs))
+		var poO, poB []logic.V
+		for cyc := 0; cyc < 30; cyc++ {
+			for i := range pi {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				pi[i] = logic.V((rng >> 33) & 1)
+			}
+			// Input order may differ; map by name.
+			for i, in := range back.Inputs {
+				oid, ok := orig.Lookup(back.NameOf(in))
+				if !ok {
+					t.Fatalf("input %s lost", back.NameOf(in))
+				}
+				for j, oin := range orig.Inputs {
+					if oin == oid {
+						pib[i] = pi[j]
+					}
+				}
+			}
+			poO = so.Cycle(pi, nil, poO)
+			poB = sb.Cycle(pib, nil, poB)
+			for o := range poO {
+				if poO[o] != poB[o] {
+					t.Fatalf("seed %d cycle %d: PO %d differs after round trip", seed, cyc, o)
+				}
+			}
+		}
+	}
+}

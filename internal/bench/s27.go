@@ -1,0 +1,39 @@
+package bench
+
+import "repro/internal/netlist"
+
+// S27 is the real ISCAS'89 s27 benchmark, embedded verbatim. It is the
+// ground-truth circuit for unit and integration tests: small enough to
+// verify exhaustively, yet it contains sequential feedback, reconvergent
+// fanout and inverting gates.
+const S27 = `# s27: ISCAS'89 sequential benchmark
+# 4 inputs 1 output 3 D-type flipflops 10 gates
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+// MustS27 parses the embedded s27 benchmark; it panics on failure (the
+// text is a compile-time constant, so failure is a programming error).
+func MustS27() *netlist.Circuit {
+	c, err := ParseString(S27, "s27")
+	if err != nil {
+		panic("bench: embedded s27 does not parse: " + err.Error())
+	}
+	return c
+}

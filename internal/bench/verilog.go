@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// WriteVerilog emits the circuit as a structural gate-level Verilog
+// module (primitive gates plus a positive-edge D flip-flop always
+// block), so generated benchmarks and scan-inserted designs can be fed
+// to synthesis or simulation tools outside this repository.
+func WriteVerilog(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	name := sanitizeVerilog(c.Name)
+	fmt.Fprintf(bw, "// generated from %s\nmodule %s (clk", c.Name, name)
+	for _, in := range c.Inputs {
+		fmt.Fprintf(bw, ", %s", sanitizeVerilog(c.NameOf(in)))
+	}
+	seenPO := map[netlist.SignalID]bool{}
+	var pos []netlist.SignalID
+	for _, o := range c.Outputs {
+		if seenPO[o] {
+			continue
+		}
+		seenPO[o] = true
+		pos = append(pos, o)
+		fmt.Fprintf(bw, ", %s_po", sanitizeVerilog(c.NameOf(o)))
+	}
+	fmt.Fprintf(bw, ");\n  input clk;\n")
+	for _, in := range c.Inputs {
+		fmt.Fprintf(bw, "  input %s;\n", sanitizeVerilog(c.NameOf(in)))
+	}
+	for _, o := range pos {
+		fmt.Fprintf(bw, "  output %s_po;\n", sanitizeVerilog(c.NameOf(o)))
+	}
+	for _, ff := range c.FFs {
+		fmt.Fprintf(bw, "  reg %s;\n", sanitizeVerilog(c.NameOf(ff)))
+	}
+	for _, g := range c.Order {
+		fmt.Fprintf(bw, "  wire %s;\n", sanitizeVerilog(c.NameOf(g)))
+	}
+
+	for _, g := range c.Order {
+		s := &c.Signals[g]
+		out := sanitizeVerilog(s.Name)
+		ins := make([]string, len(s.Fanin))
+		for i, f := range s.Fanin {
+			ins[i] = sanitizeVerilog(c.NameOf(f))
+		}
+		switch s.Op {
+		case logic.OpBuf:
+			fmt.Fprintf(bw, "  buf (%s, %s);\n", out, ins[0])
+		case logic.OpNot:
+			fmt.Fprintf(bw, "  not (%s, %s);\n", out, ins[0])
+		case logic.OpConst0:
+			fmt.Fprintf(bw, "  assign %s = 1'b0;\n", out)
+		case logic.OpConst1:
+			fmt.Fprintf(bw, "  assign %s = 1'b1;\n", out)
+		default:
+			prim := map[logic.Op]string{
+				logic.OpAnd: "and", logic.OpNand: "nand",
+				logic.OpOr: "or", logic.OpNor: "nor",
+				logic.OpXor: "xor", logic.OpXnor: "xnor",
+			}[s.Op]
+			if prim == "" {
+				return fmt.Errorf("bench: cannot export op %v to Verilog", s.Op)
+			}
+			if len(ins) == 1 {
+				// Degenerate 1-input gates: AND/OR/XOR pass through,
+				// NAND/NOR/XNOR invert.
+				if s.Op.Inverting() {
+					fmt.Fprintf(bw, "  not (%s, %s);\n", out, ins[0])
+				} else {
+					fmt.Fprintf(bw, "  buf (%s, %s);\n", out, ins[0])
+				}
+			} else {
+				fmt.Fprintf(bw, "  %s (%s, %s);\n", prim, out, strings.Join(ins, ", "))
+			}
+		}
+	}
+
+	if len(c.FFs) > 0 {
+		fmt.Fprintf(bw, "  always @(posedge clk) begin\n")
+		for _, ff := range c.FFs {
+			fmt.Fprintf(bw, "    %s <= %s;\n",
+				sanitizeVerilog(c.NameOf(ff)), sanitizeVerilog(c.NameOf(c.Signals[ff].Fanin[0])))
+		}
+		fmt.Fprintf(bw, "  end\n")
+	}
+	for _, o := range pos {
+		fmt.Fprintf(bw, "  assign %s_po = %s;\n",
+			sanitizeVerilog(c.NameOf(o)), sanitizeVerilog(c.NameOf(o)))
+	}
+	fmt.Fprintf(bw, "endmodule\n")
+	return bw.Flush()
+}
+
+// sanitizeVerilog maps a netlist name to a legal Verilog identifier.
+func sanitizeVerilog(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			fmt.Fprintf(&b, "_%02x", r)
+		}
+	}
+	s := b.String()
+	if s == "" || (s[0] >= '0' && s[0] <= '9') {
+		s = "n" + s
+	}
+	return s
+}

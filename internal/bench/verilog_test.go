@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestWriteVerilogS27(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, MustS27()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"module s27 (clk",
+		"input G0;",
+		"reg G5;",
+		"nand (G9, G16, G15);",
+		"always @(posedge clk)",
+		"G5 <= G10;",
+		"assign G17_po = G17;",
+		"endmodule",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Verilog output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteVerilogGenerated(t *testing.T) {
+	c := gen.Generate(gen.Profile{Name: "v", PIs: 4, POs: 3, FFs: 6, Gates: 60}, 2)
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "endmodule") != 1 {
+		t.Error("malformed module")
+	}
+	// Every gate appears exactly once as a wire.
+	if got := strings.Count(out, "  wire "); got != c.NumGates() {
+		t.Errorf("%d wires for %d gates", got, c.NumGates())
+	}
+}
+
+func TestWriteVerilogDeterministic(t *testing.T) {
+	c := MustS27()
+	var a, b bytes.Buffer
+	if err := WriteVerilog(&a, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVerilog(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("Verilog output nondeterministic")
+	}
+}
+
+func TestSanitizeVerilog(t *testing.T) {
+	cases := map[string]string{
+		"G17":    "G17",
+		"1abc":   "_31abc", // leading digit escaped to its hex code
+		"a.b":    "a_2eb",
+		"":       "n",
+		"mux0_s": "mux0_s",
+		"sig@3":  "sig_403",
+	}
+	for in, want := range cases {
+		if got := sanitizeVerilog(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"repro/internal/atpg"
+	"repro/internal/logic"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+// combDropper fault-simulates single vectors on the scan-mode
+// combinational model (63 faults per packed pass) to predict which hard
+// faults a vector covers. Predictions only skip ATPG work: the real
+// sequential fault simulation still decides detection.
+type combDropper struct {
+	d       *scan.Design
+	cm      *atpg.CombModel
+	hard    []Screened
+	covered []bool
+	// coveredAt records the index of the vector predicted to cover each
+	// fault (-1 when none): sorting faults by it lets the sequential
+	// fault simulator finish each 63-lane batch early.
+	coveredAt []int
+	nVectors  int
+	eval      *sim.PackedComb
+	base      []logic.V // per model input: vector-independent fill
+}
+
+func newCombDropper(d *scan.Design, cm *atpg.CombModel, hard []Screened) *combDropper {
+	cd := &combDropper{
+		d:         d,
+		cm:        cm,
+		hard:      hard,
+		covered:   make([]bool, len(hard)),
+		coveredAt: make([]int, len(hard)),
+		eval:      sim.NewPackedComb(cm.C),
+		base:      make([]logic.V, len(cm.C.Inputs)),
+	}
+	for i := range cd.coveredAt {
+		cd.coveredAt[i] = -1
+	}
+	for i, in := range cm.C.Inputs {
+		if v, ok := d.Assignments[in]; ok {
+			cd.base[i] = v
+		} else {
+			// Free mission inputs, scan-ins and flip-flop pseudo-inputs
+			// all load zero when the vector leaves them unassigned,
+			// matching ConvertVectors' don't-care fill.
+			cd.base[i] = logic.Zero
+		}
+	}
+	return cd
+}
+
+// drop marks every still-uncovered fault that vector v detects on the
+// combinational model.
+func (cd *combDropper) drop(v scan.Vector) {
+	vecIdx := cd.nVectors
+	cd.nVectors++
+	c := cd.cm.C
+	var pending []int
+	for i := range cd.hard {
+		if !cd.covered[i] {
+			pending = append(pending, i)
+		}
+	}
+	for base := 0; base < len(pending); base += 63 {
+		n := len(pending) - base
+		if n > 63 {
+			n = 63
+		}
+		injs := make([]sim.LaneInject, 0, n)
+		for k := 0; k < n; k++ {
+			f := cd.cm.MapFault(cd.hard[pending[base+k]].Fault)
+			injs = append(injs, sim.LaneInject{Inject: f.Inject(), Lane: uint(k + 1)})
+		}
+		cd.eval.SetInjections(injs)
+		cd.eval.ClearX()
+		for i, in := range c.Inputs {
+			val := cd.base[i]
+			if vv, ok := v.FFs[in]; ok && vv.Known() {
+				val = vv
+			} else if vv, ok := v.PIs[in]; ok && vv.Known() {
+				val = vv
+			}
+			cd.eval.Vals[in] = logic.WordAll(val)
+		}
+		cd.eval.Eval()
+		laneMask := (uint64(1)<<uint(n+1) - 1) &^ 1
+		var det uint64
+		for _, o := range c.Outputs {
+			w := cd.eval.Vals[o]
+			switch w.Get(0) {
+			case logic.One:
+				det |= w.Zeros & laneMask
+			case logic.Zero:
+				det |= w.Ones & laneMask
+			}
+		}
+		for k := 0; k < n; k++ {
+			if det&(uint64(1)<<uint(k+1)) != 0 {
+				cd.covered[pending[base+k]] = true
+				cd.coveredAt[pending[base+k]] = vecIdx
+			}
+		}
+	}
+}

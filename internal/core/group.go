@@ -1,0 +1,422 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/faultsim"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+	"repro/internal/seqatpg"
+)
+
+// tryVectorFills converts vector v with its don't-care flip-flop bits
+// filled first with zeros, then with deterministic pseudo-random
+// patterns, fault-simulating each single-vector sequence until one
+// detects f. The fill changes the chain data surrounding the corrupted
+// capture, and with it whether the effect survives the shift-out.
+func tryVectorFills(d *scan.Design, f fault.Fault, v scan.Vector, tries int) bool {
+	rng := uint64(f.Signal)<<40 ^ uint64(f.Gate)<<16 ^ uint64(f.Pin)<<8 ^ uint64(f.Stuck) ^ 0x9e3779b97f4a7c15
+	next := func() logic.V {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return logic.V((rng >> 33) & 1)
+	}
+	for try := 0; try < tries; try++ {
+		vv := scan.Vector{FFs: make(map[netlist.SignalID]logic.V, len(d.C.FFs)), PIs: v.PIs}
+		for k, val := range v.FFs {
+			vv.FFs[k] = val
+		}
+		if try > 0 {
+			for _, ff := range d.C.FFs {
+				if _, ok := vv.FFs[ff]; !ok {
+					vv.FFs[ff] = next()
+				}
+			}
+		}
+		seq := faultsim.Sequence(d.ConvertVectors([]scan.Vector{vv}))
+		fr := faultsim.Run(d.C, seq, []fault.Fault{f}, faultsim.Options{})
+		if fr.DetectedAt[0] >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// coModel describes one increased-controllability/observability circuit
+// (the paper's n-m.C,o-p.O): which flip-flops are treated as directly
+// controllable and which D pins as directly observable, plus the faults
+// to target on it.
+type coModel struct {
+	ctrl, obs map[netlist.SignalID]bool
+	frames    int
+	faults    []Screened
+}
+
+// span returns max(l_i) - min(l_j) of a single-chain fault.
+func span(s *Screened) int {
+	first, last, _ := s.Span()
+	return last.Seg - first.Seg
+}
+
+// buildCO derives the enhanced sets for a fault cluster on one chain:
+// the chain's flip-flops before location firstSeg are controllable, the
+// ones from location lastSeg on are observable (their D pins are where
+// the last corruption enters), and every flip-flop of an unaffected
+// chain is both.
+func buildCO(d *scan.Design, chain, firstSeg, lastSeg int, affected map[int]bool) (ctrl, obs map[netlist.SignalID]bool) {
+	ctrl = make(map[netlist.SignalID]bool)
+	obs = make(map[netlist.SignalID]bool)
+	for ci := range d.Chains {
+		ch := &d.Chains[ci]
+		if ci != chain && !affected[ci] {
+			for _, ff := range ch.FFs {
+				ctrl[ff] = true
+				obs[ff] = true
+			}
+			continue
+		}
+		if ci != chain {
+			continue // affected other chain: no enhancement there
+		}
+		for pos, ff := range ch.FFs {
+			if pos < firstSeg {
+				ctrl[ff] = true
+			}
+			if pos >= lastSeg && lastSeg < ch.Len() {
+				obs[ff] = true
+			}
+		}
+	}
+	return ctrl, obs
+}
+
+// planGroups implements the paper's grouping (Section 5): multi-chain
+// and wide-span faults form group 1 (individual models), medium spans
+// form group 2 (one model per seed fault, compatible faults ride along),
+// and the rest are partitioned into minimal DIST-wide clusters.
+func planGroups(d *scan.Design, remaining []Screened, p Params) []coModel {
+	var models []coModel
+	frames := func(sp int) int {
+		f := sp + 2
+		if f > p.MaxFrames {
+			f = p.MaxFrames
+		}
+		if f < 2 {
+			f = 2
+		}
+		return f
+	}
+
+	var group1, group2 []Screened
+	perChain := make(map[int][]Screened) // group 3, keyed by chain
+	for _, s := range remaining {
+		if len(s.Locs) == 0 {
+			// Defensive: treat as group 1 with no enhancement.
+			group1 = append(group1, s)
+			continue
+		}
+		first, _, multi := s.Span()
+		switch {
+		case multi:
+			group1 = append(group1, s)
+		case len(s.Locs) > 1 && span(&s) >= p.LargeDist:
+			group1 = append(group1, s)
+		case len(s.Locs) > 1 && span(&s) >= p.MedDist:
+			group2 = append(group2, s)
+		default:
+			perChain[first.Chain] = append(perChain[first.Chain], s)
+		}
+	}
+
+	affectedChains := func(s *Screened) map[int]bool {
+		m := map[int]bool{}
+		for _, l := range s.Locs {
+			m[l.Chain] = true
+		}
+		return m
+	}
+
+	// Group 1: one maximally-enhanced model per fault.
+	for _, s := range group1 {
+		if len(s.Locs) == 0 {
+			models = append(models, coModel{frames: frames(0), faults: []Screened{s}})
+			continue
+		}
+		first, last, multi := s.Span()
+		aff := affectedChains(&s)
+		var ctrl, obs map[netlist.SignalID]bool
+		if multi {
+			// Enhance only the unaffected chains.
+			ctrl, obs = buildCO(d, -1, 0, 0, aff)
+		} else {
+			ctrl, obs = buildCO(d, first.Chain, first.Seg, last.Seg, aff)
+		}
+		models = append(models, coModel{ctrl: ctrl, obs: obs, frames: frames(span(&s)), faults: []Screened{s}})
+	}
+
+	// Group 2: a model per seed fault; compatible group-2/3 faults of the
+	// same chain whose span fits inside the seed's window join it.
+	taken := make(map[*Screened]bool)
+	sort.SliceStable(group2, func(i, j int) bool { return span(&group2[i]) > span(&group2[j]) })
+	for i := range group2 {
+		s := &group2[i]
+		if taken[s] {
+			continue
+		}
+		taken[s] = true
+		first, last, _ := s.Span()
+		aff := affectedChains(s)
+		ctrl, obs := buildCO(d, first.Chain, first.Seg, last.Seg, aff)
+		m := coModel{ctrl: ctrl, obs: obs, frames: frames(span(s)), faults: []Screened{*s}}
+		for j := i + 1; j < len(group2); j++ {
+			o := &group2[j]
+			of, ol, om := o.Span()
+			if !taken[o] && !om && of.Chain == first.Chain && of.Seg >= first.Seg && ol.Seg <= last.Seg {
+				taken[o] = true
+				m.faults = append(m.faults, *o)
+			}
+		}
+		models = append(models, m)
+	}
+
+	// Group 3: per chain, minimal number of DIST-wide windows (greedy
+	// interval cover over sorted first-locations).
+	for chain, faults := range perChain {
+		sort.SliceStable(faults, func(i, j int) bool {
+			fi, _, _ := faults[i].Span()
+			fj, _, _ := faults[j].Span()
+			return fi.Seg < fj.Seg
+		})
+		i := 0
+		for i < len(faults) {
+			first, last, _ := faults[i].Span()
+			lo := first.Seg
+			hi := last.Seg
+			cluster := []Screened{faults[i]}
+			j := i + 1
+			for j < len(faults) {
+				_, jl, _ := faults[j].Span()
+				nhi := hi
+				if jl.Seg > nhi {
+					nhi = jl.Seg
+				}
+				if nhi-lo > p.Dist {
+					break
+				}
+				hi = nhi
+				cluster = append(cluster, faults[j])
+				j++
+			}
+			aff := map[int]bool{chain: true}
+			ctrl, obs := buildCO(d, chain, lo, hi, aff)
+			models = append(models, coModel{ctrl: ctrl, obs: obs, frames: frames(hi - lo), faults: cluster})
+			i = j
+		}
+	}
+	return models
+}
+
+// runStep3 runs grouped sequential ATPG with confirmation fault
+// simulation, then a final per-fault pass with a larger effort budget.
+//
+// Undetectability is only ever claimed on a sound basis: combinational
+// redundancy of the scan-mode model (which implies sequential
+// undetectability, Section 4) proven with the large final backtrack
+// budget. Exhausting a bounded-frame enhanced model is NOT such a proof
+// — the enhanced model under-approximates what long shift sequences can
+// set up — so those faults stay "undetected".
+func runStep3(d *scan.Design, remaining []Screened, p Params, rep *Report) error {
+	if len(remaining) == 0 {
+		return nil
+	}
+	models := planGroups(d, remaining, p)
+	rep.COCircuits = len(models)
+
+	// Shared scan-mode combinational model for redundancy proofs and
+	// final-pass vector retries. In a partial-scan design the model
+	// would wrongly treat non-scan flip-flops as loadable and their D
+	// pins as observable, so both the proofs and the retries are
+	// disabled there (the paper's partial-scan setting relies on random
+	// vectors and sequential ATPG only).
+	var combEng *atpg.Engine
+	var cm *atpg.CombModel
+	if !d.Partial() {
+		var err error
+		cm, err = atpg.BuildCombModel(d.C)
+		if err != nil {
+			return err
+		}
+		fixed := make(map[netlist.SignalID]logic.V, len(d.Assignments))
+		for k, v := range d.Assignments {
+			fixed[k] = v
+		}
+		combModel, err := atpg.NewModel(cm.C, fixed)
+		if err != nil {
+			return err
+		}
+		combEng = atpg.NewEngine(combModel)
+	}
+
+	status := make(map[fault.Fault]byte) // 0 open, 1 detected, 2 undetectable
+	var finalQueue []Screened
+	for _, m := range models {
+		tm, err := seqatpg.Build(d, m.ctrl, m.obs, m.frames)
+		if err != nil {
+			return err
+		}
+		for _, s := range m.faults {
+			if status[s.Fault] != 0 {
+				continue
+			}
+			res := tm.Generate(s.Fault, p.SeqBacktracks)
+			switch res.Status {
+			case atpg.Found:
+				fr := faultsim.Run(d.C, faultsim.Sequence(res.Sequence),
+					[]fault.Fault{s.Fault}, faultsim.Options{})
+				if fr.DetectedAt[0] >= 0 {
+					status[s.Fault] = 1
+				} else {
+					rep.TranslationMiss++
+					finalQueue = append(finalQueue, s)
+				}
+			default:
+				finalQueue = append(finalQueue, s)
+			}
+		}
+	}
+
+	// Final pass: target each leftover fault individually — first a
+	// deep combinational attempt (redundancy proof or a fresh vector),
+	// then maximally-enhanced sequential ATPG with the large budget.
+	for _, s := range finalQueue {
+		if status[s.Fault] != 0 {
+			continue
+		}
+		var cres atpg.Result
+		cres.Status = atpg.Aborted
+		if combEng != nil {
+			cres = combEng.Generate(cm.MapFault(s.Fault), p.FinalBacktracks)
+		}
+		switch cres.Status {
+		case atpg.Redundant:
+			status[s.Fault] = 2
+			continue
+		case atpg.Found:
+			// A fresh single vector, simulated on its own: the step-2
+			// set may simply have masked this fault's effect during
+			// scan-out. Whether the corrupted capture survives the shift
+			// to the scan-out depends on the surrounding chain data, so
+			// the don't-care bits are retried with several random fills.
+			v := scan.Vector{
+				FFs: make(map[netlist.SignalID]logic.V),
+				PIs: make(map[netlist.SignalID]logic.V),
+			}
+			for in, val := range cres.Assignment {
+				if d.C.IsFF(in) {
+					v.FFs[in] = val
+				} else {
+					v.PIs[in] = val
+				}
+			}
+			if tryVectorFills(d, s.Fault, v, 9) {
+				status[s.Fault] = 1
+				continue
+			}
+		}
+		var ctrl, obs map[netlist.SignalID]bool
+		fr := 2
+		if len(s.Locs) > 0 {
+			first, last, multi := s.Span()
+			aff := map[int]bool{}
+			for _, l := range s.Locs {
+				aff[l.Chain] = true
+			}
+			if multi {
+				ctrl, obs = buildCO(d, -1, 0, 0, aff)
+				fr = p.MaxFrames
+			} else {
+				ctrl, obs = buildCO(d, first.Chain, first.Seg, last.Seg, aff)
+				fr = span(&s) + 2
+			}
+		}
+		if fr > p.MaxFrames+2 {
+			fr = p.MaxFrames + 2
+		}
+		rep.FinalCOCircuits++
+		tm, err := seqatpg.Build(d, ctrl, obs, fr)
+		if err != nil {
+			return err
+		}
+		res := tm.Generate(s.Fault, p.FinalBacktracks)
+		if res.Status == atpg.Found {
+			fsr := faultsim.Run(d.C, faultsim.Sequence(res.Sequence),
+				[]fault.Fault{s.Fault}, faultsim.Options{})
+			if fsr.DetectedAt[0] >= 0 {
+				status[s.Fault] = 1
+			} else {
+				rep.TranslationMiss++
+			}
+		}
+		// Redundant here means only "no test within the bounded enhanced
+		// model" — not a proof; the fault stays undetected.
+	}
+
+	// Last resort before declaring faults undetected: a burst of random
+	// scan-mode vectors. Faults whose activation state can only be
+	// established THROUGH their own corrupted segment resist directed
+	// generation (the models treat those flip-flops as uncontrollable),
+	// but a lucky random load may still set it up.
+	var open []fault.Fault
+	var openIdx []int
+	for i := range remaining {
+		if status[remaining[i].Fault] == 0 {
+			open = append(open, remaining[i].Fault)
+			openIdx = append(openIdx, i)
+		}
+	}
+	if len(open) > 0 {
+		seq := randomSequence(d, 120*d.MaxChainLen()+512, 0x5eed)
+		fr := faultsim.Run(d.C, seq, open, faultsim.Options{StopWhenAllDetected: true})
+		for k := range open {
+			if fr.DetectedAt[k] >= 0 {
+				status[remaining[openIdx[k]].Fault] = 1
+			}
+		}
+	}
+
+	for _, s := range remaining {
+		switch status[s.Fault] {
+		case 1:
+			rep.Step3.Detected++
+		case 2:
+			rep.Step3.Undetectable++
+		default:
+			rep.Step3.Undetected++
+			rep.UndetectedFaults = append(rep.UndetectedFaults, s.Fault)
+		}
+	}
+	return nil
+}
+
+// randomSequence builds a scan-mode input sequence with random values on
+// every unpinned input (scan-ins included), deterministic in seed.
+func randomSequence(d *scan.Design, cycles int, seed uint64) faultsim.Sequence {
+	rng := seed
+	next := func() logic.V {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return logic.V((rng >> 33) & 1)
+	}
+	seq := make(faultsim.Sequence, cycles)
+	for t := range seq {
+		pi := d.BaselinePI()
+		for i, in := range d.C.Inputs {
+			if _, pinned := d.Assignments[in]; !pinned {
+				pi[i] = next()
+			}
+		}
+		seq[t] = pi
+	}
+	return seq
+}

@@ -1,0 +1,209 @@
+// Package core implements the paper's functional scan chain testing
+// methodology: identify the faults that affect the scan chain by forward
+// implication (Section 3), detect the easy ones with the alternating
+// sequence (step 1), run combinational ATPG plus sequential fault
+// simulation in scan mode (step 2, Section 4), and finish the stragglers
+// with grouped sequential ATPG on enhanced controllability/observability
+// circuit models (step 3, Section 5).
+package core
+
+import (
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+// Category classifies how a fault relates to the scan chain (paper
+// Section 3).
+type Category uint8
+
+// Fault categories.
+const (
+	// Cat3: the fault does not affect the scan chain.
+	Cat3 Category = iota
+	// Cat1 (easy): under the fault some net on the scan path is pinned
+	// to a constant — the alternating sequence detects it.
+	Cat1
+	// Cat2 (hard, f_hard): under the fault a side input of the scan
+	// path becomes unknown — the alternating sequence may miss it.
+	Cat2
+)
+
+func (c Category) String() string {
+	switch c {
+	case Cat1:
+		return "easy"
+	case Cat2:
+		return "hard"
+	default:
+		return "unaffecting"
+	}
+}
+
+// Location is one place a fault touches a chain: segment Seg of chain
+// Chain (the link loading the chain's FF at position Seg). Seg equal to
+// the chain length denotes the scan-out tap after the last flip-flop.
+type Location struct {
+	Chain, Seg int
+}
+
+// Screened is the screening verdict for one fault.
+type Screened struct {
+	Fault fault.Fault
+	Cat   Category
+	Locs  []Location // all touch points, sorted by (chain, seg)
+}
+
+// Span returns the first/last location and whether the fault touches
+// more than one chain.
+func (s *Screened) Span() (first, last Location, multiChain bool) {
+	if len(s.Locs) == 0 {
+		return Location{}, Location{}, false
+	}
+	first, last = s.Locs[0], s.Locs[len(s.Locs)-1]
+	multiChain = first.Chain != last.Chain
+	return
+}
+
+// Screen computes the forward-implication categorization of every fault
+// against the scan design: one three-valued scan-mode evaluation per
+// fault (batched 63 wide), comparing on-path nets (X in the good
+// circuit; a definite value under the fault means category 1) and side
+// inputs (definite non-controlling in the good circuit; X under the
+// fault means category 2).
+func Screen(d *scan.Design, faults []fault.Fault) []Screened {
+	c := d.C
+	out := make([]Screened, len(faults))
+	for i := range out {
+		out[i] = Screened{Fault: faults[i], Cat: Cat3}
+	}
+
+	// Per-segment net lists, precomputed once.
+	type segNets struct {
+		loc   Location
+		path  []netlist.SignalID
+		sides []netlist.SignalID
+	}
+	var segs []segNets
+	type qNet struct {
+		net netlist.SignalID
+		loc Location
+	}
+	var qs []qNet
+	for ci := range d.Chains {
+		ch := &d.Chains[ci]
+		for si := range ch.Segment {
+			sn := segNets{loc: Location{ci, si}}
+			sn.path = ch.Segment[si].Path
+			for _, s := range ch.Segment[si].Sides {
+				sn.sides = append(sn.sides, c.Signals[s.Gate].Fanin[s.Pin])
+			}
+			segs = append(segs, sn)
+		}
+		for pos, ff := range ch.FFs {
+			loc := Location{ci, pos + 1} // Q corrupt => corruption enters the next link
+			qs = append(qs, qNet{ff, loc})
+		}
+	}
+
+	// FF D-pin branch faults corrupt the captured value directly:
+	// category 1 at that flip-flop's segment.
+	ffLoc := make(map[netlist.SignalID]Location)
+	for ci := range d.Chains {
+		for pos, ff := range d.Chains[ci].FFs {
+			ffLoc[ff] = Location{ci, pos}
+		}
+	}
+
+	eval := sim.NewPackedComb(c)
+	for base := 0; base < len(faults); base += 63 {
+		n := len(faults) - base
+		if n > 63 {
+			n = 63
+		}
+		injs := make([]sim.LaneInject, 0, n)
+		for k := 0; k < n; k++ {
+			injs = append(injs, sim.LaneInject{Inject: faults[base+k].Inject(), Lane: uint(k + 1)})
+		}
+		eval.SetInjections(injs)
+		eval.ClearX()
+		for _, in := range c.Inputs {
+			if v, ok := d.Assignments[in]; ok {
+				eval.Vals[in] = logic.WordAll(v)
+			}
+		}
+		eval.Eval()
+
+		laneMask := (uint64(1)<<uint(n+1) - 1) &^ 1
+		addLoc := func(lanes uint64, loc Location, cat Category) {
+			for k := 0; k < n; k++ {
+				if lanes&(uint64(1)<<uint(k+1)) == 0 {
+					continue
+				}
+				s := &out[base+k]
+				if cat > s.Cat {
+					s.Cat = cat
+				}
+				s.Locs = append(s.Locs, loc)
+			}
+		}
+		// On-path nets pinned definite -> category 1.
+		for _, sn := range segs {
+			for _, p := range sn.path {
+				if lanes := eval.Vals[p].Known() & laneMask; lanes != 0 {
+					addLoc(lanes, sn.loc, Cat1)
+				}
+			}
+			for _, sd := range sn.sides {
+				w := eval.Vals[sd]
+				// Good value is definite (design invariant); a lane gone
+				// X is category 2; a lane flipped shows up on-path.
+				if lanes := ^w.Known() & laneMask; lanes != 0 {
+					addLoc(lanes, sn.loc, Cat2)
+				}
+			}
+		}
+		// Flip-flop Q stems pinned definite -> category 1 at the next link.
+		for _, q := range qs {
+			if lanes := eval.Vals[q.net].Known() & laneMask; lanes != 0 {
+				addLoc(lanes, q.loc, Cat1)
+			}
+		}
+	}
+
+	// FF D-pin branch faults (invisible to net-value comparison).
+	for i := range out {
+		f := out[i].Fault
+		if !f.IsStem() && c.IsFF(f.Gate) {
+			if loc, ok := ffLoc[f.Gate]; ok {
+				if out[i].Cat < Cat1 {
+					out[i].Cat = Cat1
+				}
+				out[i].Locs = append(out[i].Locs, loc)
+			}
+		}
+	}
+
+	for i := range out {
+		locs := out[i].Locs
+		sort.Slice(locs, func(a, b int) bool {
+			if locs[a].Chain != locs[b].Chain {
+				return locs[a].Chain < locs[b].Chain
+			}
+			return locs[a].Seg < locs[b].Seg
+		})
+		// Deduplicate.
+		dst := locs[:0]
+		for j, l := range locs {
+			if j == 0 || l != locs[j-1] {
+				dst = append(dst, l)
+			}
+		}
+		out[i].Locs = dst
+	}
+	return out
+}

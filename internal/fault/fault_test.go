@@ -1,0 +1,151 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func TestAllCounts(t *testing.T) {
+	c := bench.MustS27()
+	fl := All(c)
+	// 17 signals (4 PI + 3 FF + 10 gates) -> 34 stem faults, plus 2 per
+	// fanin pin whose source has fanout > 1.
+	stems := 0
+	branches := 0
+	for _, f := range fl {
+		if f.IsStem() {
+			stems++
+		} else {
+			branches++
+		}
+	}
+	if stems != 2*len(c.Signals) {
+		t.Errorf("stems = %d, want %d", stems, 2*len(c.Signals))
+	}
+	wantBranches := 0
+	for id := netlist.SignalID(0); int(id) < len(c.Signals); id++ {
+		for _, src := range c.Signals[id].Fanin {
+			if len(c.Fanouts[src]) > 1 {
+				wantBranches += 2
+			}
+		}
+	}
+	if branches != wantBranches {
+		t.Errorf("branches = %d, want %d", branches, wantBranches)
+	}
+}
+
+func TestCollapsedSmaller(t *testing.T) {
+	c := bench.MustS27()
+	full := All(c)
+	col := Collapsed(c)
+	if len(col) >= len(full) {
+		t.Errorf("collapsed %d >= full %d", len(col), len(full))
+	}
+	if float64(len(col)) < 0.4*float64(len(full)) {
+		t.Errorf("collapsed list suspiciously small: %d of %d", len(col), len(full))
+	}
+}
+
+// TestCollapsedEquivalenceSound verifies on s27 that every dropped fault
+// is genuinely equivalent to some kept fault: the two faulty machines
+// produce identical output traces on random input sequences.
+func TestCollapsedEquivalenceSound(t *testing.T) {
+	c := bench.MustS27()
+	full := All(c)
+	kept := map[Fault]bool{}
+	for _, f := range Collapsed(c) {
+		kept[f] = true
+	}
+
+	// Deterministic pseudo-random input sequences.
+	seqs := make([][][]logic.V, 3)
+	rnd := uint32(12345)
+	next := func() logic.V {
+		rnd = rnd*1664525 + 1013904223
+		return logic.V(rnd % 2)
+	}
+	for s := range seqs {
+		seqs[s] = make([][]logic.V, 24)
+		for cyc := range seqs[s] {
+			v := make([]logic.V, len(c.Inputs))
+			for i := range v {
+				v[i] = next()
+			}
+			seqs[s][cyc] = v
+		}
+	}
+
+	trace := func(f Fault) string {
+		var out []byte
+		inj := f.Inject()
+		for _, seq := range seqs {
+			sm := sim.NewSeq(c)
+			sm.SetState([]logic.V{logic.Zero, logic.Zero, logic.Zero})
+			var po []logic.V
+			for _, pi := range seq {
+				po = sm.Cycle(pi, &inj, po)
+				for _, v := range po {
+					out = append(out, byte('0'+v))
+				}
+			}
+		}
+		return string(out)
+	}
+
+	for _, f := range full {
+		if kept[f] {
+			continue
+		}
+		ft := trace(f)
+		found := false
+		for kf := range kept {
+			if trace(kf) == ft {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("dropped fault %s has no equivalent kept fault", f.Describe(c))
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	c := bench.MustS27()
+	g8, _ := c.Lookup("G8")
+	f := Fault{Signal: g8, Gate: netlist.None, Pin: -1, Stuck: logic.Zero}
+	if got := f.Describe(c); got != "G8 s-a-0" {
+		t.Errorf("Describe = %q", got)
+	}
+	g15, _ := c.Lookup("G15")
+	fb := Fault{Signal: g8, Gate: g15, Pin: 1, Stuck: logic.One}
+	if got := fb.Describe(c); got != "G8->G15.1 s-a-1" {
+		t.Errorf("Describe branch = %q", got)
+	}
+}
+
+func TestInject(t *testing.T) {
+	f := Fault{Signal: 3, Gate: netlist.None, Pin: -1, Stuck: logic.One}
+	in := f.Inject()
+	if !in.IsStem() || in.Signal != 3 || in.Value != logic.One {
+		t.Errorf("Inject = %+v", in)
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	c := bench.MustS27()
+	a, b := Collapsed(c), Collapsed(c)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic order")
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package faultsim runs fault simulation of test sequences: a serial
+// reference simulator and a 63-fault parallel machine simulator built on
+// the packed evaluator. Detection means a primary output carries a
+// definite value in the fault-free machine and the opposite definite
+// value in the faulty machine at the same cycle; an X never detects.
+//
+// Combinational fault simulation falls out as the special case of a
+// circuit with no flip-flops and one-cycle sequences.
+package faultsim
+
+import (
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Sequence is a test sequence: one primary-input assignment per cycle,
+// each with one value per circuit input (in c.Inputs order).
+type Sequence [][]logic.V
+
+// Options configures a fault-simulation run.
+type Options struct {
+	// InitState is the initial flip-flop state (per c.FFs entry). Nil
+	// means all-X (power-on).
+	InitState []logic.V
+	// StopWhenAllDetected ends each batch early once every fault in it
+	// has been detected.
+	StopWhenAllDetected bool
+}
+
+// Result reports, for each fault (by index into the input fault slice),
+// the first cycle at which it was detected, or -1.
+type Result struct {
+	DetectedAt []int
+}
+
+// NumDetected counts the detected faults.
+func (r *Result) NumDetected() int {
+	n := 0
+	for _, d := range r.DetectedAt {
+		if d >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Undetected returns the indices of undetected faults.
+func (r *Result) Undetected() []int {
+	var u []int
+	for i, d := range r.DetectedAt {
+		if d < 0 {
+			u = append(u, i)
+		}
+	}
+	return u
+}
+
+// Profile returns the cumulative number of detected faults after each
+// cycle boundary in bounds (ascending cycle counts), the Figure-5 curve.
+func (r *Result) Profile(bounds []int) []int {
+	out := make([]int, len(bounds))
+	for i, b := range bounds {
+		n := 0
+		for _, d := range r.DetectedAt {
+			if d >= 0 && d < b {
+				n++
+			}
+		}
+		out[i] = n
+	}
+	return out
+}
+
+// Run simulates seq against every fault using the packed simulator, 63
+// faulty machines at a time with the fault-free machine in lane 0.
+func Run(c *netlist.Circuit, seq Sequence, faults []fault.Fault, opts Options) *Result {
+	res := &Result{DetectedAt: make([]int, len(faults))}
+	for i := range res.DetectedAt {
+		res.DetectedAt[i] = -1
+	}
+	if len(seq) == 0 || len(faults) == 0 {
+		return res
+	}
+
+	ps := sim.NewPackedSeq(c)
+	piW := make([]logic.Word, len(c.Inputs))
+	var poW []logic.Word
+
+	for base := 0; base < len(faults); base += 63 {
+		n := len(faults) - base
+		if n > 63 {
+			n = 63
+		}
+		injs := make([]sim.LaneInject, 0, n)
+		for k := 0; k < n; k++ {
+			injs = append(injs, sim.LaneInject{Inject: faults[base+k].Inject(), Lane: uint(k + 1)})
+		}
+		ps.SetInjections(injs)
+		ps.ResetX()
+		if opts.InitState != nil {
+			for i, v := range opts.InitState {
+				setPackedState(ps, i, v)
+			}
+		}
+
+		allMask := (uint64(1)<<uint(n+1) - 1) &^ 1 // lanes 1..n
+		detected := uint64(0)
+		for cyc, pi := range seq {
+			for i, v := range pi {
+				piW[i] = logic.WordAll(v)
+			}
+			poW = ps.Cycle(piW, poW)
+			for _, w := range poW {
+				switch w.Get(0) {
+				case logic.One:
+					detected |= noteDetections(res, base, n, w.Zeros&allMask&^detected, cyc)
+				case logic.Zero:
+					detected |= noteDetections(res, base, n, w.Ones&allMask&^detected, cyc)
+				}
+			}
+			if opts.StopWhenAllDetected && detected == allMask {
+				break
+			}
+		}
+	}
+	return res
+}
+
+func noteDetections(res *Result, base, n int, newly uint64, cyc int) uint64 {
+	if newly == 0 {
+		return 0
+	}
+	for k := 0; k < n; k++ {
+		if newly&(uint64(1)<<uint(k+1)) != 0 {
+			res.DetectedAt[base+k] = cyc
+		}
+	}
+	return newly
+}
+
+func setPackedState(ps *sim.PackedSeq, ffIndex int, v logic.V) {
+	ps.SetStateWord(ffIndex, logic.WordAll(v))
+}
+
+// RunSerial is the reference implementation: one scalar simulation per
+// fault. It must agree with Run; the parallel/serial equivalence is a
+// property test and an ablation benchmark.
+func RunSerial(c *netlist.Circuit, seq Sequence, faults []fault.Fault, opts Options) *Result {
+	res := &Result{DetectedAt: make([]int, len(faults))}
+	good := goodTrace(c, seq, opts)
+	for fi, f := range faults {
+		res.DetectedAt[fi] = -1
+		inj := f.Inject()
+		s := sim.NewSeq(c)
+		if opts.InitState != nil {
+			s.SetState(opts.InitState)
+		}
+		var po []logic.V
+	cycles:
+		for cyc, pi := range seq {
+			po = s.Cycle(pi, &inj, po)
+			for o, v := range po {
+				g := good[cyc][o]
+				if g.Known() && v.Known() && g != v {
+					res.DetectedAt[fi] = cyc
+					break cycles
+				}
+			}
+		}
+	}
+	return res
+}
+
+func goodTrace(c *netlist.Circuit, seq Sequence, opts Options) [][]logic.V {
+	s := sim.NewSeq(c)
+	if opts.InitState != nil {
+		s.SetState(opts.InitState)
+	}
+	out := make([][]logic.V, len(seq))
+	for cyc, pi := range seq {
+		po := s.Cycle(pi, nil, nil)
+		out[cyc] = append([]logic.V(nil), po...)
+	}
+	return out
+}

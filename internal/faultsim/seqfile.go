@@ -1,0 +1,110 @@
+package faultsim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// WriteSequence emits a test sequence in a simple text format: a header
+// line naming the circuit inputs in vector order, then one line of
+// 0/1/X characters per cycle. Comments start with '#'.
+func WriteSequence(w io.Writer, c *netlist.Circuit, seq Sequence) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# scan-mode test sequence: %d cycles, %d inputs\n", len(seq), len(c.Inputs))
+	names := make([]string, len(c.Inputs))
+	for i, in := range c.Inputs {
+		names[i] = c.NameOf(in)
+	}
+	fmt.Fprintf(bw, "inputs %s\n", strings.Join(names, " "))
+	line := make([]byte, len(c.Inputs))
+	for _, pi := range seq {
+		if len(pi) != len(c.Inputs) {
+			return fmt.Errorf("faultsim: cycle has %d values, want %d", len(pi), len(c.Inputs))
+		}
+		for i, v := range pi {
+			switch v {
+			case logic.Zero:
+				line[i] = '0'
+			case logic.One:
+				line[i] = '1'
+			default:
+				line[i] = 'X'
+			}
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadSequence parses the WriteSequence format. The header's input
+// names must match the circuit's inputs (any order); values are
+// permuted into the circuit's input order.
+func ReadSequence(r io.Reader, c *netlist.Circuit) (Sequence, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	var perm []int // file column -> circuit input index
+	var seq Sequence
+	lineNo := 0
+	index := make(map[string]int, len(c.Inputs))
+	for i, in := range c.Inputs {
+		index[c.NameOf(in)] = i
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "inputs ") {
+			names := strings.Fields(line)[1:]
+			if len(names) != len(c.Inputs) {
+				return nil, fmt.Errorf("faultsim: line %d: %d inputs named, circuit has %d",
+					lineNo, len(names), len(c.Inputs))
+			}
+			perm = make([]int, len(names))
+			for col, n := range names {
+				idx, ok := index[n]
+				if !ok {
+					return nil, fmt.Errorf("faultsim: line %d: unknown input %q", lineNo, n)
+				}
+				perm[col] = idx
+			}
+			continue
+		}
+		if perm == nil {
+			return nil, fmt.Errorf("faultsim: line %d: vector before 'inputs' header", lineNo)
+		}
+		if len(line) != len(perm) {
+			return nil, fmt.Errorf("faultsim: line %d: %d values, want %d", lineNo, len(line), len(perm))
+		}
+		pi := make([]logic.V, len(c.Inputs))
+		for col := range pi {
+			pi[col] = logic.X
+		}
+		for col, ch := range []byte(line) {
+			var v logic.V
+			switch ch {
+			case '0':
+				v = logic.Zero
+			case '1':
+				v = logic.One
+			case 'x', 'X':
+				v = logic.X
+			default:
+				return nil, fmt.Errorf("faultsim: line %d: bad value %q", lineNo, ch)
+			}
+			pi[perm[col]] = v
+		}
+		seq = append(seq, pi)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return seq, nil
+}

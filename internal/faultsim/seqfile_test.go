@@ -1,0 +1,75 @@
+package faultsim
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+)
+
+func TestSequenceRoundTrip(t *testing.T) {
+	c := bench.MustS27()
+	r := rand.New(rand.NewSource(5))
+	seq := randSeq(r, len(c.Inputs), 20, true)
+	var buf bytes.Buffer
+	if err := WriteSequence(&buf, c, seq); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSequence(&buf, c)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if len(back) != len(seq) {
+		t.Fatalf("length %d vs %d", len(back), len(seq))
+	}
+	for cyc := range seq {
+		for i := range seq[cyc] {
+			if back[cyc][i] != seq[cyc][i] {
+				t.Fatalf("cycle %d input %d: %v vs %v", cyc, i, back[cyc][i], seq[cyc][i])
+			}
+		}
+	}
+}
+
+func TestReadSequencePermutesColumns(t *testing.T) {
+	c := bench.MustS27() // inputs G0 G1 G2 G3
+	src := "inputs G3 G2 G1 G0\n1000\n"
+	seq, err := ReadSequence(strings.NewReader(src), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 0 is G3=1; circuit order is G0..G3.
+	want := []logic.V{logic.Zero, logic.Zero, logic.Zero, logic.One}
+	for i, v := range want {
+		if seq[0][i] != v {
+			t.Errorf("input %d = %v, want %v", i, seq[0][i], v)
+		}
+	}
+}
+
+func TestReadSequenceErrors(t *testing.T) {
+	c := bench.MustS27()
+	bad := []string{
+		"0101\n",                     // vector before header
+		"inputs G0 G1\n01\n",         // too few inputs
+		"inputs G0 G1 G2 Gz\n0000\n", // unknown input
+		"inputs G0 G1 G2 G3\n01\n",   // short vector
+		"inputs G0 G1 G2 G3\n01i0\n", // bad char
+	}
+	for _, src := range bad {
+		if _, err := ReadSequence(strings.NewReader(src), c); err == nil {
+			t.Errorf("accepted invalid sequence %q", src)
+		}
+	}
+}
+
+func TestWriteSequenceRejectsBadWidth(t *testing.T) {
+	c := bench.MustS27()
+	var buf bytes.Buffer
+	if err := WriteSequence(&buf, c, Sequence{{logic.Zero}}); err == nil {
+		t.Error("accepted wrong-width vector")
+	}
+}

@@ -1,0 +1,153 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestSuiteProfiles(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 12 {
+		t.Fatalf("suite has %d profiles, want 12", len(suite))
+	}
+	names := map[string]bool{}
+	for _, p := range suite {
+		if names[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		names[p.Name] = true
+		if p.PIs <= 0 || p.POs <= 0 || p.FFs <= 0 || p.Gates <= 0 {
+			t.Errorf("profile %s has non-positive sizes: %+v", p.Name, p)
+		}
+	}
+	if !names["s38584"] || !names["s1423"] {
+		t.Error("expected benchmark names missing")
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("s5378")
+	if err != nil || p.FFs != 179 {
+		t.Errorf("ProfileByName(s5378) = %+v, %v", p, err)
+	}
+	if _, err := ProfileByName("s0"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestGenerateMatchesProfile(t *testing.T) {
+	p := Profile{Name: "t", PIs: 8, POs: 6, FFs: 20, Gates: 300}
+	c := Generate(p, 1)
+	st := c.Stat()
+	if st.Inputs != p.PIs || st.Outputs != p.POs || st.FFs != p.FFs {
+		t.Errorf("stats %+v vs profile %+v", st, p)
+	}
+	// Gate count may exceed the target by the small dangling-collector
+	// fix-up, never undershoot by more than that.
+	if st.Gates < p.Gates || st.Gates > p.Gates+4 {
+		t.Errorf("gates = %d, want about %d", st.Gates, p.Gates)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profile{Name: "d", PIs: 6, POs: 4, FFs: 12, Gates: 150}
+	a := Generate(p, 42)
+	b := Generate(p, 42)
+	if len(a.Signals) != len(b.Signals) {
+		t.Fatal("different signal counts for same seed")
+	}
+	for i := range a.Signals {
+		sa, sb := a.Signals[i], b.Signals[i]
+		if sa.Name != sb.Name || sa.Kind != sb.Kind || sa.Op != sb.Op || len(sa.Fanin) != len(sb.Fanin) {
+			t.Fatalf("signal %d differs: %+v vs %+v", i, sa, sb)
+		}
+		for j := range sa.Fanin {
+			if sa.Fanin[j] != sb.Fanin[j] {
+				t.Fatalf("signal %d fanin differs", i)
+			}
+		}
+	}
+	cdiff := Generate(p, 43)
+	same := len(cdiff.Signals) == len(a.Signals)
+	if same {
+		differs := false
+		for i := range a.Signals {
+			if len(a.Signals[i].Fanin) != len(cdiff.Signals[i].Fanin) {
+				differs = true
+				break
+			}
+			for j := range a.Signals[i].Fanin {
+				if a.Signals[i].Fanin[j] != cdiff.Signals[i].Fanin[j] {
+					differs = true
+					break
+				}
+			}
+		}
+		if !differs {
+			t.Error("different seeds produced identical netlists")
+		}
+	}
+}
+
+func TestGenerateNoDangling(t *testing.T) {
+	p := Profile{Name: "nd", PIs: 8, POs: 5, FFs: 16, Gates: 400}
+	c := Generate(p, 3)
+	isPO := map[netlist.SignalID]bool{}
+	for _, o := range c.Outputs {
+		isPO[o] = true
+	}
+	dangling := 0
+	for id := netlist.SignalID(0); int(id) < len(c.Signals); id++ {
+		if c.IsGate(id) && len(c.Fanouts[id]) == 0 && !isPO[id] {
+			dangling++
+		}
+	}
+	if dangling > 0 {
+		t.Errorf("%d dangling gates remain", dangling)
+	}
+}
+
+func TestGenerateSuiteSmallScale(t *testing.T) {
+	// Every suite profile must generate a valid circuit at 2% scale.
+	for _, p := range Suite() {
+		sp := p.Scale(0.02)
+		c := Generate(sp, 9)
+		if !c.Finalized() {
+			t.Fatalf("%s not finalized", p.Name)
+		}
+		st := c.Stat()
+		if st.Gates < 20 || st.FFs < 4 {
+			t.Errorf("%s scaled too small: %+v", p.Name, st)
+		}
+		if st.MaxLevel < 3 {
+			t.Errorf("%s has trivial depth %d", p.Name, st.MaxLevel)
+		}
+	}
+}
+
+func TestScaleKeepsFullProfile(t *testing.T) {
+	p, _ := ProfileByName("s9234")
+	if p.Scale(1.0) != p {
+		t.Error("Scale(1.0) changed the profile")
+	}
+	s := p.Scale(0.1)
+	if s.Gates >= p.Gates || s.FFs >= p.FFs {
+		t.Error("Scale(0.1) did not shrink")
+	}
+}
+
+func TestGenerateFullSizeLargest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size generation in -short mode")
+	}
+	p, _ := ProfileByName("s38417")
+	c := Generate(p, 1)
+	st := c.Stat()
+	if st.Gates < p.Gates {
+		t.Errorf("gates = %d < %d", st.Gates, p.Gates)
+	}
+	if st.MaxLevel > 200 {
+		t.Errorf("depth %d unrealistically large", st.MaxLevel)
+	}
+}

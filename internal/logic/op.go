@@ -1,0 +1,158 @@
+package logic
+
+import "fmt"
+
+// Op identifies a combinational gate function. The set matches what the
+// ISCAS'89 .bench format and the NAND/NOR technology mapping used by the
+// paper require, plus the constant drivers TPI introduces.
+type Op uint8
+
+// Gate operators.
+const (
+	OpBuf Op = iota // single-input buffer
+	OpNot           // inverter
+	OpAnd
+	OpNand
+	OpOr
+	OpNor
+	OpXor
+	OpXnor
+	OpConst0 // constant 0 driver (no inputs)
+	OpConst1 // constant 1 driver (no inputs)
+)
+
+var opNames = [...]string{
+	OpBuf:    "BUF",
+	OpNot:    "NOT",
+	OpAnd:    "AND",
+	OpNand:   "NAND",
+	OpOr:     "OR",
+	OpNor:    "NOR",
+	OpXor:    "XOR",
+	OpXnor:   "XNOR",
+	OpConst0: "CONST0",
+	OpConst1: "CONST1",
+}
+
+// String returns the .bench-style name of the operator.
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// ParseOp parses a .bench-style gate name (case-insensitive match on the
+// canonical upper-case forms).
+func ParseOp(s string) (Op, error) {
+	for op, name := range opNames {
+		if s == name {
+			return Op(op), nil
+		}
+	}
+	return OpBuf, fmt.Errorf("logic: unknown gate op %q", s)
+}
+
+// Controlling returns the controlling input value of op and whether the
+// operator has one. A controlling value at any input fixes the output
+// regardless of the other inputs (0 for AND/NAND, 1 for OR/NOR).
+func (op Op) Controlling() (V, bool) {
+	switch op {
+	case OpAnd, OpNand:
+		return Zero, true
+	case OpOr, OpNor:
+		return One, true
+	}
+	return X, false
+}
+
+// NonControlling returns the non-controlling input value of op and
+// whether the operator has one. Side inputs of a functional scan path
+// must be held at this value for the path to be sensitized.
+func (op Op) NonControlling() (V, bool) {
+	c, ok := op.Controlling()
+	if !ok {
+		return X, false
+	}
+	return c.Not(), true
+}
+
+// Inverting reports whether the operator inverts the sensitized path
+// through it (NOT, NAND, NOR, XNOR). For XOR/XNOR the answer depends on
+// the side-input values; Inverting reports the polarity when all side
+// inputs are at logic 0 for XOR and is therefore only used for parity
+// bookkeeping on sensitized paths whose side inputs are justified
+// constants (the scan package folds actual XOR side values separately).
+func (op Op) Inverting() bool {
+	switch op {
+	case OpNot, OpNand, OpNor, OpXnor:
+		return true
+	}
+	return false
+}
+
+// Arity returns the (min, max) number of inputs the operator accepts;
+// max < 0 means unbounded.
+func (op Op) Arity() (min, max int) {
+	switch op {
+	case OpBuf, OpNot:
+		return 1, 1
+	case OpConst0, OpConst1:
+		return 0, 0
+	case OpXor, OpXnor:
+		return 2, -1
+	default:
+		return 1, -1
+	}
+}
+
+// Eval evaluates op over the given input values using three-valued logic.
+func (op Op) Eval(in []V) V {
+	switch op {
+	case OpBuf:
+		return in[0]
+	case OpNot:
+		return in[0].Not()
+	case OpConst0:
+		return Zero
+	case OpConst1:
+		return One
+	case OpAnd, OpNand:
+		acc := One
+		for _, v := range in {
+			acc = acc.And(v)
+			if acc == Zero {
+				break
+			}
+		}
+		if op == OpNand {
+			return acc.Not()
+		}
+		return acc
+	case OpOr, OpNor:
+		acc := Zero
+		for _, v := range in {
+			acc = acc.Or(v)
+			if acc == One {
+				break
+			}
+		}
+		if op == OpNor {
+			return acc.Not()
+		}
+		return acc
+	case OpXor, OpXnor:
+		acc := Zero
+		for _, v := range in {
+			acc = acc.Xor(v)
+			if acc == X {
+				return X
+			}
+		}
+		if op == OpXnor {
+			return acc.Not()
+		}
+		return acc
+	}
+	panic(fmt.Sprintf("logic: Eval of unknown op %v", op))
+}

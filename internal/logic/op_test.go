@@ -1,0 +1,195 @@
+package logic
+
+import "testing"
+
+func allV() []V { return []V{Zero, One, X} }
+
+func TestOpStringParseRoundTrip(t *testing.T) {
+	ops := []Op{OpBuf, OpNot, OpAnd, OpNand, OpOr, OpNor, OpXor, OpXnor, OpConst0, OpConst1}
+	for _, op := range ops {
+		got, err := ParseOp(op.String())
+		if err != nil || got != op {
+			t.Errorf("ParseOp(%v.String()) = %v, %v", op, got, err)
+		}
+	}
+	if _, err := ParseOp("MAJ"); err == nil {
+		t.Error("ParseOp of unknown name should fail")
+	}
+}
+
+func TestControlling(t *testing.T) {
+	cases := []struct {
+		op Op
+		c  V
+		ok bool
+	}{
+		{OpAnd, Zero, true}, {OpNand, Zero, true},
+		{OpOr, One, true}, {OpNor, One, true},
+		{OpXor, X, false}, {OpNot, X, false}, {OpBuf, X, false},
+	}
+	for _, cse := range cases {
+		c, ok := cse.op.Controlling()
+		if ok != cse.ok || (ok && c != cse.c) {
+			t.Errorf("%v.Controlling() = %v,%v", cse.op, c, ok)
+		}
+		nc, nok := cse.op.NonControlling()
+		if nok != cse.ok || (nok && nc != cse.c.Not()) {
+			t.Errorf("%v.NonControlling() = %v,%v", cse.op, nc, nok)
+		}
+	}
+}
+
+func TestInverting(t *testing.T) {
+	inv := map[Op]bool{OpNot: true, OpNand: true, OpNor: true, OpXnor: true,
+		OpBuf: false, OpAnd: false, OpOr: false, OpXor: false}
+	for op, want := range inv {
+		if op.Inverting() != want {
+			t.Errorf("%v.Inverting() = %v, want %v", op, op.Inverting(), want)
+		}
+	}
+}
+
+// TestEvalAgainstBoolean checks each op against its Boolean definition on
+// all fully-known input combinations up to 3 inputs.
+func TestEvalAgainstBoolean(t *testing.T) {
+	boolDef := map[Op]func([]bool) bool{
+		OpBuf: func(in []bool) bool { return in[0] },
+		OpNot: func(in []bool) bool { return !in[0] },
+		OpAnd: func(in []bool) bool {
+			r := true
+			for _, b := range in {
+				r = r && b
+			}
+			return r
+		},
+		OpNand: func(in []bool) bool {
+			r := true
+			for _, b := range in {
+				r = r && b
+			}
+			return !r
+		},
+		OpOr: func(in []bool) bool {
+			r := false
+			for _, b := range in {
+				r = r || b
+			}
+			return r
+		},
+		OpNor: func(in []bool) bool {
+			r := false
+			for _, b := range in {
+				r = r || b
+			}
+			return !r
+		},
+		OpXor: func(in []bool) bool {
+			r := false
+			for _, b := range in {
+				r = r != b
+			}
+			return r
+		},
+		OpXnor: func(in []bool) bool {
+			r := false
+			for _, b := range in {
+				r = r != b
+			}
+			return !r
+		},
+	}
+	for op, def := range boolDef {
+		minA, _ := op.Arity()
+		for n := minA; n <= 3; n++ {
+			if n == 0 {
+				continue
+			}
+			for mask := 0; mask < 1<<n; mask++ {
+				bs := make([]bool, n)
+				vs := make([]V, n)
+				for i := range bs {
+					bs[i] = mask&(1<<i) != 0
+					vs[i] = FromBool(bs[i])
+				}
+				want := FromBool(def(bs))
+				if got := op.Eval(vs); got != want {
+					t.Errorf("%v.Eval(%v) = %v, want %v", op, vs, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEvalXPessimism checks that X inputs never produce a wrong definite
+// output: if Eval returns 0/1 with some X inputs, then every completion
+// of the X inputs must produce that same value.
+func TestEvalXPessimism(t *testing.T) {
+	ops := []Op{OpBuf, OpNot, OpAnd, OpNand, OpOr, OpNor, OpXor, OpXnor}
+	for _, op := range ops {
+		minA, _ := op.Arity()
+		n := minA
+		if n < 2 {
+			n = 2
+		}
+		if op == OpBuf || op == OpNot {
+			n = 1
+		}
+		var walk func(in []V)
+		walk = func(in []V) {
+			if len(in) == n {
+				got := op.Eval(in)
+				if got == X {
+					return
+				}
+				// Enumerate all completions of X positions.
+				var complete func(i int, cur []V)
+				complete = func(i int, cur []V) {
+					if i == n {
+						if op.Eval(cur) != got {
+							t.Errorf("%v.Eval(%v)=%v but completion %v gives %v",
+								op, in, got, cur, op.Eval(cur))
+						}
+						return
+					}
+					if in[i] == X {
+						for _, v := range []V{Zero, One} {
+							cur[i] = v
+							complete(i+1, cur)
+						}
+						cur[i] = X
+					} else {
+						cur[i] = in[i]
+						complete(i+1, cur)
+					}
+				}
+				complete(0, make([]V, n))
+				return
+			}
+			for _, v := range allV() {
+				walk(append(in, v))
+			}
+		}
+		walk(nil)
+	}
+}
+
+func TestEvalConsts(t *testing.T) {
+	if OpConst0.Eval(nil) != Zero || OpConst1.Eval(nil) != One {
+		t.Error("constant ops wrong")
+	}
+}
+
+func TestArity(t *testing.T) {
+	if mn, mx := OpNot.Arity(); mn != 1 || mx != 1 {
+		t.Errorf("NOT arity %d,%d", mn, mx)
+	}
+	if mn, mx := OpAnd.Arity(); mn != 1 || mx != -1 {
+		t.Errorf("AND arity %d,%d", mn, mx)
+	}
+	if mn, mx := OpConst1.Arity(); mn != 0 || mx != 0 {
+		t.Errorf("CONST1 arity %d,%d", mn, mx)
+	}
+	if mn, mx := OpXor.Arity(); mn != 2 || mx != -1 {
+		t.Errorf("XOR arity %d,%d", mn, mx)
+	}
+}

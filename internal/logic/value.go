@@ -1,0 +1,118 @@
+// Package logic implements the three-valued (0, 1, X) logic system used
+// throughout the scan-chain testing flow: scalar values, gate evaluation,
+// controlling-value queries, and 64-wide packed vectors for parallel
+// simulation.
+//
+// The unknown value X models both uninitialized flip-flops and the
+// arbitrary data carried by the scan chain during shift; the paper's
+// fault-screening step (Section 3) is defined entirely in terms of how
+// scan-mode constants move between {0, 1, X} under a fault.
+package logic
+
+import "fmt"
+
+// V is a three-valued logic value.
+type V uint8
+
+// The three logic values. Zero and One are the Boolean constants; X is
+// the unknown/unassigned value.
+const (
+	Zero V = iota
+	One
+	X
+)
+
+// String returns "0", "1" or "X".
+func (v V) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("V(%d)", uint8(v))
+	}
+}
+
+// Known reports whether v is a definite Boolean value (0 or 1).
+func (v V) Known() bool { return v == Zero || v == One }
+
+// Not returns the three-valued complement of v. X inverts to X.
+func (v V) Not() V {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	default:
+		return X
+	}
+}
+
+// And returns the three-valued conjunction of v and w.
+func (v V) And(w V) V {
+	if v == Zero || w == Zero {
+		return Zero
+	}
+	if v == One && w == One {
+		return One
+	}
+	return X
+}
+
+// Or returns the three-valued disjunction of v and w.
+func (v V) Or(w V) V {
+	if v == One || w == One {
+		return One
+	}
+	if v == Zero && w == Zero {
+		return Zero
+	}
+	return X
+}
+
+// Xor returns the three-valued exclusive-or of v and w.
+func (v V) Xor(w V) V {
+	if !v.Known() || !w.Known() {
+		return X
+	}
+	if v == w {
+		return Zero
+	}
+	return One
+}
+
+// FromBool converts a Go bool to a logic value.
+func FromBool(b bool) V {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// Bool converts a known value to a Go bool; it panics on X. Use Known
+// first when the value may be unknown.
+func (v V) Bool() bool {
+	switch v {
+	case Zero:
+		return false
+	case One:
+		return true
+	}
+	panic("logic: Bool of X")
+}
+
+// ParseV parses "0", "1", "x" or "X".
+func ParseV(s string) (V, error) {
+	switch s {
+	case "0":
+		return Zero, nil
+	case "1":
+		return One, nil
+	case "x", "X":
+		return X, nil
+	}
+	return X, fmt.Errorf("logic: cannot parse %q as a value", s)
+}

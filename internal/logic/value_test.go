@@ -1,0 +1,102 @@
+package logic
+
+import "testing"
+
+func TestValueStrings(t *testing.T) {
+	cases := []struct {
+		v    V
+		want string
+	}{{Zero, "0"}, {One, "1"}, {X, "X"}}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", uint8(c.v), got, c.want)
+		}
+	}
+	if got := V(7).String(); got != "V(7)" {
+		t.Errorf("invalid value String() = %q", got)
+	}
+}
+
+func TestKnown(t *testing.T) {
+	if !Zero.Known() || !One.Known() {
+		t.Error("0 and 1 must be known")
+	}
+	if X.Known() {
+		t.Error("X must not be known")
+	}
+}
+
+func TestNotTable(t *testing.T) {
+	if Zero.Not() != One || One.Not() != Zero || X.Not() != X {
+		t.Error("Not truth table wrong")
+	}
+}
+
+func TestAndTable(t *testing.T) {
+	cases := []struct{ a, b, want V }{
+		{Zero, Zero, Zero}, {Zero, One, Zero}, {Zero, X, Zero},
+		{One, Zero, Zero}, {One, One, One}, {One, X, X},
+		{X, Zero, Zero}, {X, One, X}, {X, X, X},
+	}
+	for _, c := range cases {
+		if got := c.a.And(c.b); got != c.want {
+			t.Errorf("%v AND %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOrTable(t *testing.T) {
+	cases := []struct{ a, b, want V }{
+		{Zero, Zero, Zero}, {Zero, One, One}, {Zero, X, X},
+		{One, Zero, One}, {One, One, One}, {One, X, One},
+		{X, Zero, X}, {X, One, One}, {X, X, X},
+	}
+	for _, c := range cases {
+		if got := c.a.Or(c.b); got != c.want {
+			t.Errorf("%v OR %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestXorTable(t *testing.T) {
+	cases := []struct{ a, b, want V }{
+		{Zero, Zero, Zero}, {Zero, One, One}, {Zero, X, X},
+		{One, Zero, One}, {One, One, Zero}, {One, X, X},
+		{X, Zero, X}, {X, One, X}, {X, X, X},
+	}
+	for _, c := range cases {
+		if got := c.a.Xor(c.b); got != c.want {
+			t.Errorf("%v XOR %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFromBoolAndBool(t *testing.T) {
+	if FromBool(true) != One || FromBool(false) != Zero {
+		t.Error("FromBool wrong")
+	}
+	if One.Bool() != true || Zero.Bool() != false {
+		t.Error("Bool wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Bool of X must panic")
+		}
+	}()
+	_ = X.Bool()
+}
+
+func TestParseV(t *testing.T) {
+	for _, c := range []struct {
+		s    string
+		want V
+	}{{"0", Zero}, {"1", One}, {"x", X}, {"X", X}} {
+		got, err := ParseV(c.s)
+		if err != nil || got != c.want {
+			t.Errorf("ParseV(%q) = %v, %v", c.s, got, err)
+		}
+	}
+	if _, err := ParseV("2"); err == nil {
+		t.Error("ParseV(2) should fail")
+	}
+}

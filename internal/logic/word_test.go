@@ -1,0 +1,121 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randWord builds a valid random Word.
+func randWord(r *rand.Rand) Word {
+	ones := r.Uint64()
+	zeros := r.Uint64() &^ ones
+	return Word{Ones: ones, Zeros: zeros}
+}
+
+func TestWordAllGet(t *testing.T) {
+	for _, v := range []V{Zero, One, X} {
+		w := WordAll(v)
+		if !w.Valid() {
+			t.Fatalf("WordAll(%v) invalid", v)
+		}
+		for i := uint(0); i < 64; i++ {
+			if w.Get(i) != v {
+				t.Fatalf("WordAll(%v).Get(%d) = %v", v, i, w.Get(i))
+			}
+		}
+	}
+}
+
+func TestWordSetGet(t *testing.T) {
+	w := WordAll(X)
+	w = w.Set(3, One).Set(17, Zero).Set(63, One).Set(3, Zero)
+	if w.Get(3) != Zero || w.Get(17) != Zero || w.Get(63) != One || w.Get(0) != X {
+		t.Errorf("Set/Get mismatch: %+v", w)
+	}
+	if !w.Valid() {
+		t.Error("word invalid after Set")
+	}
+}
+
+// TestWordOpsMatchScalar is the core property test: every packed
+// operation must agree lane-by-lane with the scalar three-valued ops.
+func TestWordOpsMatchScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a, b := randWord(r), randWord(r)
+		and, or, xor, not := a.And(b), a.Or(b), a.Xor(b), a.Not()
+		if !and.Valid() || !or.Valid() || !xor.Valid() || !not.Valid() {
+			return false
+		}
+		for i := uint(0); i < 64; i++ {
+			av, bv := a.Get(i), b.Get(i)
+			if and.Get(i) != av.And(bv) || or.Get(i) != av.Or(bv) ||
+				xor.Get(i) != av.Xor(bv) || not.Get(i) != av.Not() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordDiff(t *testing.T) {
+	a := WordAll(X).Set(0, One).Set(1, Zero).Set(2, One).Set(3, One)
+	b := WordAll(X).Set(0, Zero).Set(1, One).Set(2, One).Set(4, One)
+	// Lanes 0 and 1 hold opposite definite values; lane 2 equal; lanes
+	// 3/4 have an X on one side.
+	if d := a.Diff(b); d != 0b11 {
+		t.Errorf("Diff = %b, want 11", d)
+	}
+}
+
+func TestWordEq(t *testing.T) {
+	a := WordAll(X).Set(5, One)
+	b := WordAll(X).Set(5, One)
+	if !a.Eq(b) {
+		t.Error("equal words not Eq")
+	}
+	if a.Eq(b.Set(6, Zero)) {
+		t.Error("different words Eq")
+	}
+}
+
+// TestEvalWordMatchesEval checks packed gate evaluation against scalar
+// gate evaluation for every operator over random packed inputs.
+func TestEvalWordMatchesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ops := []Op{OpBuf, OpNot, OpAnd, OpNand, OpOr, OpNor, OpXor, OpXnor, OpConst0, OpConst1}
+	for _, op := range ops {
+		minA, _ := op.Arity()
+		for trial := 0; trial < 50; trial++ {
+			n := minA
+			if n > 0 {
+				n = minA + r.Intn(3)
+			}
+			if op == OpBuf || op == OpNot {
+				n = 1
+			}
+			in := make([]Word, n)
+			for i := range in {
+				in[i] = randWord(r)
+			}
+			got := op.EvalWord(in)
+			if !got.Valid() {
+				t.Fatalf("%v.EvalWord produced invalid word", op)
+			}
+			sc := make([]V, n)
+			for lane := uint(0); lane < 64; lane++ {
+				for i := range in {
+					sc[i] = in[i].Get(lane)
+				}
+				if want := op.Eval(sc); got.Get(lane) != want {
+					t.Fatalf("%v lane %d: packed %v, scalar %v (in %v)",
+						op, lane, got.Get(lane), want, sc)
+				}
+			}
+		}
+	}
+}

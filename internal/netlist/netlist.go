@@ -1,0 +1,382 @@
+// Package netlist defines the gate-level sequential circuit model shared
+// by every stage of the flow: simulation, fault modelling, ATPG, test
+// point insertion and scan-chain construction.
+//
+// A circuit is a set of signals. Every signal is driven by exactly one of
+// a primary input, a D flip-flop, or a combinational gate; the signal is
+// simultaneously the driver's output net. This mirrors the ISCAS'89
+// .bench view of a circuit and keeps fault sites, simulation values and
+// structural traversals indexed by one dense integer space.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// SignalID indexes a signal within its circuit.
+type SignalID int32
+
+// None is the invalid signal ID.
+const None SignalID = -1
+
+// Kind distinguishes the three driver classes of a signal.
+type Kind uint8
+
+// Signal driver kinds.
+const (
+	KindInput Kind = iota // primary input
+	KindFF                // D flip-flop output (Q)
+	KindGate              // combinational gate output
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInput:
+		return "INPUT"
+	case KindFF:
+		return "DFF"
+	case KindGate:
+		return "GATE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Signal is one net and its driver.
+type Signal struct {
+	Name  string
+	Kind  Kind
+	Op    logic.Op   // valid when Kind == KindGate
+	Fanin []SignalID // gate inputs; for KindFF, Fanin[0] is the D input
+}
+
+// Circuit is a gate-level sequential netlist. Construct with New and the
+// Add* methods, then call Finalize before using any derived structure.
+type Circuit struct {
+	Name    string
+	Signals []Signal
+	Outputs []SignalID // primary outputs (references into Signals)
+
+	// Derived by Finalize.
+	Inputs  []SignalID   // all KindInput signals in declaration order
+	FFs     []SignalID   // all KindFF signals in declaration order
+	Fanouts [][]SignalID // consumers of each signal (gates and FFs)
+	Level   []int        // combinational level: PIs/FFs at 0, gates at 1+max(fanin)
+	Order   []SignalID   // gate signals in topological (level) order
+
+	byName    map[string]SignalID
+	finalized bool
+}
+
+// New returns an empty circuit with the given name.
+func New(name string) *Circuit {
+	return &Circuit{Name: name, byName: make(map[string]SignalID)}
+}
+
+func (c *Circuit) addSignal(s Signal) (SignalID, error) {
+	if s.Name == "" {
+		return None, fmt.Errorf("netlist: empty signal name")
+	}
+	if _, dup := c.byName[s.Name]; dup {
+		return None, fmt.Errorf("netlist: duplicate signal %q", s.Name)
+	}
+	id := SignalID(len(c.Signals))
+	c.Signals = append(c.Signals, s)
+	c.byName[s.Name] = id
+	c.finalized = false
+	return id, nil
+}
+
+// AddInput declares a primary input signal.
+func (c *Circuit) AddInput(name string) (SignalID, error) {
+	return c.addSignal(Signal{Name: name, Kind: KindInput})
+}
+
+// AddFF declares a flip-flop output signal. Its D input starts
+// unconnected; set it later with SetFFInput (flip-flop feedback loops
+// require two-phase construction).
+func (c *Circuit) AddFF(name string) (SignalID, error) {
+	return c.addSignal(Signal{Name: name, Kind: KindFF, Fanin: []SignalID{None}})
+}
+
+// AddGate declares a combinational gate and returns its output signal.
+func (c *Circuit) AddGate(name string, op logic.Op, fanin ...SignalID) (SignalID, error) {
+	minA, maxA := op.Arity()
+	if len(fanin) < minA || (maxA >= 0 && len(fanin) > maxA) {
+		return None, fmt.Errorf("netlist: gate %q: op %v cannot take %d inputs", name, op, len(fanin))
+	}
+	for _, f := range fanin {
+		if !c.valid(f) {
+			return None, fmt.Errorf("netlist: gate %q: invalid fanin %d", name, f)
+		}
+	}
+	fi := make([]SignalID, len(fanin))
+	copy(fi, fanin)
+	return c.addSignal(Signal{Name: name, Kind: KindGate, Op: op, Fanin: fi})
+}
+
+// AddGateForward is AddGate for reconstruction paths where fanin IDs may
+// reference signals that are appended later (e.g. rebuilding a mutated
+// circuit in original ID order). Arity is checked now; fanin validity is
+// deferred to Finalize.
+func (c *Circuit) AddGateForward(name string, op logic.Op, fanin ...SignalID) (SignalID, error) {
+	minA, maxA := op.Arity()
+	if len(fanin) < minA || (maxA >= 0 && len(fanin) > maxA) {
+		return None, fmt.Errorf("netlist: gate %q: op %v cannot take %d inputs", name, op, len(fanin))
+	}
+	fi := make([]SignalID, len(fanin))
+	copy(fi, fanin)
+	return c.addSignal(Signal{Name: name, Kind: KindGate, Op: op, Fanin: fi})
+}
+
+// SetFFInput connects the D input of flip-flop ff to signal d.
+func (c *Circuit) SetFFInput(ff, d SignalID) error {
+	if !c.valid(ff) || c.Signals[ff].Kind != KindFF {
+		return fmt.Errorf("netlist: SetFFInput: %d is not a flip-flop", ff)
+	}
+	if !c.valid(d) {
+		return fmt.Errorf("netlist: SetFFInput: invalid D signal %d", d)
+	}
+	c.Signals[ff].Fanin[0] = d
+	c.finalized = false
+	return nil
+}
+
+// MarkOutput declares signal s as a primary output.
+func (c *Circuit) MarkOutput(s SignalID) error {
+	if !c.valid(s) {
+		return fmt.Errorf("netlist: MarkOutput: invalid signal %d", s)
+	}
+	c.Outputs = append(c.Outputs, s)
+	c.finalized = false
+	return nil
+}
+
+func (c *Circuit) valid(s SignalID) bool {
+	return s >= 0 && int(s) < len(c.Signals)
+}
+
+// Lookup returns the signal with the given name.
+func (c *Circuit) Lookup(name string) (SignalID, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// NameOf returns the name of signal s.
+func (c *Circuit) NameOf(s SignalID) string { return c.Signals[s].Name }
+
+// IsPI reports whether s is a primary input.
+func (c *Circuit) IsPI(s SignalID) bool { return c.Signals[s].Kind == KindInput }
+
+// IsFF reports whether s is a flip-flop output.
+func (c *Circuit) IsFF(s SignalID) bool { return c.Signals[s].Kind == KindFF }
+
+// IsGate reports whether s is a combinational gate output.
+func (c *Circuit) IsGate(s SignalID) bool { return c.Signals[s].Kind == KindGate }
+
+// NumGates returns the number of combinational gates.
+func (c *Circuit) NumGates() int {
+	n := 0
+	for i := range c.Signals {
+		if c.Signals[i].Kind == KindGate {
+			n++
+		}
+	}
+	return n
+}
+
+// Finalize validates the circuit and computes the derived structures
+// (input/FF lists, fanouts, levels, topological order). It must be called
+// after construction or mutation and before simulation or traversal.
+func (c *Circuit) Finalize() error {
+	n := len(c.Signals)
+	c.Inputs = c.Inputs[:0]
+	c.FFs = c.FFs[:0]
+	c.Fanouts = make([][]SignalID, n)
+	c.Level = make([]int, n)
+	c.Order = c.Order[:0]
+
+	for id := SignalID(0); int(id) < n; id++ {
+		s := &c.Signals[id]
+		switch s.Kind {
+		case KindInput:
+			c.Inputs = append(c.Inputs, id)
+		case KindFF:
+			if len(s.Fanin) != 1 || s.Fanin[0] == None {
+				return fmt.Errorf("netlist: flip-flop %q has no D input", s.Name)
+			}
+			c.FFs = append(c.FFs, id)
+		case KindGate:
+			minA, maxA := s.Op.Arity()
+			if len(s.Fanin) < minA || (maxA >= 0 && len(s.Fanin) > maxA) {
+				return fmt.Errorf("netlist: gate %q: bad arity %d for %v", s.Name, len(s.Fanin), s.Op)
+			}
+		}
+		for _, f := range s.Fanin {
+			if !c.valid(f) {
+				return fmt.Errorf("netlist: signal %q: invalid fanin", s.Name)
+			}
+		}
+	}
+	for _, o := range c.Outputs {
+		if !c.valid(o) {
+			return fmt.Errorf("netlist: invalid primary output %d", o)
+		}
+	}
+
+	// Levelize gates with Kahn's algorithm over combinational edges only
+	// (FF boundaries cut the graph). A leftover gate means a
+	// combinational cycle.
+	indeg := make([]int, n)
+	for id := SignalID(0); int(id) < n; id++ {
+		s := &c.Signals[id]
+		for pin, f := range s.Fanin {
+			c.Fanouts[f] = append(c.Fanouts[f], id)
+			_ = pin
+			if s.Kind == KindGate && c.Signals[f].Kind == KindGate {
+				indeg[id]++
+			}
+		}
+	}
+	queue := make([]SignalID, 0, n)
+	for id := SignalID(0); int(id) < n; id++ {
+		if c.Signals[id].Kind == KindGate && indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	processed := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		processed++
+		lvl := 0
+		for _, f := range c.Signals[id].Fanin {
+			if l := c.Level[f]; l >= lvl {
+				lvl = l
+			}
+		}
+		c.Level[id] = lvl + 1
+		c.Order = append(c.Order, id)
+		for _, fo := range c.Fanouts[id] {
+			if c.Signals[fo].Kind == KindGate {
+				indeg[fo]--
+				if indeg[fo] == 0 {
+					queue = append(queue, fo)
+				}
+			}
+		}
+	}
+	if processed != c.NumGates() {
+		return fmt.Errorf("netlist: %s: combinational cycle detected", c.Name)
+	}
+	// Order is already topological; make it deterministic level order for
+	// reproducible traversals.
+	sort.SliceStable(c.Order, func(i, j int) bool {
+		a, b := c.Order[i], c.Order[j]
+		if c.Level[a] != c.Level[b] {
+			return c.Level[a] < c.Level[b]
+		}
+		return a < b
+	})
+	c.finalized = true
+	return nil
+}
+
+// Finalized reports whether Finalize has run since the last mutation.
+func (c *Circuit) Finalized() bool { return c.finalized }
+
+// MustFinalize is Finalize that panics on error; for tests and generators
+// building known-good structures.
+func (c *Circuit) MustFinalize() {
+	if err := c.Finalize(); err != nil {
+		panic(err)
+	}
+}
+
+// Clone returns a deep copy of the circuit. The copy is not finalized.
+func (c *Circuit) Clone() *Circuit {
+	nc := New(c.Name)
+	nc.Signals = make([]Signal, len(c.Signals))
+	for i, s := range c.Signals {
+		ns := s
+		ns.Fanin = append([]SignalID(nil), s.Fanin...)
+		nc.Signals[i] = ns
+		nc.byName[s.Name] = SignalID(i)
+	}
+	nc.Outputs = append([]SignalID(nil), c.Outputs...)
+	return nc
+}
+
+// FanoutCone returns the set of signals reachable from s through
+// combinational fanout, including s itself, stopping at FF boundaries
+// (FF signals reached via their D pin are included but not expanded).
+func (c *Circuit) FanoutCone(s SignalID) []SignalID {
+	seen := make(map[SignalID]bool)
+	var cone []SignalID
+	stack := []SignalID{s}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		cone = append(cone, id)
+		if id != s && c.Signals[id].Kind == KindFF {
+			continue // cut at sequential boundary
+		}
+		stack = append(stack, c.Fanouts[id]...)
+	}
+	sort.Slice(cone, func(i, j int) bool { return cone[i] < cone[j] })
+	return cone
+}
+
+// FaninCone returns the set of signals feeding s through combinational
+// logic, including s itself, stopping at PIs and FF outputs.
+func (c *Circuit) FaninCone(s SignalID) []SignalID {
+	seen := make(map[SignalID]bool)
+	var cone []SignalID
+	stack := []SignalID{s}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		cone = append(cone, id)
+		if id != s && c.Signals[id].Kind != KindGate {
+			continue
+		}
+		if c.Signals[id].Kind == KindGate || id == s {
+			stack = append(stack, c.Signals[id].Fanin...)
+		}
+	}
+	sort.Slice(cone, func(i, j int) bool { return cone[i] < cone[j] })
+	return cone
+}
+
+// Stats summarizes circuit size for reports.
+type Stats struct {
+	Inputs, Outputs, FFs, Gates int
+	MaxLevel                    int
+}
+
+// Stat computes summary statistics; the circuit must be finalized.
+func (c *Circuit) Stat() Stats {
+	st := Stats{
+		Inputs:  len(c.Inputs),
+		Outputs: len(c.Outputs),
+		FFs:     len(c.FFs),
+		Gates:   c.NumGates(),
+	}
+	for _, l := range c.Level {
+		if l > st.MaxLevel {
+			st.MaxLevel = l
+		}
+	}
+	return st
+}

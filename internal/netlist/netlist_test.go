@@ -1,0 +1,257 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// buildToy constructs the tiny sequential circuit used across the tests:
+//
+//	a, b : inputs
+//	g1 = NAND(a, b)
+//	ff1 = DFF(g1)
+//	g2 = OR(ff1, b)
+//	ff2 = DFF(g2)
+//	out = NOT(ff2)  (PO)
+func buildToy(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("toy")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	g1, _ := c.AddGate("g1", logic.OpNand, a, b)
+	ff1, _ := c.AddFF("ff1")
+	if err := c.SetFFInput(ff1, g1); err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := c.AddGate("g2", logic.OpOr, ff1, b)
+	ff2, _ := c.AddFF("ff2")
+	if err := c.SetFFInput(ff2, g2); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := c.AddGate("out", logic.OpNot, ff2)
+	if err := c.MarkOutput(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildAndFinalize(t *testing.T) {
+	c := buildToy(t)
+	st := c.Stat()
+	if st.Inputs != 2 || st.Outputs != 1 || st.FFs != 2 || st.Gates != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !c.Finalized() {
+		t.Error("not finalized")
+	}
+	if len(c.Order) != 3 {
+		t.Errorf("order length %d", len(c.Order))
+	}
+}
+
+func TestDuplicateName(t *testing.T) {
+	c := New("dup")
+	if _, err := c.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddInput("a"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := c.AddInput(""); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	c := buildToy(t)
+	id, ok := c.Lookup("g2")
+	if !ok || c.NameOf(id) != "g2" || !c.IsGate(id) {
+		t.Error("lookup g2 failed")
+	}
+	if _, ok := c.Lookup("nope"); ok {
+		t.Error("lookup of missing signal succeeded")
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	c := buildToy(t)
+	a, _ := c.Lookup("a")
+	ff1, _ := c.Lookup("ff1")
+	g1, _ := c.Lookup("g1")
+	if !c.IsPI(a) || c.IsFF(a) || c.IsGate(a) {
+		t.Error("a kind wrong")
+	}
+	if !c.IsFF(ff1) || c.IsPI(ff1) {
+		t.Error("ff1 kind wrong")
+	}
+	if !c.IsGate(g1) {
+		t.Error("g1 kind wrong")
+	}
+}
+
+func TestUnconnectedFFRejected(t *testing.T) {
+	c := New("bad")
+	_, _ = c.AddFF("ff")
+	if err := c.Finalize(); err == nil {
+		t.Error("finalize accepted unconnected FF")
+	}
+}
+
+func TestCombinationalCycleRejected(t *testing.T) {
+	c := New("cyc")
+	a, _ := c.AddInput("a")
+	// g1 and g2 form a combinational loop; pre-declare via FF trick is not
+	// possible for gates, so wire g1 -> g2 -> g1 by editing fanin.
+	g1, _ := c.AddGate("g1", logic.OpAnd, a, a)
+	g2, _ := c.AddGate("g2", logic.OpAnd, g1, a)
+	c.Signals[g1].Fanin[1] = g2
+	if err := c.Finalize(); err == nil {
+		t.Error("finalize accepted combinational cycle")
+	}
+}
+
+func TestFFCutBreaksCycle(t *testing.T) {
+	// A sequential loop through a FF must be fine.
+	c := New("seqloop")
+	ff, _ := c.AddFF("ff")
+	g, _ := c.AddGate("g", logic.OpNot, ff)
+	if err := c.SetFFInput(ff, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Finalize(); err != nil {
+		t.Errorf("sequential loop rejected: %v", err)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	c := buildToy(t)
+	g1, _ := c.Lookup("g1")
+	g2, _ := c.Lookup("g2")
+	out, _ := c.Lookup("out")
+	a, _ := c.Lookup("a")
+	if c.Level[a] != 0 || c.Level[g1] != 1 || c.Level[g2] != 1 || c.Level[out] != 1 {
+		t.Errorf("levels: a=%d g1=%d g2=%d out=%d", c.Level[a], c.Level[g1], c.Level[g2], c.Level[out])
+	}
+	// Deeper chain.
+	d := New("deep")
+	x, _ := d.AddInput("x")
+	prev := x
+	var ids []SignalID
+	for i := 0; i < 5; i++ {
+		g, _ := d.AddGate(string(rune('p'+i)), logic.OpNot, prev)
+		ids = append(ids, g)
+		prev = g
+	}
+	_ = d.MarkOutput(prev)
+	d.MustFinalize()
+	for i, g := range ids {
+		if d.Level[g] != i+1 {
+			t.Errorf("level of stage %d = %d", i, d.Level[g])
+		}
+	}
+}
+
+func TestFanouts(t *testing.T) {
+	c := buildToy(t)
+	b, _ := c.Lookup("b")
+	if len(c.Fanouts[b]) != 2 {
+		t.Errorf("fanout of b = %v", c.Fanouts[b])
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := buildToy(t)
+	cl := c.Clone()
+	if cl.Finalized() {
+		t.Error("clone should not be finalized")
+	}
+	if err := cl.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Stat() != c.Stat() {
+		t.Error("clone stats differ")
+	}
+	// Mutating the clone must not affect the original.
+	g1, _ := cl.Lookup("g1")
+	a, _ := cl.Lookup("a")
+	cl.Signals[g1].Fanin[1] = a
+	origG1, _ := c.Lookup("g1")
+	borig, _ := c.Lookup("b")
+	if c.Signals[origG1].Fanin[1] != borig {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestFanoutCone(t *testing.T) {
+	c := buildToy(t)
+	b, _ := c.Lookup("b")
+	cone := c.FanoutCone(b)
+	// b feeds g1 and g2; g1 feeds ff1 (cut there), g2 feeds ff2 (cut).
+	names := map[string]bool{}
+	for _, id := range cone {
+		names[c.NameOf(id)] = true
+	}
+	for _, want := range []string{"b", "g1", "g2", "ff1", "ff2"} {
+		if !names[want] {
+			t.Errorf("fanout cone of b missing %s (got %v)", want, names)
+		}
+	}
+	if names["out"] {
+		t.Error("fanout cone of b crossed FF boundary to out")
+	}
+}
+
+func TestFaninCone(t *testing.T) {
+	c := buildToy(t)
+	g2, _ := c.Lookup("g2")
+	cone := c.FaninCone(g2)
+	names := map[string]bool{}
+	for _, id := range cone {
+		names[c.NameOf(id)] = true
+	}
+	for _, want := range []string{"g2", "ff1", "b"} {
+		if !names[want] {
+			t.Errorf("fanin cone of g2 missing %s", want)
+		}
+	}
+	if names["g1"] {
+		t.Error("fanin cone of g2 crossed FF boundary to g1")
+	}
+}
+
+func TestAddGateArityChecks(t *testing.T) {
+	c := New("ar")
+	a, _ := c.AddInput("a")
+	if _, err := c.AddGate("bad", logic.OpNot, a, a); err == nil {
+		t.Error("NOT with 2 inputs accepted")
+	}
+	if _, err := c.AddGate("bad2", logic.OpXor, a); err == nil {
+		t.Error("XOR with 1 input accepted")
+	}
+	if _, err := c.AddGate("bad3", logic.OpAnd, SignalID(99)); err == nil {
+		t.Error("invalid fanin accepted")
+	}
+}
+
+func TestMarkOutputValidates(t *testing.T) {
+	c := New("o")
+	if err := c.MarkOutput(SignalID(3)); err == nil {
+		t.Error("invalid output accepted")
+	}
+}
+
+func TestSetFFInputValidates(t *testing.T) {
+	c := New("s")
+	a, _ := c.AddInput("a")
+	if err := c.SetFFInput(a, a); err == nil {
+		t.Error("SetFFInput on non-FF accepted")
+	}
+	ff, _ := c.AddFF("ff")
+	if err := c.SetFFInput(ff, SignalID(77)); err == nil {
+		t.Error("SetFFInput with bad signal accepted")
+	}
+}

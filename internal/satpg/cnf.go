@@ -1,0 +1,239 @@
+// Package satpg implements test generation via Boolean satisfiability
+// (Larrabee, "Test pattern generation using Boolean satisfiability",
+// IEEE TCAD 1992) as an independent baseline for the PODEM engine: the
+// fault-free and faulty circuits are Tseitin-encoded into CNF, a miter
+// asserts that some observed output differs, and a small DPLL solver
+// decides testability. SAT yields a test vector; UNSAT proves the fault
+// combinationally redundant. The two engines must agree — a
+// cross-validation property the tests enforce.
+package satpg
+
+import (
+	"fmt"
+
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// cnf accumulates clauses; literals are ±var, variables start at 1.
+type cnf struct {
+	nVars   int
+	clauses [][]int
+}
+
+func (c *cnf) newVar() int {
+	c.nVars++
+	return c.nVars
+}
+
+func (c *cnf) add(lits ...int) {
+	cl := make([]int, len(lits))
+	copy(cl, lits)
+	c.clauses = append(c.clauses, cl)
+}
+
+// gateCNF encodes y = op(xs) for the basic operators.
+func (c *cnf) gateCNF(op logic.Op, y int, xs []int) error {
+	switch op {
+	case logic.OpBuf:
+		c.add(-y, xs[0])
+		c.add(y, -xs[0])
+	case logic.OpNot:
+		c.add(-y, -xs[0])
+		c.add(y, xs[0])
+	case logic.OpAnd, logic.OpNand:
+		out := y
+		if op == logic.OpNand {
+			n := c.newVar() // n = AND(xs), y = ¬n
+			c.add(-y, -n)
+			c.add(y, n)
+			out = n
+		}
+		long := make([]int, 0, len(xs)+1)
+		long = append(long, out)
+		for _, x := range xs {
+			c.add(-out, x)
+			long = append(long, -x)
+		}
+		c.add(long...)
+	case logic.OpOr, logic.OpNor:
+		out := y
+		if op == logic.OpNor {
+			n := c.newVar()
+			c.add(-y, -n)
+			c.add(y, n)
+			out = n
+		}
+		long := make([]int, 0, len(xs)+1)
+		long = append(long, -out)
+		for _, x := range xs {
+			c.add(out, -x)
+			long = append(long, x)
+		}
+		c.add(long...)
+	case logic.OpXor, logic.OpXnor:
+		acc := xs[0]
+		for _, x := range xs[1:] {
+			z := c.newVar()
+			c.xorCNF(z, acc, x)
+			acc = z
+		}
+		if op == logic.OpXnor {
+			c.add(-y, -acc)
+			c.add(y, acc)
+		} else {
+			c.add(-y, acc)
+			c.add(y, -acc)
+		}
+	case logic.OpConst0:
+		c.add(-y)
+	case logic.OpConst1:
+		c.add(y)
+	default:
+		return fmt.Errorf("satpg: cannot encode op %v", op)
+	}
+	return nil
+}
+
+// xorCNF encodes z = a XOR b.
+func (c *cnf) xorCNF(z, a, b int) {
+	c.add(-z, a, b)
+	c.add(-z, -a, -b)
+	c.add(z, -a, b)
+	c.add(z, a, -b)
+}
+
+// Encoder builds the dual-machine CNF for one model+fault.
+type Encoder struct {
+	m *atpg.Model
+
+	goodVar []int                    // per signal
+	cone    map[netlist.SignalID]int // faulty-machine var per cone signal
+}
+
+// encode returns the CNF and the free-input variable map.
+func encode(m *atpg.Model, f fault.Fault) (*cnf, map[netlist.SignalID]int, error) {
+	c := m.C
+	phi := &cnf{}
+	goodVar := make([]int, len(c.Signals))
+	for i := range goodVar {
+		goodVar[i] = phi.newVar()
+	}
+	// Fixed inputs as unit clauses; a pinned-X input cannot be encoded
+	// two-valued.
+	for _, in := range c.Inputs {
+		if v, ok := m.Fixed[in]; ok {
+			switch v {
+			case logic.One:
+				phi.add(goodVar[in])
+			case logic.Zero:
+				phi.add(-goodVar[in])
+			default:
+				return nil, nil, fmt.Errorf("satpg: input %s pinned to X", c.NameOf(in))
+			}
+		}
+	}
+	// Good-machine gate clauses.
+	for _, g := range c.Order {
+		s := &c.Signals[g]
+		xs := make([]int, len(s.Fanin))
+		for i, fi := range s.Fanin {
+			xs[i] = goodVar[fi]
+		}
+		if err := phi.gateCNF(s.Op, goodVar[g], xs); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Faulty machine: only the fault cone gets its own variables.
+	coneSet := map[netlist.SignalID]bool{}
+	var stack []netlist.SignalID
+	push := func(s netlist.SignalID) {
+		if !coneSet[s] {
+			coneSet[s] = true
+			stack = append(stack, s)
+		}
+	}
+	if f.IsStem() {
+		push(f.Signal)
+	} else {
+		push(f.Gate)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, fo := range c.Fanouts[s] {
+			push(fo)
+		}
+	}
+	coneVar := make(map[netlist.SignalID]int, len(coneSet))
+	for s := range coneSet {
+		coneVar[s] = phi.newVar()
+	}
+	fvar := func(s netlist.SignalID) int {
+		if v, ok := coneVar[s]; ok {
+			return v
+		}
+		return goodVar[s]
+	}
+	stuckLit := func(v int, stuck logic.V) {
+		if stuck == logic.One {
+			phi.add(v)
+		} else {
+			phi.add(-v)
+		}
+	}
+	if f.IsStem() {
+		stuckLit(coneVar[f.Signal], f.Stuck)
+	}
+	for _, g := range c.Order {
+		if _, inCone := coneVar[g]; !inCone {
+			continue
+		}
+		if f.IsStem() && g == f.Signal {
+			continue // value pinned above
+		}
+		s := &c.Signals[g]
+		xs := make([]int, len(s.Fanin))
+		for i, fi := range s.Fanin {
+			xs[i] = fvar(fi)
+			if !f.IsStem() && f.Gate == g && f.Pin == i {
+				// Branch fault: this pin reads the stuck constant.
+				sv := phi.newVar()
+				stuckLit(sv, f.Stuck)
+				xs[i] = sv
+			}
+		}
+		if err := phi.gateCNF(s.Op, coneVar[g], xs); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Miter: some observed output in the cone differs.
+	var diff []int
+	for _, o := range c.Outputs {
+		fv, inCone := coneVar[o]
+		if !inCone {
+			continue
+		}
+		d := phi.newVar()
+		phi.xorCNF(d, goodVar[o], fv)
+		diff = append(diff, d)
+	}
+	if len(diff) == 0 {
+		// The fault cannot reach any output: UNSAT by construction.
+		phi.add() // empty clause
+	} else {
+		phi.add(diff...)
+	}
+
+	free := make(map[netlist.SignalID]int)
+	for _, in := range c.Inputs {
+		if _, fixed := m.Fixed[in]; !fixed {
+			free[in] = goodVar[in]
+		}
+	}
+	return phi, free, nil
+}

@@ -1,0 +1,211 @@
+package satpg
+
+// dpll is a compact chronological-backtracking SAT solver with unit
+// propagation over occurrence lists — ample for the CNFs test
+// generation produces on this suite, and simple enough to trust as a
+// cross-check oracle.
+type dpll struct {
+	nVars   int
+	clauses [][]int
+	occ     [][]int // literal index -> clause indices (lit>0: 2v, lit<0: 2v+1)
+
+	assign []int8 // 0 unknown, +1 true, -1 false
+	trail  []int  // assigned vars in order
+	level  []int  // trail length at each decision
+
+	conflicts int
+	limit     int
+}
+
+func litIdx(lit int) int {
+	if lit > 0 {
+		return 2 * lit
+	}
+	return -2*lit + 1
+}
+
+func newDPLL(phi *cnf, conflictLimit int) *dpll {
+	d := &dpll{
+		nVars:   phi.nVars,
+		clauses: phi.clauses,
+		occ:     make([][]int, 2*phi.nVars+2),
+		assign:  make([]int8, phi.nVars+1),
+		limit:   conflictLimit,
+	}
+	for ci, cl := range phi.clauses {
+		for _, lit := range cl {
+			idx := litIdx(lit)
+			d.occ[idx] = append(d.occ[idx], ci)
+		}
+	}
+	return d
+}
+
+// value of a literal: +1 satisfied, -1 falsified, 0 unknown.
+func (d *dpll) val(lit int) int8 {
+	v := d.assign[abs(lit)]
+	if v == 0 {
+		return 0
+	}
+	if (lit > 0) == (v > 0) {
+		return 1
+	}
+	return -1
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// push assigns a literal true and propagates; returns false on conflict.
+func (d *dpll) push(lit int) bool {
+	switch d.val(lit) {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	v := abs(lit)
+	if lit > 0 {
+		d.assign[v] = 1
+	} else {
+		d.assign[v] = -1
+	}
+	d.trail = append(d.trail, v)
+	// Propagate through clauses watching the falsified literal.
+	for _, ci := range d.occ[litIdx(-lit)] {
+		cl := d.clauses[ci]
+		sat := false
+		var unit int
+		unknown := 0
+		for _, l := range cl {
+			switch d.val(l) {
+			case 1:
+				sat = true
+			case 0:
+				unknown++
+				unit = l
+			}
+			if sat {
+				break
+			}
+		}
+		if sat {
+			continue
+		}
+		if unknown == 0 {
+			return false
+		}
+		if unknown == 1 {
+			if !d.push(unit) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (d *dpll) backtrackTo(mark int) {
+	for len(d.trail) > mark {
+		v := d.trail[len(d.trail)-1]
+		d.trail = d.trail[:len(d.trail)-1]
+		d.assign[v] = 0
+	}
+}
+
+// status of the solve.
+type status int
+
+const (
+	sat status = iota
+	unsat
+	aborted
+)
+
+// solve runs DPLL; on SAT the assignment is available via d.assign.
+func (d *dpll) solve() status {
+	// Initial unit clauses (and the empty clause).
+	for _, cl := range d.clauses {
+		if len(cl) == 0 {
+			return unsat
+		}
+		if len(cl) == 1 {
+			if !d.push(cl[0]) {
+				return unsat
+			}
+		}
+	}
+	return d.search()
+}
+
+func (d *dpll) search() status {
+	v := d.pickVar()
+	if v == 0 {
+		// All variables assigned... or at least no unassigned var left
+		// in any unsatisfied clause; verify.
+		if d.allSat() {
+			return sat
+		}
+		return unsat
+	}
+	for _, sign := range []int{1, -1} {
+		mark := len(d.trail)
+		if d.push(v * sign) {
+			switch st := d.search(); st {
+			case sat, aborted:
+				return st
+			}
+		}
+		d.backtrackTo(mark)
+		d.conflicts++
+		if d.conflicts > d.limit {
+			return aborted
+		}
+	}
+	return unsat
+}
+
+// pickVar chooses the first unassigned variable appearing in an
+// unsatisfied clause (0 when none).
+func (d *dpll) pickVar() int {
+	for _, cl := range d.clauses {
+		satC := false
+		cand := 0
+		for _, l := range cl {
+			switch d.val(l) {
+			case 1:
+				satC = true
+			case 0:
+				if cand == 0 {
+					cand = abs(l)
+				}
+			}
+			if satC {
+				break
+			}
+		}
+		if !satC && cand != 0 {
+			return cand
+		}
+	}
+	return 0
+}
+
+func (d *dpll) allSat() bool {
+	for _, cl := range d.clauses {
+		ok := false
+		for _, l := range cl {
+			if d.val(l) == 1 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

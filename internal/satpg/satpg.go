@@ -1,0 +1,42 @@
+package satpg
+
+import (
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Result mirrors the PODEM result type: found (with a vector), proven
+// redundant, or aborted on the conflict budget.
+type Result struct {
+	Status     atpg.Status
+	Assignment map[netlist.SignalID]logic.V
+	Conflicts  int
+}
+
+// Generate decides testability of fault f on the combinational model by
+// SAT. conflictLimit bounds the chronological search.
+func Generate(m *atpg.Model, f fault.Fault, conflictLimit int) (Result, error) {
+	phi, free, err := encode(m, f)
+	if err != nil {
+		return Result{}, err
+	}
+	d := newDPLL(phi, conflictLimit)
+	switch d.solve() {
+	case unsat:
+		return Result{Status: atpg.Redundant, Conflicts: d.conflicts}, nil
+	case aborted:
+		return Result{Status: atpg.Aborted, Conflicts: d.conflicts}, nil
+	}
+	asn := make(map[netlist.SignalID]logic.V, len(free))
+	for in, v := range free {
+		switch d.assign[v] {
+		case 1:
+			asn[in] = logic.One
+		case -1:
+			asn[in] = logic.Zero
+		}
+	}
+	return Result{Status: atpg.Found, Assignment: asn, Conflicts: d.conflicts}, nil
+}

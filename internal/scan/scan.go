@@ -1,0 +1,320 @@
+// Package scan defines the functional scan design: chains of flip-flops
+// connected by sensitized paths through combinational logic, the
+// scan-mode input assignments that sensitize them, and the test-sequence
+// builders (alternating shift test, combinational-vector conversion with
+// scan-in/scan-out windows).
+//
+// A Design is produced by the tpi package from a mission circuit. All
+// cycle-level semantics live here: with `scan_mode = 1` every clock is a
+// shift, each segment may invert its bit (parity), and observation
+// points are the per-chain scan-out pins plus every primary output.
+package scan
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// SegmentKind tells how a chain link was established.
+type SegmentKind uint8
+
+// Segment kinds.
+const (
+	// Functional: the link is a sensitized path through mission logic
+	// (the paper's TPI result).
+	Functional SegmentKind = iota
+	// Inserted: the link runs through inserted gates (a scan-in head or
+	// a MUX-style fallback when no functional path could be sensitized).
+	Inserted
+)
+
+func (k SegmentKind) String() string {
+	if k == Functional {
+		return "functional"
+	}
+	return "inserted"
+}
+
+// SideInput is one constant requirement that keeps a segment sensitized:
+// pin Pin of on-path gate Gate must read value Want during scan mode.
+type SideInput struct {
+	Gate netlist.SignalID
+	Pin  int
+	Want logic.V
+}
+
+// Segment is one scan-chain link: the sensitized path feeding flip-flop
+// To from the previous chain element (the preceding flip-flop, or the
+// scan-in pin for the head segment).
+type Segment struct {
+	To     netlist.SignalID   // flip-flop this segment loads
+	Path   []netlist.SignalID // on-path gate outputs, source side first; last drives To's D pin
+	Sides  []SideInput        // sensitization requirements
+	Invert bool               // parity of the path (odd number of inversions)
+	Kind   SegmentKind
+}
+
+// Chain is one scan chain.
+type Chain struct {
+	ID      int
+	ScanIn  netlist.SignalID // dedicated scan-in primary input
+	FFs     []netlist.SignalID
+	Segment []Segment // Segment[i] feeds FFs[i]; source is FFs[i-1] (or ScanIn for i == 0)
+}
+
+// Len returns the number of flip-flops on the chain.
+func (ch *Chain) Len() int { return len(ch.FFs) }
+
+// ScanOut returns the chain's observation signal (the last flip-flop's
+// Q, which the design marks as a primary output).
+func (ch *Chain) ScanOut() netlist.SignalID { return ch.FFs[len(ch.FFs)-1] }
+
+// ParityTo returns the accumulated inversion parity from the scan-in pin
+// through segment pos inclusive: the value loaded into FFs[pos] is the
+// injected scan-in bit XOR this parity.
+func (ch *Chain) ParityTo(pos int) bool {
+	p := false
+	for i := 0; i <= pos; i++ {
+		if ch.Segment[i].Invert {
+			p = !p
+		}
+	}
+	return p
+}
+
+// Design is a circuit with functional scan inserted.
+type Design struct {
+	C *netlist.Circuit // the scan-mode circuit (test points, head/fallback gates, scan pins)
+	// Assignments pins primary inputs to constants during scan mode,
+	// always including ScanModePI -> 1. Scan-in pins and free mission
+	// inputs are not in this map.
+	Assignments map[netlist.SignalID]logic.V
+	ScanModePI  netlist.SignalID
+	Chains      []Chain
+	TestPoints  []netlist.SignalID // outputs of inserted test-point gates
+	// NonScan lists flip-flops left off every chain (partial scan, the
+	// paper's reference [3] setting). Empty for full scan.
+	NonScan []netlist.SignalID
+
+	inputIndex map[netlist.SignalID]int
+	ffPos      map[netlist.SignalID][2]int // FF -> (chain, position)
+}
+
+// Init builds the internal lookup tables; tpi calls it once after
+// construction, and deserializers must call it too.
+func (d *Design) Init() {
+	d.inputIndex = make(map[netlist.SignalID]int, len(d.C.Inputs))
+	for i, in := range d.C.Inputs {
+		d.inputIndex[in] = i
+	}
+	d.ffPos = make(map[netlist.SignalID][2]int)
+	for ci := range d.Chains {
+		for pos, ff := range d.Chains[ci].FFs {
+			d.ffPos[ff] = [2]int{ci, pos}
+		}
+	}
+}
+
+// Partial reports whether this is a partial-scan design.
+func (d *Design) Partial() bool { return len(d.NonScan) > 0 }
+
+// FFPosition returns the chain index and position of a flip-flop.
+func (d *Design) FFPosition(ff netlist.SignalID) (chain, pos int, ok bool) {
+	p, found := d.ffPos[ff]
+	if !found {
+		return 0, 0, false
+	}
+	return p[0], p[1], true
+}
+
+// MaxChainLen returns the longest chain length.
+func (d *Design) MaxChainLen() int {
+	m := 0
+	for i := range d.Chains {
+		if l := d.Chains[i].Len(); l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// LinkStats counts functional versus inserted segments (head segments
+// are always inserted).
+func (d *Design) LinkStats() (functional, inserted int) {
+	for ci := range d.Chains {
+		for si := range d.Chains[ci].Segment {
+			if d.Chains[ci].Segment[si].Kind == Functional {
+				functional++
+			} else {
+				inserted++
+			}
+		}
+	}
+	return
+}
+
+// BaselinePI returns a single-cycle primary-input vector: scan-mode
+// assignments applied, everything else (scan-ins and free inputs) zero.
+func (d *Design) BaselinePI() []logic.V {
+	pi := make([]logic.V, len(d.C.Inputs))
+	for i, in := range d.C.Inputs {
+		if v, ok := d.Assignments[in]; ok {
+			pi[i] = v
+		} else {
+			pi[i] = logic.Zero
+		}
+	}
+	return pi
+}
+
+// InputIndex returns the position of input signal in the per-cycle
+// vectors (the circuit's input order).
+func (d *Design) InputIndex(in netlist.SignalID) (int, bool) {
+	i, ok := d.inputIndex[in]
+	return i, ok
+}
+
+// AlternatingSequence builds the classic scan-chain shift test: every
+// chain's scan-in pin is driven with the period-4 pattern 0,0,1,1,…
+// for 2·maxlen+extra cycles, free inputs held at the baseline.
+func (d *Design) AlternatingSequence(extra int) [][]logic.V {
+	n := 2*d.MaxChainLen() + extra
+	seq := make([][]logic.V, n)
+	for t := 0; t < n; t++ {
+		pi := d.BaselinePI()
+		bit := logic.FromBool((t/2)%2 == 1)
+		for ci := range d.Chains {
+			pi[d.inputIndex[d.Chains[ci].ScanIn]] = bit
+		}
+		seq[t] = pi
+	}
+	return seq
+}
+
+// Vector is one combinational scan-mode test vector from ATPG: required
+// flip-flop values (to be shifted in) and free primary-input values.
+// Unassigned entries are don't-cares.
+type Vector struct {
+	FFs map[netlist.SignalID]logic.V
+	PIs map[netlist.SignalID]logic.V
+}
+
+// scanInBit computes the value chain ch's scan-in pin must carry at
+// shift cycle t (0-based within an L-cycle window) so that after the
+// window flip-flop at position p holds want[p]: the bit for position p
+// is injected at cycle L-1-p and inverted by the prefix parity.
+func (d *Design) scanInBit(ch *Chain, t, window int, want func(pos int) logic.V) logic.V {
+	pos := window - 1 - t
+	if pos < 0 || pos >= ch.Len() {
+		return logic.Zero
+	}
+	v := want(pos)
+	if !v.Known() {
+		return logic.Zero // don't-care: load 0
+	}
+	if ch.ParityTo(pos) {
+		return v.Not()
+	}
+	return v
+}
+
+// ConvertVectors turns ATPG vectors into one scan-mode test sequence.
+// A leading L-cycle flush (L = longest chain) shifts zeros in so every
+// flip-flop is definite before the first load — from the all-X power-on
+// state a fault-corrupted segment would otherwise poison everything
+// downstream with X on the very first load. Then, per vector, an
+// L-cycle shift window loads its flip-flop values; the cycle after a
+// window — which is also the first shift cycle of the next vector — has
+// the vector's own primary-input values applied, so its response is
+// exercised while the captured values shift out during the next window.
+// A final L-cycle flush empties the chain after the last vector.
+func (d *Design) ConvertVectors(vectors []Vector) [][]logic.V {
+	L := d.MaxChainLen()
+	var seq [][]logic.V
+	for t := 0; t < L; t++ {
+		seq = append(seq, d.BaselinePI())
+	}
+	for vi := 0; vi <= len(vectors); vi++ {
+		// PI values held during this window: the PREVIOUS vector's
+		// (whose loaded state is live at the window's first cycle).
+		var hold map[netlist.SignalID]logic.V
+		if vi > 0 {
+			hold = vectors[vi-1].PIs
+		}
+		var load *Vector
+		if vi < len(vectors) {
+			load = &vectors[vi]
+		}
+		for t := 0; t < L; t++ {
+			pi := d.BaselinePI()
+			for in, v := range hold {
+				if _, pinned := d.Assignments[in]; pinned {
+					continue
+				}
+				if v.Known() {
+					pi[d.inputIndex[in]] = v
+				}
+			}
+			if load != nil {
+				for ci := range d.Chains {
+					ch := &d.Chains[ci]
+					pi[d.inputIndex[ch.ScanIn]] = d.scanInBit(ch, t, L, func(pos int) logic.V {
+						return load.FFs[ch.FFs[pos]]
+					})
+				}
+			}
+			seq = append(seq, pi)
+		}
+	}
+	return seq
+}
+
+// LoadSequence returns the L-cycle shift window that loads the given
+// full flip-flop state (values keyed by FF signal; missing entries load
+// zero), with free inputs at baseline.
+func (d *Design) LoadSequence(state map[netlist.SignalID]logic.V) [][]logic.V {
+	L := d.MaxChainLen()
+	return d.ConvertVectors([]Vector{{FFs: state}})[L : 2*L]
+}
+
+// Verify checks the design's internal consistency under scan-mode
+// constant propagation (inputs at assignments, flip-flops at X): every
+// side input must evaluate to its required constant and every on-path
+// net must remain X (data-carrying). It returns the first violation.
+func (d *Design) Verify() error {
+	e := sim.NewComb(d.C)
+	e.ClearX()
+	for _, in := range d.C.Inputs {
+		if v, ok := d.Assignments[in]; ok {
+			e.Vals[in] = v
+		}
+	}
+	e.Eval(nil)
+	for ci := range d.Chains {
+		ch := &d.Chains[ci]
+		for si := range ch.Segment {
+			seg := &ch.Segment[si]
+			for _, s := range seg.Sides {
+				net := d.C.Signals[s.Gate].Fanin[s.Pin]
+				if got := e.Vals[net]; got != s.Want {
+					return fmt.Errorf("scan: chain %d segment %d: side %s.%d (%s) = %v, want %v",
+						ci, si, d.C.NameOf(s.Gate), s.Pin, d.C.NameOf(net), got, s.Want)
+				}
+			}
+			for _, p := range seg.Path {
+				if got := e.Vals[p]; got != logic.X {
+					return fmt.Errorf("scan: chain %d segment %d: on-path net %s pinned to %v",
+						ci, si, d.C.NameOf(p), got)
+				}
+			}
+			if last := seg.Path[len(seg.Path)-1]; d.C.Signals[seg.To].Fanin[0] != last {
+				return fmt.Errorf("scan: chain %d segment %d: path does not end at D of %s",
+					ci, si, d.C.NameOf(seg.To))
+			}
+		}
+	}
+	return nil
+}

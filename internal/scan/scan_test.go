@@ -1,0 +1,215 @@
+package scan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// tinyDesign hand-builds a 2-FF design with one inverting functional
+// segment so every parity and sequence property can be checked exactly:
+//
+//	ff0.D = OR(AND(si, sm), AND(old0, !sm))   (inserted head)
+//	ff1.D = NAND(ff0, side)                   (functional, inverting)
+//	side pinned to 1 by assignment of PI "en"
+func tinyDesign(t *testing.T) *Design {
+	t.Helper()
+	c := netlist.New("tiny")
+	si, _ := c.AddInput("si")
+	sm, _ := c.AddInput("sm")
+	en, _ := c.AddInput("en")
+	po, _ := c.AddInput("data")
+
+	ff0, _ := c.AddFF("ff0")
+	ff1, _ := c.AddFF("ff1")
+
+	nsm, _ := c.AddGate("nsm", logic.OpNot, sm)
+	andS, _ := c.AddGate("andS", logic.OpAnd, si, sm)
+	andF, _ := c.AddGate("andF", logic.OpAnd, po, nsm)
+	orG, _ := c.AddGate("orG", logic.OpOr, andS, andF)
+	if err := c.SetFFInput(ff0, orG); err != nil {
+		t.Fatal(err)
+	}
+
+	seg, _ := c.AddGate("seg", logic.OpNand, ff0, en)
+	if err := c.SetFFInput(ff1, seg); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := c.AddGate("out", logic.OpBuf, ff1)
+	_ = c.MarkOutput(out)
+	_ = c.MarkOutput(ff1) // scan-out
+	c.MustFinalize()
+
+	d := &Design{
+		C: c,
+		Assignments: map[netlist.SignalID]logic.V{
+			sm: logic.One,
+			en: logic.One,
+		},
+		ScanModePI: sm,
+		Chains: []Chain{{
+			ID:     0,
+			ScanIn: si,
+			FFs:    []netlist.SignalID{ff0, ff1},
+			Segment: []Segment{
+				{
+					To:   ff0,
+					Path: []netlist.SignalID{andS, orG},
+					Sides: []SideInput{
+						{Gate: andS, Pin: 1, Want: logic.One},
+						{Gate: orG, Pin: 1, Want: logic.Zero},
+					},
+					Kind: Inserted,
+				},
+				{
+					To:     ff1,
+					Path:   []netlist.SignalID{seg},
+					Sides:  []SideInput{{Gate: seg, Pin: 1, Want: logic.One}},
+					Invert: true,
+					Kind:   Functional,
+				},
+			},
+		}},
+	}
+	d.Init()
+	return d
+}
+
+func TestVerifyAcceptsConsistent(t *testing.T) {
+	d := tinyDesign(t)
+	if err := d.Verify(); err != nil {
+		t.Fatalf("Verify rejected a consistent design: %v", err)
+	}
+}
+
+func TestVerifyCatchesWrongSide(t *testing.T) {
+	d := tinyDesign(t)
+	// Claim the NAND side must be 0: propagation gives 1.
+	d.Chains[0].Segment[1].Sides[0].Want = logic.Zero
+	if err := d.Verify(); err == nil {
+		t.Error("Verify accepted a wrong side requirement")
+	} else if !strings.Contains(err.Error(), "side") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestVerifyCatchesPinnedPath(t *testing.T) {
+	d := tinyDesign(t)
+	// Unassign "en" and pin it to 0: the NAND output becomes constant 1,
+	// so the on-path net is pinned.
+	en, _ := d.C.Lookup("en")
+	d.Assignments[en] = logic.Zero
+	// Both the side requirement and the on-path X invariant now fail;
+	// Verify must reject either way.
+	if err := d.Verify(); err == nil {
+		t.Error("Verify accepted a design with a constant on-path net")
+	}
+}
+
+func TestVerifyCatchesDetachedPath(t *testing.T) {
+	d := tinyDesign(t)
+	// Make the segment path end somewhere other than the FF's D.
+	d.Chains[0].Segment[1].Path = d.Chains[0].Segment[0].Path[:1]
+	if err := d.Verify(); err == nil {
+		t.Error("Verify accepted a detached path")
+	}
+}
+
+func TestParityAndScanInBit(t *testing.T) {
+	d := tinyDesign(t)
+	ch := &d.Chains[0]
+	if ch.ParityTo(0) != false || ch.ParityTo(1) != true {
+		t.Fatalf("parities: %v %v", ch.ParityTo(0), ch.ParityTo(1))
+	}
+	// Load ff0=1, ff1=0 (window 2): bit for position 1 is injected at
+	// cycle 0 and inverted; bit for position 0 at cycle 1.
+	want := map[netlist.SignalID]logic.V{
+		ch.FFs[0]: logic.One,
+		ch.FFs[1]: logic.Zero,
+	}
+	seq := d.LoadSequence(want)
+	if len(seq) != 2 {
+		t.Fatalf("load sequence length %d", len(seq))
+	}
+	siIdx, _ := d.InputIndex(ch.ScanIn)
+	if seq[0][siIdx] != logic.One { // ff1 wants 0, parity inverts -> inject 1
+		t.Errorf("cycle 0 scan-in = %v, want 1", seq[0][siIdx])
+	}
+	if seq[1][siIdx] != logic.One { // ff0 wants 1, no parity
+		t.Errorf("cycle 1 scan-in = %v, want 1", seq[1][siIdx])
+	}
+}
+
+func TestFFPosition(t *testing.T) {
+	d := tinyDesign(t)
+	ci, pos, ok := d.FFPosition(d.Chains[0].FFs[1])
+	if !ok || ci != 0 || pos != 1 {
+		t.Errorf("FFPosition = %d,%d,%v", ci, pos, ok)
+	}
+	if _, _, ok := d.FFPosition(netlist.SignalID(0)); ok {
+		t.Error("FFPosition found a non-FF")
+	}
+}
+
+func TestBaselineAndAlternating(t *testing.T) {
+	d := tinyDesign(t)
+	base := d.BaselinePI()
+	sm, _ := d.InputIndex(d.ScanModePI)
+	if base[sm] != logic.One {
+		t.Error("baseline does not assert scan mode")
+	}
+	alt := d.AlternatingSequence(4)
+	if len(alt) != 2*2+4 {
+		t.Fatalf("alternating length %d", len(alt))
+	}
+	siIdx, _ := d.InputIndex(d.Chains[0].ScanIn)
+	wantBits := []logic.V{logic.Zero, logic.Zero, logic.One, logic.One, logic.Zero, logic.Zero, logic.One, logic.One}
+	for i, pi := range alt {
+		if pi[siIdx] != wantBits[i] {
+			t.Errorf("alternating cycle %d = %v, want %v", i, pi[siIdx], wantBits[i])
+		}
+	}
+}
+
+func TestConvertVectorsShape(t *testing.T) {
+	d := tinyDesign(t)
+	seq := d.ConvertVectors(nil)
+	// Leading flush + trailing flush window even with no vectors.
+	if len(seq) != 2*2 {
+		t.Errorf("empty conversion length %d, want 4", len(seq))
+	}
+	seq = d.ConvertVectors(make([]Vector, 3))
+	if len(seq) != 2*(3+2) {
+		t.Errorf("3-vector conversion length %d, want 10", len(seq))
+	}
+}
+
+func TestLinkStats(t *testing.T) {
+	d := tinyDesign(t)
+	f, i := d.LinkStats()
+	if f != 1 || i != 1 {
+		t.Errorf("LinkStats = %d,%d", f, i)
+	}
+}
+
+func TestSegmentKindString(t *testing.T) {
+	if Functional.String() != "functional" || Inserted.String() != "inserted" {
+		t.Error("SegmentKind strings wrong")
+	}
+}
+
+func TestScanOut(t *testing.T) {
+	d := tinyDesign(t)
+	if d.Chains[0].ScanOut() != d.Chains[0].FFs[1] {
+		t.Error("ScanOut is not the last FF")
+	}
+}
+
+func TestMaxChainLen(t *testing.T) {
+	d := tinyDesign(t)
+	if d.MaxChainLen() != 2 {
+		t.Errorf("MaxChainLen = %d", d.MaxChainLen())
+	}
+}

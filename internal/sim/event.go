@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// EventSeq is an event-driven sequential simulator: between cycles it
+// only re-evaluates the fanout cones of inputs and flip-flops whose
+// values actually changed, which beats the levelized full sweep of Seq
+// when circuit activity is low (long shift tests with quiet mission
+// inputs are exactly that workload — see the simulator benchmark).
+//
+// Semantics are identical to Seq cycle for cycle, fault injection
+// included; the equivalence is property-tested.
+type EventSeq struct {
+	C    *netlist.Circuit
+	vals []logic.V
+	next []logic.V // captured D values
+
+	inj *Inject
+
+	buckets  [][]netlist.SignalID
+	inQueue  []bool
+	maxLevel int
+	primed   bool
+}
+
+// NewEventSeq builds an event-driven simulator with all values X.
+func NewEventSeq(c *netlist.Circuit) *EventSeq {
+	maxLevel := 0
+	for _, l := range c.Level {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	e := &EventSeq{
+		C:        c,
+		vals:     make([]logic.V, len(c.Signals)),
+		next:     make([]logic.V, len(c.FFs)),
+		buckets:  make([][]netlist.SignalID, maxLevel+1),
+		inQueue:  make([]bool, len(c.Signals)),
+		maxLevel: maxLevel,
+	}
+	for i := range e.vals {
+		e.vals[i] = logic.X
+	}
+	for i := range e.next {
+		e.next[i] = logic.X
+	}
+	return e
+}
+
+// SetState overwrites the flip-flop state that the NEXT Cycle will
+// present on the flip-flop outputs — the same contract as Seq.SetState.
+func (e *EventSeq) SetState(st []logic.V) {
+	copy(e.next, st)
+}
+
+// State returns the flip-flop state the next cycle will load (the same
+// contract as Seq.State after a Cycle call).
+func (e *EventSeq) State() []logic.V {
+	out := make([]logic.V, len(e.next))
+	copy(out, e.next)
+	return out
+}
+
+// SetInjection installs the fault for subsequent cycles (nil clears).
+// Changing the injection forces a full re-evaluation on the next cycle.
+func (e *EventSeq) SetInjection(inj *Inject) {
+	e.inj = inj
+	e.primed = false
+}
+
+func (e *EventSeq) schedule(s netlist.SignalID) {
+	for _, fo := range e.C.Fanouts[s] {
+		if e.C.Signals[fo].Kind == netlist.KindGate && !e.inQueue[fo] {
+			e.inQueue[fo] = true
+			e.buckets[e.C.Level[fo]] = append(e.buckets[e.C.Level[fo]], fo)
+		}
+	}
+}
+
+// Cycle applies one clock with the same contract as Seq.Cycle.
+func (e *EventSeq) Cycle(pi []logic.V, po []logic.V) []logic.V {
+	c := e.C
+	if !e.primed {
+		// First cycle (or injection change): schedule everything.
+		for _, g := range c.Order {
+			if !e.inQueue[g] {
+				e.inQueue[g] = true
+				e.buckets[c.Level[g]] = append(e.buckets[c.Level[g]], g)
+			}
+		}
+		e.primed = true
+	}
+	for i, in := range c.Inputs {
+		v := pi[i]
+		if e.inj != nil && e.inj.IsStem() && e.inj.Signal == in {
+			// The stem fault pins the input; value changes are moot but
+			// the faulty value must be stable from the first cycle.
+			v = e.inj.Value
+		}
+		if e.vals[in] != v {
+			e.vals[in] = v
+			e.schedule(in)
+		}
+	}
+	// FF outputs take the previously captured D values.
+	for i, ff := range c.FFs {
+		v := e.next[i]
+		if e.inj != nil && e.inj.IsStem() && e.inj.Signal == ff {
+			v = e.inj.Value
+		}
+		if e.vals[ff] != v {
+			e.vals[ff] = v
+			e.schedule(ff)
+		}
+	}
+	// Event-driven levelized propagation.
+	var buf [12]logic.V
+	for lvl := 1; lvl <= e.maxLevel; lvl++ {
+		bucket := e.buckets[lvl]
+		for i := 0; i < len(bucket); i++ {
+			g := bucket[i]
+			e.inQueue[g] = false
+			s := &c.Signals[g]
+			in := buf[:0]
+			for pin, f := range s.Fanin {
+				v := e.vals[f]
+				if e.inj != nil && !e.inj.IsStem() && e.inj.Gate == g && e.inj.Pin == pin {
+					v = e.inj.Value
+				}
+				in = append(in, v)
+			}
+			v := s.Op.Eval(in)
+			if e.inj != nil && e.inj.IsStem() && e.inj.Signal == g {
+				v = e.inj.Value
+			}
+			if v != e.vals[g] {
+				e.vals[g] = v
+				e.schedule(g)
+			}
+		}
+		e.buckets[lvl] = e.buckets[lvl][:0]
+	}
+	// Observe outputs, capture D values.
+	if cap(po) < len(c.Outputs) {
+		po = make([]logic.V, len(c.Outputs))
+	}
+	po = po[:len(c.Outputs)]
+	for i, o := range c.Outputs {
+		po[i] = e.vals[o]
+	}
+	for i, ff := range c.FFs {
+		d := e.vals[c.Signals[ff].Fanin[0]]
+		if e.inj != nil && !e.inj.IsStem() && e.inj.Gate == ff && e.inj.Pin == 0 {
+			d = e.inj.Value
+		}
+		e.next[i] = d
+	}
+	return po
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// TestEventMatchesLevelized is the equivalence property: the
+// event-driven simulator must reproduce Seq's PO trace and state cycle
+// for cycle, fault-free and under every kind of injection.
+func TestEventMatchesLevelized(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	circuits := []*netlist.Circuit{
+		bench.MustS27(),
+		gen.Generate(gen.Profile{Name: "ev", PIs: 6, POs: 5, FFs: 12, Gates: 180}, 9),
+	}
+	for _, c := range circuits {
+		injs := []*Inject{nil}
+		for k := 0; k < 6; k++ {
+			sig := netlist.SignalID(r.Intn(len(c.Signals)))
+			in := &Inject{Signal: sig, Gate: netlist.None, Pin: -1, Value: logic.V(r.Intn(2))}
+			if len(c.Fanouts[sig]) > 0 && r.Intn(2) == 0 {
+				g := c.Fanouts[sig][r.Intn(len(c.Fanouts[sig]))]
+				for pin, f := range c.Signals[g].Fanin {
+					if f == sig {
+						in = &Inject{Signal: sig, Gate: g, Pin: pin, Value: logic.V(r.Intn(2))}
+						break
+					}
+				}
+			}
+			injs = append(injs, in)
+		}
+		for _, inj := range injs {
+			ref := NewSeq(c)
+			ev := NewEventSeq(c)
+			ev.SetInjection(inj)
+			st := make([]logic.V, len(c.FFs))
+			for i := range st {
+				st[i] = logic.V(r.Intn(3))
+			}
+			ref.SetState(st)
+			ev.SetState(st)
+
+			pi := make([]logic.V, len(c.Inputs))
+			var poR, poE []logic.V
+			for cyc := 0; cyc < 60; cyc++ {
+				// Low-activity stimulus: mostly repeat the previous
+				// values (the event simulator's target workload).
+				for i := range pi {
+					if cyc == 0 || r.Intn(4) == 0 {
+						pi[i] = logic.V(r.Intn(3))
+					}
+				}
+				poR = ref.Cycle(pi, inj, poR)
+				poE = ev.Cycle(pi, poE)
+				for o := range poR {
+					if poR[o] != poE[o] {
+						t.Fatalf("%s inj=%+v cycle %d PO %d: event %v, levelized %v",
+							c.Name, inj, cyc, o, poE[o], poR[o])
+					}
+				}
+				refSt, evSt := ref.State(), ev.State()
+				for i := range refSt {
+					if refSt[i] != evSt[i] {
+						t.Fatalf("%s inj=%+v cycle %d FF %d: event %v, levelized %v",
+							c.Name, inj, cyc, i, evSt[i], refSt[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEventInjectionChangeReprimes: swapping the injection mid-run must
+// still match a fresh levelized simulation from the same state.
+func TestEventInjectionChangeReprimes(t *testing.T) {
+	c := bench.MustS27()
+	ev := NewEventSeq(c)
+	zero := make([]logic.V, len(c.FFs))
+	ev.SetState(zero)
+	pi := make([]logic.V, len(c.Inputs))
+	for cyc := 0; cyc < 5; cyc++ {
+		ev.Cycle(pi, nil)
+	}
+	g8, _ := c.Lookup("G8")
+	inj := &Inject{Signal: g8, Gate: netlist.None, Pin: -1, Value: logic.One}
+	ev.SetInjection(inj)
+
+	ref := NewSeq(c)
+	ref.SetState(ev.State())
+	var poR, poE []logic.V
+	for cyc := 0; cyc < 20; cyc++ {
+		poR = ref.Cycle(pi, inj, poR)
+		poE = ev.Cycle(pi, poE)
+		for o := range poR {
+			if poR[o] != poE[o] {
+				t.Fatalf("cycle %d PO %d: %v vs %v", cyc, o, poE[o], poR[o])
+			}
+		}
+	}
+}
+
+// BenchmarkEventVsLevelized shows the activity win on a shift-like
+// workload (constant inputs, state churn only).
+func BenchmarkEventVsLevelized(b *testing.B) {
+	c := gen.Generate(gen.Profile{Name: "evb", PIs: 10, POs: 8, FFs: 60, Gates: 3000}, 4)
+	pi := make([]logic.V, len(c.Inputs))
+	b.Run("levelized", func(b *testing.B) {
+		s := NewSeq(c)
+		var po []logic.V
+		for i := 0; i < b.N; i++ {
+			po = s.Cycle(pi, nil, po)
+		}
+	})
+	b.Run("event", func(b *testing.B) {
+		s := NewEventSeq(c)
+		var po []logic.V
+		for i := 0; i < b.N; i++ {
+			po = s.Cycle(pi, po)
+		}
+	})
+}

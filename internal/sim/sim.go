@@ -1,0 +1,144 @@
+// Package sim evaluates circuits under three-valued logic: levelized
+// combinational evaluation, multi-cycle sequential simulation, and
+// 64-lane packed variants used by the parallel-fault simulator.
+//
+// Fault injection is expressed with Inject values so the fault package
+// can map its stuck-at fault sites onto the simulator without a
+// dependency cycle.
+package sim
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Inject describes a stuck-at override applied during evaluation.
+//
+// A stem fault (Gate == netlist.None) forces the value of Signal itself,
+// affecting every consumer. A branch fault (Gate != None) forces the
+// value seen by one consumer pin only: gate Gate reads Value on fanin
+// position Pin instead of the true value of Signal.
+type Inject struct {
+	Signal netlist.SignalID // faulty net (stem faults) or branch source
+	Gate   netlist.SignalID // consuming gate or FF for branch faults; None for stem
+	Pin    int              // fanin position within Gate; -1 for stem
+	Value  logic.V          // the stuck value
+}
+
+// IsStem reports whether the injection is a stem fault.
+func (in Inject) IsStem() bool { return in.Gate == netlist.None }
+
+// Comb is a reusable levelized combinational evaluator.
+type Comb struct {
+	C    *netlist.Circuit
+	Vals []logic.V // indexed by SignalID; caller presets PIs and FF outputs
+}
+
+// NewComb returns an evaluator with all values X.
+func NewComb(c *netlist.Circuit) *Comb {
+	return &Comb{C: c, Vals: make([]logic.V, len(c.Signals))}
+}
+
+// ClearX resets every signal value to X.
+func (e *Comb) ClearX() {
+	for i := range e.Vals {
+		e.Vals[i] = logic.X
+	}
+}
+
+// Eval evaluates all gates in topological order. PIs and FF outputs must
+// already be set in Vals. inj may be nil for fault-free evaluation.
+func (e *Comb) Eval(inj *Inject) {
+	c := e.C
+	if inj != nil && inj.IsStem() && !c.IsGate(inj.Signal) {
+		e.Vals[inj.Signal] = inj.Value
+	}
+	var buf [8]logic.V
+	for _, g := range c.Order {
+		s := &c.Signals[g]
+		in := buf[:0]
+		for pin, f := range s.Fanin {
+			v := e.Vals[f]
+			if inj != nil && !inj.IsStem() && inj.Gate == g && inj.Pin == pin {
+				v = inj.Value
+			}
+			in = append(in, v)
+		}
+		v := s.Op.Eval(in)
+		if inj != nil && inj.IsStem() && inj.Signal == g {
+			v = inj.Value
+		}
+		e.Vals[g] = v
+	}
+}
+
+// FFNext returns the value presented at the D pin of flip-flop ff,
+// honouring a branch injection on that pin.
+func (e *Comb) FFNext(ff netlist.SignalID, inj *Inject) logic.V {
+	if inj != nil && !inj.IsStem() && inj.Gate == ff && inj.Pin == 0 {
+		return inj.Value
+	}
+	return e.Vals[e.C.Signals[ff].Fanin[0]]
+}
+
+// Outputs copies the current primary-output values into dst (allocating
+// when dst is nil or too short) and returns it.
+func (e *Comb) Outputs(dst []logic.V) []logic.V {
+	if cap(dst) < len(e.C.Outputs) {
+		dst = make([]logic.V, len(e.C.Outputs))
+	}
+	dst = dst[:len(e.C.Outputs)]
+	for i, o := range e.C.Outputs {
+		dst[i] = e.Vals[o]
+	}
+	return dst
+}
+
+// Seq is a cycle-accurate sequential simulator holding flip-flop state
+// between calls.
+type Seq struct {
+	Comb
+	state []logic.V // per c.FFs index
+}
+
+// NewSeq returns a sequential simulator with all state X.
+func NewSeq(c *netlist.Circuit) *Seq {
+	s := &Seq{Comb: *NewComb(c), state: make([]logic.V, len(c.FFs))}
+	s.ResetX()
+	return s
+}
+
+// ResetX sets every flip-flop to X (power-on state).
+func (s *Seq) ResetX() {
+	for i := range s.state {
+		s.state[i] = logic.X
+	}
+}
+
+// SetState overwrites the flip-flop state (one value per c.FFs entry).
+func (s *Seq) SetState(st []logic.V) {
+	copy(s.state, st)
+}
+
+// State returns the current flip-flop state (aliased; copy to keep).
+func (s *Seq) State() []logic.V { return s.state }
+
+// Cycle applies one clock cycle: load pi (one value per c.Inputs entry),
+// evaluate the combinational logic, capture the new state, and return the
+// primary output values observed before the clock edge. po is reused
+// storage as in Comb.Outputs.
+func (s *Seq) Cycle(pi []logic.V, inj *Inject, po []logic.V) []logic.V {
+	c := s.C
+	for i, in := range c.Inputs {
+		s.Vals[in] = pi[i]
+	}
+	for i, ff := range c.FFs {
+		s.Vals[ff] = s.state[i]
+	}
+	s.Eval(inj)
+	po = s.Outputs(po)
+	for i, ff := range c.FFs {
+		s.state[i] = s.FFNext(ff, inj)
+	}
+	return po
+}

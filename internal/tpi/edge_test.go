@@ -1,0 +1,142 @@
+package tpi
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// isolated builds a circuit whose flip-flops only see their own
+// feedback — no combinational paths between different flip-flops exist,
+// so every link must fall back to inserted muxes.
+func isolated(t *testing.T, n int) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("isolated")
+	a, err := c.AddInput("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		ff, _ := c.AddFF(ffName(i))
+		g, _ := c.AddGate(gName(i), logic.OpXor, ff, a)
+		if err := c.SetFFInput(ff, g); err != nil {
+			t.Fatal(err)
+		}
+		_ = c.MarkOutput(g)
+	}
+	c.MustFinalize()
+	return c
+}
+
+func ffName(i int) string { return "f" + string(rune('a'+i)) }
+func gName(i int) string  { return "g" + string(rune('a'+i)) }
+
+func TestInsertAllMuxFallback(t *testing.T) {
+	c := isolated(t, 5)
+	d, err := Insert(c, Options{NumChains: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	functional, inserted := d.LinkStats()
+	if functional != 0 || inserted != 5 {
+		t.Errorf("links = %d functional, %d inserted; want 0/5", functional, inserted)
+	}
+	if err := d.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	// Shifting must still work.
+	want := map[netlist.SignalID]logic.V{}
+	for i, ff := range d.C.FFs {
+		want[ff] = logic.V(i % 2)
+	}
+	seq := d.LoadSequence(want)
+	s := sim.NewSeq(d.C)
+	for _, pi := range seq {
+		s.Cycle(pi, nil, nil)
+	}
+	for i, ff := range d.C.FFs {
+		if s.State()[i] != want[ff] {
+			t.Errorf("FF %s loaded %v, want %v", d.C.NameOf(ff), s.State()[i], want[ff])
+		}
+	}
+}
+
+func TestInsertSingleFF(t *testing.T) {
+	c := isolated(t, 1)
+	d, err := Insert(c, Options{NumChains: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Chains) != 1 || d.Chains[0].Len() != 1 {
+		t.Errorf("chains = %+v", d.Chains)
+	}
+}
+
+func TestInsertMoreChainsThanFFs(t *testing.T) {
+	c := isolated(t, 3)
+	d, err := Insert(c, Options{NumChains: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Chains) > 3 {
+		t.Errorf("%d chains for 3 FFs", len(d.Chains))
+	}
+	total := 0
+	for i := range d.Chains {
+		total += d.Chains[i].Len()
+	}
+	if total != 3 {
+		t.Errorf("chains cover %d FFs", total)
+	}
+}
+
+func TestInsertDoesNotMutateOriginal(t *testing.T) {
+	orig := bench.MustS27()
+	before := orig.Stat()
+	sigs := len(orig.Signals)
+	if _, err := Insert(orig, Options{NumChains: 1, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if orig.Stat() != before || len(orig.Signals) != sigs {
+		t.Error("Insert mutated the input circuit")
+	}
+}
+
+// TestTestPointTransparency: every inserted test point must be
+// transparent in normal mode — guaranteed by construction
+// (OR(n, scan_mode=0) = n, AND(n, !scan_mode=1) = n) — and forcing in
+// scan mode.
+func TestTestPointTransparency(t *testing.T) {
+	c := bench.MustS27()
+	d, err := Insert(c, Options{NumChains: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.TestPoints) == 0 {
+		t.Skip("no test points inserted on this seed")
+	}
+	e := sim.NewComb(d.C)
+	for _, mode := range []logic.V{logic.Zero, logic.One} {
+		e.ClearX()
+		for _, in := range d.C.Inputs {
+			e.Vals[in] = logic.Zero
+		}
+		e.Vals[d.ScanModePI] = mode
+		e.Eval(nil)
+		for _, tp := range d.TestPoints {
+			src := d.C.Signals[tp].Fanin[0]
+			if mode == logic.Zero {
+				if e.Vals[tp] != e.Vals[src] {
+					t.Errorf("test point %s not transparent in normal mode", d.C.NameOf(tp))
+				}
+			} else {
+				if !e.Vals[tp].Known() {
+					t.Errorf("test point %s not forcing in scan mode", d.C.NameOf(tp))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package tpi
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/scan"
+)
+
+// Cost scores a design for ordering optimization: inserted gates are
+// what TPI exists to avoid, so the cost is the fallback-link gate count
+// plus the test points (the paper compares exactly this overhead against
+// conventional MUXed scan).
+func Cost(d *scan.Design) int {
+	_, inserted := d.LinkStats()
+	return 3*inserted + len(d.TestPoints)
+}
+
+// OptimizeOrdering explores the chain-ordering freedom the paper leaves
+// to the designer: it runs scan insertion across the given seeds and
+// returns the cheapest design (fewest inserted gates), its seed, and
+// the cost of every candidate for reporting.
+func OptimizeOrdering(c *netlist.Circuit, opts Options, seeds []int64) (*scan.Design, int64, []int, error) {
+	if len(seeds) == 0 {
+		return nil, 0, nil, fmt.Errorf("tpi: OptimizeOrdering needs at least one seed")
+	}
+	var (
+		best     *scan.Design
+		bestSeed int64
+		costs    = make([]int, len(seeds))
+	)
+	for i, seed := range seeds {
+		o := opts
+		o.Seed = seed
+		d, err := Insert(c, o)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		costs[i] = Cost(d)
+		if best == nil || costs[i] < Cost(best) {
+			best, bestSeed = d, seed
+		}
+	}
+	return best, bestSeed, costs, nil
+}

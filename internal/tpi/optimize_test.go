@@ -1,0 +1,41 @@
+package tpi
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestOptimizeOrderingPicksCheapest(t *testing.T) {
+	c := gen.Generate(gen.Profile{Name: "opt", PIs: 8, POs: 6, FFs: 18, Gates: 320}, 7)
+	seeds := []int64{1, 2, 3, 4, 5}
+	best, seed, costs, err := OptimizeOrdering(c, Options{NumChains: 1}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != len(seeds) {
+		t.Fatalf("costs = %v", costs)
+	}
+	bc := Cost(best)
+	for i, cost := range costs {
+		if cost < bc {
+			t.Errorf("seed %d cost %d beats chosen %d (seed %d)", seeds[i], cost, bc, seed)
+		}
+	}
+	// The chosen seed must reproduce the chosen cost.
+	d, err := Insert(c, Options{NumChains: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Cost(d) != bc {
+		t.Errorf("re-running chosen seed gives cost %d, expected %d", Cost(d), bc)
+	}
+	t.Logf("costs=%v chosen seed=%d cost=%d", costs, seed, bc)
+}
+
+func TestOptimizeOrderingValidates(t *testing.T) {
+	c := gen.Generate(gen.Profile{Name: "optv", PIs: 4, POs: 3, FFs: 6, Gates: 60}, 1)
+	if _, _, _, err := OptimizeOrdering(c, Options{}, nil); err == nil {
+		t.Error("accepted empty seed list")
+	}
+}

@@ -1,0 +1,185 @@
+package tpi
+
+import (
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// SelectPartialScan picks a subset of flip-flops for partial scan by
+// breaking sequential feedback loops, in the spirit of Cheng & Agrawal
+// ("A partial scan method for sequential circuits with feedback", IEEE
+// ToC 1990, the paper's reference [3]): compute the flip-flop dependency
+// graph (FF -> FF combinational reachability), then greedily remove the
+// flip-flop on the most feedback until the graph is acyclic — a minimum
+// feedback vertex set approximation. Self-loops force selection.
+//
+// minFraction (0..1) tops the selection up with the highest-degree
+// remaining flip-flops so at least that share of flip-flops is scanned.
+func SelectPartialScan(c *netlist.Circuit, minFraction float64) []netlist.SignalID {
+	n := len(c.FFs)
+	if n == 0 {
+		return nil
+	}
+	idx := make(map[netlist.SignalID]int, n)
+	for i, ff := range c.FFs {
+		idx[ff] = i
+	}
+
+	// FF dependency graph over combinational paths.
+	adj := make([][]int, n)
+	for i, ff := range c.FFs {
+		seen := map[netlist.SignalID]bool{}
+		stack := []netlist.SignalID{ff}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, fo := range c.Fanouts[s] {
+				if seen[fo] {
+					continue
+				}
+				seen[fo] = true
+				if c.IsFF(fo) {
+					adj[i] = append(adj[i], idx[fo])
+					continue
+				}
+				if c.IsGate(fo) {
+					stack = append(stack, fo)
+				}
+			}
+		}
+		// The D pin counts too (a gate feeding this FF's D).
+		// (Covered: Fanouts of intermediate gates include FFs via D pins.)
+	}
+
+	removed := make([]bool, n)
+	selected := []int{}
+
+	// Self-loops must be cut.
+	for i := range adj {
+		for _, j := range adj[i] {
+			if j == i && !removed[i] {
+				removed[i] = true
+				selected = append(selected, i)
+			}
+		}
+	}
+
+	// Greedy: while a cycle exists, remove the vertex with the highest
+	// in+out degree within the remaining graph.
+	for {
+		cyc := findCycle(adj, removed)
+		if cyc == nil {
+			break
+		}
+		best, bestDeg := cyc[0], -1
+		for _, v := range cyc {
+			deg := 0
+			for _, w := range adj[v] {
+				if !removed[w] {
+					deg++
+				}
+			}
+			for u := range adj {
+				if removed[u] {
+					continue
+				}
+				for _, w := range adj[u] {
+					if w == v {
+						deg++
+					}
+				}
+			}
+			if deg > bestDeg {
+				best, bestDeg = v, deg
+			}
+		}
+		removed[best] = true
+		selected = append(selected, best)
+	}
+
+	// Top up to the requested fraction with the busiest leftovers.
+	want := int(minFraction * float64(n))
+	if want > n {
+		want = n
+	}
+	if len(selected) < want {
+		type cand struct{ v, deg int }
+		var cands []cand
+		for v := range adj {
+			if removed[v] {
+				continue
+			}
+			cands = append(cands, cand{v, len(adj[v])})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].deg != cands[j].deg {
+				return cands[i].deg > cands[j].deg
+			}
+			return cands[i].v < cands[j].v
+		})
+		for _, cd := range cands {
+			if len(selected) >= want {
+				break
+			}
+			removed[cd.v] = true
+			selected = append(selected, cd.v)
+		}
+	}
+
+	sort.Ints(selected)
+	out := make([]netlist.SignalID, len(selected))
+	for i, v := range selected {
+		out[i] = c.FFs[v]
+	}
+	return out
+}
+
+// findCycle returns one directed cycle among non-removed vertices, or
+// nil if the remaining graph is acyclic.
+func findCycle(adj [][]int, removed []bool) []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(adj))
+	parent := make([]int, len(adj))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []int
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		color[v] = gray
+		for _, w := range adj[v] {
+			if removed[w] {
+				continue
+			}
+			switch color[w] {
+			case white:
+				parent[w] = v
+				if dfs(w) {
+					return true
+				}
+			case gray:
+				// Found a back edge w -> ... -> v -> w.
+				cycle = []int{w}
+				for x := v; x != w && x != -1; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				return true
+			}
+		}
+		color[v] = black
+		return false
+	}
+	for v := range adj {
+		if !removed[v] && color[v] == white {
+			if dfs(v) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package tpi
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func TestSelectPartialScanBreaksAllLoops(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		c := gen.Generate(gen.Profile{Name: "ps", PIs: 6, POs: 4, FFs: 24, Gates: 300}, seed)
+		sel := SelectPartialScan(c, 0)
+		selSet := map[netlist.SignalID]bool{}
+		for _, ff := range sel {
+			selSet[ff] = true
+		}
+		// Rebuild the FF graph over the non-selected flip-flops and
+		// check it is acyclic.
+		idx := map[netlist.SignalID]int{}
+		var rest []netlist.SignalID
+		for _, ff := range c.FFs {
+			if !selSet[ff] {
+				idx[ff] = len(rest)
+				rest = append(rest, ff)
+			}
+		}
+		adj := make([][]int, len(rest))
+		for i, ff := range rest {
+			seen := map[netlist.SignalID]bool{}
+			stack := []netlist.SignalID{ff}
+			for len(stack) > 0 {
+				s := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, fo := range c.Fanouts[s] {
+					if seen[fo] {
+						continue
+					}
+					seen[fo] = true
+					if c.IsFF(fo) {
+						if j, ok := idx[fo]; ok {
+							adj[i] = append(adj[i], j)
+						}
+						continue
+					}
+					if c.IsGate(fo) {
+						stack = append(stack, fo)
+					}
+				}
+			}
+		}
+		if cyc := findCycle(adj, make([]bool, len(rest))); cyc != nil {
+			t.Errorf("seed %d: sequential loop remains after selection", seed)
+		}
+	}
+}
+
+func TestSelectPartialScanFraction(t *testing.T) {
+	c := gen.Generate(gen.Profile{Name: "psf", PIs: 6, POs: 4, FFs: 20, Gates: 200}, 4)
+	sel := SelectPartialScan(c, 0.75)
+	if len(sel) < 15 {
+		t.Errorf("selection %d below requested fraction", len(sel))
+	}
+	if len(sel) > 20 {
+		t.Errorf("selection %d exceeds FF count", len(sel))
+	}
+	// Deterministic.
+	sel2 := SelectPartialScan(c, 0.75)
+	if len(sel) != len(sel2) {
+		t.Fatal("selection nondeterministic")
+	}
+	for i := range sel {
+		if sel[i] != sel2[i] {
+			t.Fatal("selection nondeterministic")
+		}
+	}
+}
+
+func TestInsertPartialScan(t *testing.T) {
+	c := gen.Generate(gen.Profile{Name: "pins", PIs: 8, POs: 6, FFs: 18, Gates: 250}, 5)
+	sel := SelectPartialScan(c, 0.5)
+	d, err := Insert(c, Options{NumChains: 1, Seed: 1, ScanFFs: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Partial() {
+		t.Fatal("design not marked partial")
+	}
+	if d.Chains[0].Len() != len(sel) {
+		t.Errorf("chain covers %d FFs, want %d", d.Chains[0].Len(), len(sel))
+	}
+	if len(d.NonScan)+len(sel) != len(c.FFs) {
+		t.Errorf("NonScan %d + scanned %d != %d", len(d.NonScan), len(sel), len(c.FFs))
+	}
+	// Non-scan flip-flops keep their mission D input wiring through... a
+	// functional path: their D must NOT be one of the inserted mux gates.
+	for _, ff := range d.NonScan {
+		dsrc := d.C.Signals[ff].Fanin[0]
+		name := d.C.NameOf(dsrc)
+		if len(name) >= 3 && name[:3] == "mux" {
+			t.Errorf("non-scan FF %s rewired to %s", d.C.NameOf(ff), name)
+		}
+	}
+	if err := d.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	// Loading the scanned subset still works.
+	want := map[netlist.SignalID]logic.V{}
+	for i, ff := range d.Chains[0].FFs {
+		want[ff] = logic.V(i % 2)
+	}
+	seq := d.LoadSequence(want)
+	s := sim.NewSeq(d.C)
+	for _, pi := range seq {
+		s.Cycle(pi, nil, nil)
+	}
+	for i, ff := range d.C.FFs {
+		if w, ok := want[ff]; ok && s.State()[i] != w {
+			t.Errorf("scanned FF %s loaded %v, want %v", d.C.NameOf(ff), s.State()[i], w)
+		}
+	}
+}
+
+func TestInsertRejectsBadScanFFs(t *testing.T) {
+	c := bench.MustS27()
+	g, _ := c.Lookup("G14") // a gate, not a FF
+	if _, err := Insert(c, Options{ScanFFs: []netlist.SignalID{g}}); err == nil {
+		t.Error("Insert accepted a non-FF in ScanFFs")
+	}
+	if _, err := Insert(c, Options{ScanFFs: []netlist.SignalID{}}); err == nil {
+		t.Error("Insert accepted an empty ScanFFs")
+	}
+}

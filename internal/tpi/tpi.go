@@ -1,0 +1,368 @@
+// Package tpi implements test point insertion for functional scan
+// (Lin, Marek-Sadowska, Cheng, Lee — DAC'97), the technique the paper
+// builds on: establish scan paths through mission combinational logic by
+// forcing the side inputs of a chosen flip-flop-to-flip-flop path to
+// non-controlling values during scan mode, using primary-input
+// assignments where possible and inserted test points otherwise.
+//
+// When no functional path between two flip-flops can be sensitized, the
+// link falls back to inserted multiplexer gates (the conventional
+// MUXed-scan construction); head segments always use the inserted form
+// to bring in the dedicated scan-in pin. Either way the result is a
+// uniform scan.Design whose every link is a sensitized combinational
+// path — which is exactly what makes testing the chain itself
+// non-trivial and motivates the paper.
+package tpi
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+// Options tunes scan insertion.
+type Options struct {
+	NumChains     int   // number of scan chains (min 1)
+	MaxPathLen    int   // maximum gates on a functional path (default 8)
+	MaxPathsTried int   // DFS path candidates examined per link (default 12)
+	JustifyDepth  int   // recursion depth for PI-assignment justification (default 24)
+	MaxCandidates int   // candidate successors kept per flip-flop (default 16)
+	ConeCap       int   // forward-cone exploration cap per flip-flop (default 600)
+	Seed          int64 // tie-breaking randomness
+
+	// ScanFFs restricts the chains to this flip-flop subset (partial
+	// scan); the rest keep their mission D input and are recorded in
+	// Design.NonScan. Nil selects every flip-flop (full scan). Use
+	// SelectPartialScan for a feedback-breaking subset.
+	ScanFFs []netlist.SignalID
+}
+
+func (o Options) withDefaults(nFF int) Options {
+	if o.NumChains < 1 {
+		o.NumChains = 1
+	}
+	if o.NumChains > nFF {
+		o.NumChains = nFF
+	}
+	if o.MaxPathLen == 0 {
+		o.MaxPathLen = 8
+	}
+	if o.MaxPathsTried == 0 {
+		o.MaxPathsTried = 12
+	}
+	if o.JustifyDepth == 0 {
+		o.JustifyDepth = 24
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 16
+	}
+	if o.ConeCap == 0 {
+		o.ConeCap = 600
+	}
+	return o
+}
+
+type builder struct {
+	opts Options
+	c    *netlist.Circuit
+	r    *rand.Rand
+
+	scanMode netlist.SignalID
+	nsm      netlist.SignalID // NOT(scan_mode), shared by 0-forcing points and fallback muxes
+
+	assignments map[netlist.SignalID]logic.V
+	reserved    map[netlist.SignalID]bool // inputs justification may not touch (scan-ins)
+	protected   map[netlist.SignalID]bool // on-path nets
+	testPoints  []netlist.SignalID
+
+	eval *sim.Comb // scan-mode constant propagation state
+
+	muxCounter int
+	tpCounter  int
+}
+
+// Insert builds a functional scan design for circuit orig. orig is not
+// modified.
+func Insert(orig *netlist.Circuit, opts Options) (*scan.Design, error) {
+	if len(orig.FFs) == 0 {
+		return nil, fmt.Errorf("tpi: circuit %q has no flip-flops", orig.Name)
+	}
+	scanSet := make(map[netlist.SignalID]bool, len(orig.FFs))
+	if opts.ScanFFs == nil {
+		for _, ff := range orig.FFs {
+			scanSet[ff] = true
+		}
+	} else {
+		if len(opts.ScanFFs) == 0 {
+			return nil, fmt.Errorf("tpi: empty ScanFFs selection")
+		}
+		for _, ff := range opts.ScanFFs {
+			if int(ff) >= len(orig.Signals) || !orig.IsFF(ff) {
+				return nil, fmt.Errorf("tpi: ScanFFs entry %d is not a flip-flop", ff)
+			}
+			scanSet[ff] = true
+		}
+	}
+	opts = opts.withDefaults(len(scanSet))
+
+	b := &builder{
+		opts:        opts,
+		c:           orig.Clone(),
+		r:           rand.New(rand.NewSource(opts.Seed)),
+		assignments: make(map[netlist.SignalID]logic.V),
+		reserved:    make(map[netlist.SignalID]bool),
+		protected:   make(map[netlist.SignalID]bool),
+	}
+	var err error
+	if b.scanMode, err = b.c.AddInput("scan_mode"); err != nil {
+		return nil, err
+	}
+	if b.nsm, err = b.c.AddGate("scan_mode_n", logic.OpNot, b.scanMode); err != nil {
+		return nil, err
+	}
+	b.assignments[b.scanMode] = logic.One
+	if err := b.refresh(); err != nil {
+		return nil, err
+	}
+
+	candidates := b.successorCandidates(orig)
+	chains, err := b.buildChains(candidates, scanSet)
+	if err != nil {
+		return nil, err
+	}
+	var nonScan []netlist.SignalID
+	for _, ff := range b.c.FFs {
+		if !scanSet[ff] {
+			nonScan = append(nonScan, ff)
+		}
+	}
+
+	// Scan-out pins: the last flip-flop of each chain becomes a primary
+	// output unless it already is one.
+	isPO := make(map[netlist.SignalID]bool, len(b.c.Outputs))
+	for _, o := range b.c.Outputs {
+		isPO[o] = true
+	}
+	for i := range chains {
+		so := chains[i].ScanOut()
+		if !isPO[so] {
+			if err := b.c.MarkOutput(so); err != nil {
+				return nil, err
+			}
+			isPO[so] = true
+		}
+	}
+	if err := b.c.Finalize(); err != nil {
+		return nil, err
+	}
+
+	d := &scan.Design{
+		C:           b.c,
+		Assignments: b.assignments,
+		ScanModePI:  b.scanMode,
+		Chains:      chains,
+		TestPoints:  b.testPoints,
+		NonScan:     nonScan,
+	}
+	d.Init()
+	if err := d.Verify(); err != nil {
+		return nil, fmt.Errorf("tpi: inconsistent design: %v", err)
+	}
+	return d, nil
+}
+
+// refresh re-finalizes the circuit after mutation and recomputes the
+// scan-mode constant propagation (assigned inputs constant, free inputs
+// and flip-flop outputs X).
+func (b *builder) refresh() error {
+	if err := b.c.Finalize(); err != nil {
+		return err
+	}
+	b.eval = sim.NewComb(b.c)
+	b.propagate()
+	return nil
+}
+
+func (b *builder) propagate() {
+	b.eval.ClearX()
+	for _, in := range b.c.Inputs {
+		if v, ok := b.assignments[in]; ok {
+			b.eval.Vals[in] = v
+		}
+	}
+	b.eval.Eval(nil)
+}
+
+func (b *builder) val(s netlist.SignalID) logic.V { return b.eval.Vals[s] }
+
+// successorCandidates finds, per flip-flop, the flip-flops whose D cone
+// its output reaches within MaxPathLen gates — the functional-link
+// candidates, nearest first.
+func (b *builder) successorCandidates(orig *netlist.Circuit) map[netlist.SignalID][]netlist.SignalID {
+	dsrcOf := make(map[netlist.SignalID][]netlist.SignalID) // D-source signal -> FFs
+	for _, ff := range orig.FFs {
+		d := orig.Signals[ff].Fanin[0]
+		dsrcOf[d] = append(dsrcOf[d], ff)
+	}
+	out := make(map[netlist.SignalID][]netlist.SignalID, len(orig.FFs))
+	type qe struct {
+		sig  netlist.SignalID
+		dist int
+	}
+	for _, q := range orig.FFs {
+		seen := map[netlist.SignalID]bool{q: true}
+		queue := []qe{{q, 0}}
+		visited := 0
+		var cands []netlist.SignalID
+		have := map[netlist.SignalID]bool{}
+		for len(queue) > 0 && visited < b.opts.ConeCap && len(cands) < b.opts.MaxCandidates {
+			cur := queue[0]
+			queue = queue[1:]
+			visited++
+			for _, fo := range orig.Fanouts[cur.sig] {
+				if seen[fo] || !orig.IsGate(fo) || cur.dist+1 > b.opts.MaxPathLen {
+					continue
+				}
+				seen[fo] = true
+				for _, ff := range dsrcOf[fo] {
+					if ff != q && !have[ff] {
+						have[ff] = true
+						cands = append(cands, ff)
+					}
+				}
+				queue = append(queue, qe{fo, cur.dist + 1})
+			}
+		}
+		out[q] = cands
+	}
+	return out
+}
+
+// buildChains partitions the scan-selected flip-flops into chains,
+// preferring functional links to candidates and falling back to
+// inserted muxes.
+func (b *builder) buildChains(candidates map[netlist.SignalID][]netlist.SignalID, scanSet map[netlist.SignalID]bool) ([]scan.Chain, error) {
+	used := make(map[netlist.SignalID]bool)
+	remaining := len(scanSet)
+	var chains []scan.Chain
+
+	// The paper leaves the ordering of flip-flops without functional
+	// links to the designer; the seed picks one such ordering, so
+	// different seeds explore the flexibility (examples/orderingsweep).
+	order := make([]netlist.SignalID, 0, len(scanSet))
+	for _, ff := range b.c.FFs {
+		if scanSet[ff] {
+			order = append(order, ff)
+		}
+	}
+	b.r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	nextUnused := func() netlist.SignalID {
+		for _, ff := range order {
+			if !used[ff] {
+				return ff
+			}
+		}
+		return netlist.None
+	}
+
+	for ci := 0; ci < b.opts.NumChains && remaining > 0; ci++ {
+		target := remaining / (b.opts.NumChains - ci)
+		if target < 1 {
+			target = 1
+		}
+		start := nextUnused()
+		used[start] = true
+		remaining--
+
+		scanIn, err := b.c.AddInput(fmt.Sprintf("scan_in%d", ci))
+		if err != nil {
+			return nil, err
+		}
+		b.reserved[scanIn] = true
+		if err := b.refresh(); err != nil {
+			return nil, err
+		}
+		head, err := b.insertMuxLink(scanIn, start)
+		if err != nil {
+			return nil, err
+		}
+		ch := scan.Chain{ID: ci, ScanIn: scanIn, FFs: []netlist.SignalID{start}, Segment: []scan.Segment{head}}
+
+		for ch.Len() < target && remaining > 0 {
+			cur := ch.FFs[ch.Len()-1]
+			var next netlist.SignalID = netlist.None
+			var seg scan.Segment
+			for _, cand := range candidates[cur] {
+				if used[cand] || !scanSet[cand] {
+					continue
+				}
+				if s, ok := b.tryFunctionalLink(cur, cand); ok {
+					next, seg = cand, s
+					break
+				}
+			}
+			if next == netlist.None {
+				next = nextUnused()
+				s, err := b.insertMuxLink(cur, next)
+				if err != nil {
+					return nil, err
+				}
+				seg = s
+			}
+			used[next] = true
+			remaining--
+			ch.FFs = append(ch.FFs, next)
+			ch.Segment = append(ch.Segment, seg)
+		}
+		chains = append(chains, ch)
+	}
+	return chains, nil
+}
+
+// insertMuxLink builds the conventional scan link from source signal src
+// (a flip-flop Q or a scan-in pin) into ff's D through inserted gates:
+//
+//	d' = OR(AND(src, scan_mode), AND(oldD, !scan_mode))
+//
+// The AND/OR pair is itself a sensitized functional path in scan mode,
+// so it is described as a Segment like any other.
+func (b *builder) insertMuxLink(src, ff netlist.SignalID) (scan.Segment, error) {
+	oldD := b.c.Signals[ff].Fanin[0]
+	n := b.muxCounter
+	b.muxCounter++
+	andScan, err := b.c.AddGate(fmt.Sprintf("mux%d_s", n), logic.OpAnd, src, b.scanMode)
+	if err != nil {
+		return scan.Segment{}, err
+	}
+	andFunc, err := b.c.AddGate(fmt.Sprintf("mux%d_f", n), logic.OpAnd, oldD, b.nsm)
+	if err != nil {
+		return scan.Segment{}, err
+	}
+	orG, err := b.c.AddGate(fmt.Sprintf("mux%d_o", n), logic.OpOr, andScan, andFunc)
+	if err != nil {
+		return scan.Segment{}, err
+	}
+	if err := b.c.SetFFInput(ff, orG); err != nil {
+		return scan.Segment{}, err
+	}
+	if err := b.refresh(); err != nil {
+		return scan.Segment{}, err
+	}
+	b.protected[andScan] = true
+	b.protected[orG] = true
+	return scan.Segment{
+		To:   ff,
+		Path: []netlist.SignalID{andScan, orG},
+		Sides: []scan.SideInput{
+			{Gate: andScan, Pin: 1, Want: logic.One}, // scan_mode
+			{Gate: orG, Pin: 1, Want: logic.Zero},    // functional branch gated off
+		},
+		Invert: false,
+		Kind:   scan.Inserted,
+	}, nil
+}

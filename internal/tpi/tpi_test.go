@@ -1,0 +1,302 @@
+package tpi
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/scan"
+	"repro/internal/sim"
+)
+
+func insertS27(t *testing.T, chains int) *scan.Design {
+	t.Helper()
+	d, err := Insert(bench.MustS27(), Options{NumChains: chains, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func genCircuit(t *testing.T, gates, ffs int, seed int64) *netlist.Circuit {
+	t.Helper()
+	return gen.Generate(gen.Profile{
+		Name: "tpit", PIs: 8, POs: 6, FFs: ffs, Gates: gates,
+	}, seed)
+}
+
+func TestInsertCoversAllFFs(t *testing.T) {
+	d := insertS27(t, 1)
+	if len(d.Chains) != 1 {
+		t.Fatalf("chains = %d", len(d.Chains))
+	}
+	seen := map[netlist.SignalID]bool{}
+	for _, ff := range d.Chains[0].FFs {
+		if seen[ff] {
+			t.Errorf("FF %s appears twice", d.C.NameOf(ff))
+		}
+		seen[ff] = true
+	}
+	if len(seen) != len(d.C.FFs) {
+		t.Errorf("chain covers %d of %d FFs", len(seen), len(d.C.FFs))
+	}
+	if err := d.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestInsertMultipleChains(t *testing.T) {
+	c := genCircuit(t, 200, 12, 3)
+	d, err := Insert(c, Options{NumChains: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Chains) != 3 {
+		t.Fatalf("chains = %d", len(d.Chains))
+	}
+	total := 0
+	for i := range d.Chains {
+		total += d.Chains[i].Len()
+		if d.Chains[i].ScanIn == netlist.None {
+			t.Error("chain without scan-in")
+		}
+	}
+	if total != 12 {
+		t.Errorf("FFs on chains = %d, want 12", total)
+	}
+}
+
+// TestNormalModePreserved: with scan_mode=0 the scan design must behave
+// exactly like the original circuit (same PO trace and state evolution).
+func TestNormalModePreserved(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		orig := genCircuit(t, 150, 10, seed)
+		d, err := Insert(orig, Options{NumChains: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(seed * 7))
+
+		so := sim.NewSeq(orig)
+		sn := sim.NewSeq(d.C)
+		zero := make([]logic.V, len(orig.FFs))
+		so.SetState(zero)
+		// The design has the same FFs (same IDs order) — start equal.
+		sn.SetState(zero)
+
+		nOrigPO := len(orig.Outputs)
+		piO := make([]logic.V, len(orig.Inputs))
+		piN := make([]logic.V, len(d.C.Inputs))
+		var poO, poN []logic.V
+		for cyc := 0; cyc < 40; cyc++ {
+			for i := range piO {
+				piO[i] = logic.V(r.Intn(2))
+			}
+			for i, in := range d.C.Inputs {
+				if in == d.ScanModePI {
+					piN[i] = logic.Zero
+				} else if int(in) < len(orig.Signals) && orig.IsPI(in) {
+					// Shared mission input: same index order as original.
+					piN[i] = piO[i]
+				} else {
+					piN[i] = logic.V(r.Intn(2)) // scan-in pins: noise
+				}
+			}
+			poO = so.Cycle(piO, nil, poO)
+			poN = sn.Cycle(piN, nil, poN)
+			for o := 0; o < nOrigPO; o++ {
+				if poO[o] != poN[o] {
+					t.Fatalf("seed %d cycle %d: PO %d differs in normal mode: %v vs %v",
+						seed, cyc, o, poO[o], poN[o])
+				}
+			}
+			for i := range orig.FFs {
+				if so.State()[i] != sn.State()[i] {
+					t.Fatalf("seed %d cycle %d: FF %d state differs: %v vs %v",
+						seed, cyc, i, so.State()[i], sn.State()[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShiftLoadsState: shifting a random target state in through the
+// functional chain must leave exactly that state in the flip-flops.
+func TestShiftLoadsState(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		d    *scan.Design
+		seed int64
+	}{
+		{"s27-1chain", insertS27(t, 1), 5},
+		{"s27-2chain", insertS27(t, 2), 6},
+	} {
+		d := tc.d
+		r := rand.New(rand.NewSource(tc.seed))
+		want := map[netlist.SignalID]logic.V{}
+		for _, ff := range d.C.FFs {
+			want[ff] = logic.V(r.Intn(2))
+		}
+		seq := d.LoadSequence(want)
+		s := sim.NewSeq(d.C)
+		var po []logic.V
+		for _, pi := range seq {
+			po = s.Cycle(pi, nil, po)
+		}
+		for i, ff := range d.C.FFs {
+			if got := s.State()[i]; got != want[ff] {
+				t.Errorf("%s: FF %s loaded %v, want %v", tc.name, d.C.NameOf(ff), got, want[ff])
+			}
+		}
+	}
+}
+
+func TestShiftLoadsStateGenerated(t *testing.T) {
+	c := genCircuit(t, 300, 16, 11)
+	d, err := Insert(c, Options{NumChains: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 5; trial++ {
+		want := map[netlist.SignalID]logic.V{}
+		for _, ff := range d.C.FFs {
+			want[ff] = logic.V(r.Intn(2))
+		}
+		seq := d.LoadSequence(want)
+		s := sim.NewSeq(d.C)
+		var po []logic.V
+		for _, pi := range seq {
+			po = s.Cycle(pi, nil, po)
+		}
+		for i, ff := range d.C.FFs {
+			if got := s.State()[i]; got != want[ff] {
+				t.Fatalf("trial %d: FF %s loaded %v, want %v", trial, d.C.NameOf(ff), got, want[ff])
+			}
+		}
+	}
+}
+
+// TestFunctionalLinksFound: on generated circuits TPI should sensitize a
+// meaningful share of links through mission logic rather than falling
+// back to muxes everywhere.
+func TestFunctionalLinksFound(t *testing.T) {
+	c := genCircuit(t, 400, 20, 9)
+	d, err := Insert(c, Options{NumChains: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	functional, inserted := d.LinkStats()
+	t.Logf("functional=%d inserted=%d testpoints=%d", functional, inserted, len(d.TestPoints))
+	if functional == 0 {
+		t.Error("no functional links established")
+	}
+	_ = inserted
+}
+
+// TestScanOutObservesShiftedPattern: drive the alternating sequence and
+// check each chain's scan-out reproduces the scan-in pattern delayed by
+// the chain length and corrected for parity.
+func TestScanOutObservesShiftedPattern(t *testing.T) {
+	d := insertS27(t, 1)
+	ch := &d.Chains[0]
+	L := ch.Len()
+	seq := d.AlternatingSequence(8)
+	s := sim.NewSeq(d.C)
+	var po []logic.V
+	// Index of scan-out in outputs.
+	outIdx := -1
+	for i, o := range d.C.Outputs {
+		if o == ch.ScanOut() {
+			outIdx = i
+		}
+	}
+	if outIdx < 0 {
+		t.Fatal("scan-out not a PO")
+	}
+	parity := ch.ParityTo(L - 1)
+	siIdx, _ := d.InputIndex(ch.ScanIn)
+	for cyc, pi := range seq {
+		po = s.Cycle(pi, nil, po)
+		// After the pipeline fills, scan-out at cycle t equals the bit
+		// injected at cycle t-L+... : the bit captured into the last FF
+		// at end of cycle k is visible on its Q during cycle k+1.
+		inj := cyc - L
+		if inj >= 0 {
+			want := seq[inj][siIdx]
+			if parity {
+				want = want.Not()
+			}
+			if got := po[outIdx]; got != want {
+				t.Fatalf("cycle %d: scan-out %v, want %v (inject cycle %d)", cyc, got, want, inj)
+			}
+		}
+	}
+}
+
+func TestInsertRejectsNoFFs(t *testing.T) {
+	c, _ := bench.ParseString("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "comb")
+	if _, err := Insert(c, Options{}); err == nil {
+		t.Error("Insert accepted a circuit without flip-flops")
+	}
+}
+
+func TestConvertVectorsAppliesPIValues(t *testing.T) {
+	d := insertS27(t, 1)
+	// Choose a mission PI and verify its value appears in the window
+	// following the vector's load.
+	var missionPI netlist.SignalID = netlist.None
+	for _, in := range d.C.Inputs {
+		if _, pinned := d.Assignments[in]; pinned {
+			continue
+		}
+		isScanIn := false
+		for i := range d.Chains {
+			if d.Chains[i].ScanIn == in {
+				isScanIn = true
+			}
+		}
+		if !isScanIn {
+			missionPI = in
+			break
+		}
+	}
+	if missionPI == netlist.None {
+		t.Skip("no free mission PI")
+	}
+	v := scan.Vector{
+		FFs: map[netlist.SignalID]logic.V{},
+		PIs: map[netlist.SignalID]logic.V{missionPI: logic.One},
+	}
+	seq := d.ConvertVectors([]scan.Vector{v})
+	L := d.MaxChainLen()
+	if len(seq) != 3*L { // flush + load + response/flush-out window
+		t.Fatalf("sequence length %d, want %d", len(seq), 3*L)
+	}
+	idx, _ := d.InputIndex(missionPI)
+	for t2 := 0; t2 < 2*L; t2++ {
+		if seq[t2][idx] != logic.Zero {
+			t.Errorf("cycle %d: PI should be baseline 0 during flush/load, got %v", t2, seq[t2][idx])
+		}
+		if seq[2*L+t2/2][idx] != logic.One {
+			t.Errorf("cycle %d: PI should hold vector value 1, got %v", 2*L+t2/2, seq[2*L+t2/2][idx])
+		}
+	}
+}
+
+func TestParityToConsistent(t *testing.T) {
+	d := insertS27(t, 1)
+	ch := &d.Chains[0]
+	p := false
+	for i := range ch.Segment {
+		if ch.Segment[i].Invert {
+			p = !p
+		}
+		if ch.ParityTo(i) != p {
+			t.Errorf("ParityTo(%d) = %v, want %v", i, ch.ParityTo(i), p)
+		}
+	}
+}

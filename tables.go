@@ -1,0 +1,157 @@
+package fsct
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table1 renders the test-suite table (paper Table 1): circuit sizes,
+// fault counts and chain counts.
+func Table1(reports []*Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Test suite.\n")
+	fmt.Fprintf(&b, "%-10s %8s %6s %8s %7s\n", "name", "#gates", "#FFs", "#faults", "#chains")
+	tg, tf, tfl, tc := 0, 0, 0, 0
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-10s %8d %6d %8d %7d\n", r.Circuit, r.Gates, r.FFs, r.Faults, r.Chains)
+		tg += r.Gates
+		tf += r.FFs
+		tfl += r.Faults
+		tc += r.Chains
+	}
+	fmt.Fprintf(&b, "%-10s %8d %6d %8d %7d\n", "total", tg, tf, tfl, tc)
+	return b.String()
+}
+
+// Table2 renders the screening table (paper Table 2): easy and hard
+// faults affecting the scan chain, with CPU time.
+func Table2(reports []*Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Finding easy and hard faults (faults affecting the scan chain).\n")
+	fmt.Fprintf(&b, "%-10s %10s %8s %10s %8s %10s\n", "name", "#easy", "(%)", "#hard", "(%)", "CPU")
+	te, th, tf := 0, 0, 0
+	var tcpu time.Duration
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-10s %10d %7.1f%% %10d %7.1f%% %10s\n",
+			r.Circuit, r.Easy, pct(r.Easy, r.Faults), r.Hard, pct(r.Hard, r.Faults), round(r.ScreenCPU))
+		te += r.Easy
+		th += r.Hard
+		tf += r.Faults
+		tcpu += r.ScreenCPU
+	}
+	fmt.Fprintf(&b, "%-10s %10d %7.1f%% %10d %7.1f%% %10s\n",
+		"total", te, pct(te, tf), th, pct(th, tf), round(tcpu))
+	return b.String()
+}
+
+// Table3 renders the detection table (paper Table 3): step 2
+// (combinational ATPG + sequential fault simulation) and step 3
+// (sequential ATPG on increased-C/O circuits), with the headline
+// undetected percentages.
+func Table3(reports []*Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Detecting the faults in f_hard.\n")
+	fmt.Fprintf(&b, "%-10s | %6s %8s %7s %9s | %6s | %6s %8s %7s %9s\n",
+		"", "det", "undetbl", "undet", "CPU", "#circ", "det", "undetbl", "undet", "CPU")
+	fmt.Fprintf(&b, "%-10s | %32s | %6s | %32s\n", "name", "Comb ATPG / Seq Fault Sim", "", "Sequential ATPG")
+	var t2, t3 [3]int
+	var c2, c3 time.Duration
+	circ, fcirc := 0, 0
+	totalFaults, affecting, undet := 0, 0, 0
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-10s | %6d %8d %7d %9s | %3d+%-3d| %6d %8d %7d %9s\n",
+			r.Circuit,
+			r.Step2.Detected, r.Step2.Undetectable, r.Step2.Undetected, round(r.Step2.CPU),
+			r.COCircuits, r.FinalCOCircuits,
+			r.Step3.Detected, r.Step3.Undetectable, r.Step3.Undetected, round(r.Step3.CPU))
+		t2[0] += r.Step2.Detected
+		t2[1] += r.Step2.Undetectable
+		t2[2] += r.Step2.Undetected
+		t3[0] += r.Step3.Detected
+		t3[1] += r.Step3.Undetectable
+		t3[2] += r.Step3.Undetected
+		c2 += r.Step2.CPU
+		c3 += r.Step3.CPU
+		circ += r.COCircuits
+		fcirc += r.FinalCOCircuits
+		totalFaults += r.Faults
+		affecting += r.Affecting()
+		undet += r.Undetected()
+	}
+	fmt.Fprintf(&b, "%-10s | %6d %8d %7d %9s | %3d+%-3d| %6d %8d %7d %9s\n",
+		"total", t2[0], t2[1], t2[2], round(c2), circ, fcirc, t3[0], t3[1], t3[2], round(c3))
+	fmt.Fprintf(&b, "\nHeadline: undetected = %d = %.3f%% of all faults = %.3f%% of chain-affecting faults\n",
+		undet, pct(undet, totalFaults), pct(undet, affecting))
+	fmt.Fprintf(&b, "(paper: 0.006%% of all faults, 0.022%% of chain-affecting faults)\n")
+	return b.String()
+}
+
+// Figure5 renders the detection-profile curve of a report (paper Figure
+// 5: number of simulated test vectors versus detected faults) as an
+// ASCII series plus a sparkline table.
+func Figure5(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: detected faults vs simulated vectors (%s).\n", r.Circuit)
+	if len(r.Profile) == 0 {
+		b.WriteString("(no step-2 vectors were needed)\n")
+		return b.String()
+	}
+	maxDet := r.Profile[len(r.Profile)-1]
+	const width = 50
+	step := (len(r.Profile) + 19) / 20
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(r.Profile); i += step {
+		bar := 0
+		if maxDet > 0 {
+			bar = r.Profile[i] * width / maxDet
+		}
+		fmt.Fprintf(&b, "%6d vec |%-*s| %d\n", i, width, strings.Repeat("#", bar), r.Profile[i])
+	}
+	last := len(r.Profile) - 1
+	if last%step != 0 {
+		bar := width
+		fmt.Fprintf(&b, "%6d vec |%-*s| %d\n", last, width, strings.Repeat("#", bar), maxDet)
+	}
+	return b.String()
+}
+
+// FormatReport renders one circuit's full report.
+func FormatReport(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "circuit %s: %d gates, %d FFs, %d chains, %d faults\n",
+		r.Circuit, r.Gates, r.FFs, r.Chains, r.Faults)
+	fmt.Fprintf(&b, "  screening: easy=%d (%.1f%%)  hard=%d (%.1f%%)  affecting=%d (%.1f%%)  [%s]\n",
+		r.Easy, pct(r.Easy, r.Faults), r.Hard, pct(r.Hard, r.Faults),
+		r.Affecting(), pct(r.Affecting(), r.Faults), round(r.ScreenCPU))
+	fmt.Fprintf(&b, "  step 1: alternating sequence confirmed %d/%d easy faults (%d escapes)\n",
+		r.EasyConfirmed, r.Easy, r.EasyEscapes)
+	fmt.Fprintf(&b, "  step 2: %d vectors; det=%d undetectable=%d undetected=%d  [%s]\n",
+		r.Step2Vectors, r.Step2.Detected, r.Step2.Undetectable, r.Step2.Undetected, round(r.Step2.CPU))
+	fmt.Fprintf(&b, "  step 3: %d+%d C/O circuits; det=%d undetectable=%d undetected=%d  [%s]\n",
+		r.COCircuits, r.FinalCOCircuits, r.Step3.Detected, r.Step3.Undetectable,
+		r.Step3.Undetected, round(r.Step3.CPU))
+	fmt.Fprintf(&b, "  undetected: %d = %.4f%% of faults = %.4f%% of affecting\n",
+		r.Undetected(), pct(r.Undetected(), r.Faults), pct(r.Undetected(), r.Affecting()))
+	return b.String()
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func round(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}
