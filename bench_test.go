@@ -328,6 +328,68 @@ func BenchmarkAblationPodemVsSat(b *testing.B) {
 	})
 }
 
+// BenchmarkScreen measures the screening engine across evaluator
+// backends and worker counts on the scaled suite's largest circuit.
+// "map-serial" is the original single-threaded map-lookup engine;
+// "compiled-serial" isolates the compiled-evaluator speedup; the wN
+// variants add fault-axis sharding on top.
+func BenchmarkScreen(b *testing.B) {
+	d := benchDesign(b, "s38584", 0)
+	faults := CollapsedFaults(d.C)
+	for _, cfg := range []struct {
+		name string
+		opts ScreenOptions
+	}{
+		{"map-serial", ScreenOptions{Workers: 1, MapEval: true}},
+		{"compiled-serial", ScreenOptions{Workers: 1}},
+		{"compiled-w4", ScreenOptions{Workers: 4}},
+		{"compiled-w8", ScreenOptions{Workers: 8}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ScreenFaultsOpt(d, faults, cfg.opts)
+			}
+		})
+	}
+}
+
+// BenchmarkFaultSim measures sequential fault simulation of the
+// alternating sequence across backends and worker counts (same axes as
+// BenchmarkScreen; "scalar-serial" is the one-fault-at-a-time reference
+// machine, the floor every packed variant is measured against).
+func BenchmarkFaultSim(b *testing.B) {
+	d := benchDesign(b, "s38584", 0)
+	faults := fault.Collapsed(d.C)
+	seq := faultsim.Sequence(d.AlternatingSequence(8))
+	b.Run("scalar-serial", func(b *testing.B) {
+		few := faults
+		if len(few) > 128 {
+			few = few[:128] // the scalar machine is far too slow for the full list
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			faultsim.RunSerial(d.C, seq, few, faultsim.Options{})
+		}
+	})
+	for _, cfg := range []struct {
+		name string
+		opts faultsim.Options
+	}{
+		{"map-serial", faultsim.Options{Workers: 1, MapEval: true}},
+		{"compiled-serial", faultsim.Options{Workers: 1}},
+		{"compiled-w4", faultsim.Options{Workers: 4}},
+		{"compiled-w8", faultsim.Options{Workers: 8}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				faultsim.Run(d.C, seq, faults, cfg.opts)
+			}
+		})
+	}
+}
+
 // BenchmarkAblationSerialVsParallelFaultSim compares the 63-lane packed
 // fault simulator against the scalar reference on the same workload.
 func BenchmarkAblationSerialVsParallelFaultSim(b *testing.B) {

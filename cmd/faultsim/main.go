@@ -31,6 +31,8 @@ func main() {
 		uncollapsed = flag.Bool("uncollapsed", false, "use the full fault list (no equivalence collapsing)")
 		profilePlot = flag.Bool("profileplot", false, "print the cumulative detection profile")
 		emit        = flag.String("emit", "", "write the stimulus used to this file")
+		workers     = flag.Int("workers", 0, "fault-axis worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		mapEval     = flag.Bool("mapeval", false, "use the map-based reference evaluator (slower; ablation)")
 	)
 	flag.Parse()
 
@@ -110,7 +112,7 @@ func main() {
 	fmt.Printf("circuit %s: %d gates, %d FFs; %d faults; %d cycles\n",
 		c.Name, st.Gates, st.FFs, len(faults), len(seq))
 
-	res := faultsim.Run(c, seq, faults, faultsim.Options{})
+	res := faultsim.Run(c, seq, faults, faultsim.Options{Workers: *workers, MapEval: *mapEval})
 	det := res.NumDetected()
 	fmt.Printf("detected %d / %d faults (%.2f%% coverage)\n",
 		det, len(faults), 100*float64(det)/float64(len(faults)))

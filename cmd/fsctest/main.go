@@ -30,6 +30,7 @@ func main() {
 		table    = flag.String("table", "all", "which table to print: all, 1, 2, 3")
 		fig5     = flag.String("fig5", "", "circuit whose detection profile to plot (default: largest run)")
 		verbose  = flag.Bool("v", false, "print per-circuit reports while running")
+		workers  = flag.Int("workers", 0, "fault-axis worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -45,7 +46,10 @@ func main() {
 		if len(want) > 0 && !want[p.Name] {
 			continue
 		}
-		exp := fsct.Experiment{Profile: p, Scale: *scale, Chains: *chains, Seed: *seed}
+		exp := fsct.Experiment{
+			Profile: p, Scale: *scale, Chains: *chains, Seed: *seed,
+			Flow: fsct.FlowParams{Workers: *workers},
+		}
 		rep, _, err := exp.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fsctest: %s: %v\n", p.Name, err)

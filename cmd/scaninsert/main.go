@@ -26,6 +26,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generation and insertion seed")
 		out     = flag.String("out", "", "write the scan-mode circuit to this .bench file")
 		detail  = flag.Bool("detail", false, "print every segment")
+		screen  = flag.Bool("screen", false, "also screen the collapsed fault list (easy/hard split)")
+		workers = flag.Int("workers", 0, "fault-axis worker goroutines for -screen (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -84,6 +86,21 @@ func main() {
 	ourCost := st.Gates - ost.Gates
 	fmt.Printf("inserted-gate cost: %d vs %d for full MUX-scan (%.1f%%)\n",
 		ourCost, convCost, 100*float64(ourCost)/float64(convCost))
+
+	if *screen {
+		faults := fsct.CollapsedFaults(d.C)
+		easy, hard := 0, 0
+		for _, s := range fsct.ScreenFaultsOpt(d, faults, fsct.ScreenOptions{Workers: *workers}) {
+			switch s.Cat {
+			case fsct.CatEasy:
+				easy++
+			case fsct.CatHard:
+				hard++
+			}
+		}
+		fmt.Printf("screening: %d faults, %d easy, %d hard (%.1f%% affect the chain)\n",
+			len(faults), easy, hard, 100*float64(easy+hard)/float64(len(faults)))
+	}
 
 	if *detail {
 		for ci := range d.Chains {

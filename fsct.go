@@ -142,13 +142,32 @@ func CollapsedFaults(c *Circuit) []Fault { return fault.Collapsed(c) }
 func DominanceFaults(c *Circuit) []Fault { return fault.Dominance(c) }
 
 // ScreenFaults runs the forward-implication screening (paper Section 3)
-// of the given faults against a scan design.
+// of the given faults against a scan design with default options
+// (compiled evaluator, GOMAXPROCS workers).
 func ScreenFaults(d *Design, faults []Fault) []Screened { return core.Screen(d, faults) }
+
+// ScreenOptions tunes the screening engine (worker count, evaluator
+// backend).
+type ScreenOptions = core.ScreenOptions
+
+// ScreenFaultsOpt is ScreenFaults with explicit execution options.
+func ScreenFaultsOpt(d *Design, faults []Fault, opts ScreenOptions) []Screened {
+	return core.ScreenOpt(d, faults, opts)
+}
+
+// SimOptions tunes a fault-simulation run (initial state, early stop,
+// worker count, evaluator backend).
+type SimOptions = faultsim.Options
 
 // SimulateFaults fault-simulates a test sequence against every fault (63
 // faulty machines per packed pass) and reports first-detection cycles.
 func SimulateFaults(c *Circuit, seq Sequence, faults []Fault) *SimResult {
 	return faultsim.Run(c, seq, faults, faultsim.Options{})
+}
+
+// SimulateFaultsOpt is SimulateFaults with explicit execution options.
+func SimulateFaultsOpt(c *Circuit, seq Sequence, faults []Fault, opts SimOptions) *SimResult {
+	return faultsim.Run(c, seq, faults, opts)
 }
 
 // WriteSequence / ReadSequence persist test sequences in the simple

@@ -296,7 +296,7 @@ func packedCompare(d *scan.Design, seq [][]logic.V, faults []fault.Fault) []int 
 	for i := range out {
 		out[i] = -1
 	}
-	ps := sim.NewPackedSeq(d.C)
+	ps := sim.NewCompiledSeq(d.C)
 	piW := make([]logic.Word, len(d.C.Inputs))
 	var poW []logic.Word
 	for base := 0; base < len(faults); base += 63 {

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/atpg"
 	"repro/internal/logic"
+	"repro/internal/par"
 	"repro/internal/scan"
 	"repro/internal/sim"
 )
@@ -11,29 +12,44 @@ import (
 // combinational model (63 faults per packed pass) to predict which hard
 // faults a vector covers. Predictions only skip ATPG work: the real
 // sequential fault simulation still decides detection.
+//
+// The 63-fault batches of one drop call are sharded across workers;
+// covered is an atomic bit set shared by all of them (each fault lives
+// in exactly one batch, so the only concurrency is set-versus-read
+// across different faults, which the bit set makes safe).
 type combDropper struct {
 	d       *scan.Design
 	cm      *atpg.CombModel
 	hard    []Screened
-	covered []bool
+	covered *par.BitSet
 	// coveredAt records the index of the vector predicted to cover each
 	// fault (-1 when none): sorting faults by it lets the sequential
 	// fault simulator finish each 63-lane batch early.
 	coveredAt []int
 	nVectors  int
-	eval      *sim.PackedComb
+	workers   int
+	prog      *sim.Program
+	evals     []packedEval      // one per worker, lazily created
+	injbuf    [][]sim.LaneInject
 	base      []logic.V // per model input: vector-independent fill
+	pending   []int     // reused scratch: still-uncovered fault indices
+	inW       []logic.Word
 }
 
-func newCombDropper(d *scan.Design, cm *atpg.CombModel, hard []Screened) *combDropper {
+func newCombDropper(d *scan.Design, cm *atpg.CombModel, hard []Screened, workers int) *combDropper {
+	workers = par.Workers(workers)
 	cd := &combDropper{
 		d:         d,
 		cm:        cm,
 		hard:      hard,
-		covered:   make([]bool, len(hard)),
+		covered:   par.NewBitSet(len(hard)),
 		coveredAt: make([]int, len(hard)),
-		eval:      sim.NewPackedComb(cm.C),
+		workers:   workers,
+		prog:      sim.Compile(cm.C),
+		evals:     make([]packedEval, workers),
+		injbuf:    make([][]sim.LaneInject, workers),
 		base:      make([]logic.V, len(cm.C.Inputs)),
+		inW:       make([]logic.Word, len(cm.C.Inputs)),
 	}
 	for i := range cd.coveredAt {
 		cd.coveredAt[i] = -1
@@ -57,38 +73,54 @@ func (cd *combDropper) drop(v scan.Vector) {
 	vecIdx := cd.nVectors
 	cd.nVectors++
 	c := cd.cm.C
-	var pending []int
+	cd.pending = cd.pending[:0]
 	for i := range cd.hard {
-		if !cd.covered[i] {
-			pending = append(pending, i)
+		if !cd.covered.Get(i) {
+			cd.pending = append(cd.pending, i)
 		}
 	}
-	for base := 0; base < len(pending); base += 63 {
-		n := len(pending) - base
-		if n > 63 {
-			n = 63
+	pending := cd.pending
+	// Input words for this vector, shared read-only by every worker.
+	for i, in := range c.Inputs {
+		val := cd.base[i]
+		if vv, ok := v.FFs[in]; ok && vv.Known() {
+			val = vv
+		} else if vv, ok := v.PIs[in]; ok && vv.Known() {
+			val = vv
 		}
-		injs := make([]sim.LaneInject, 0, n)
+		cd.inW[i] = logic.WordAll(val)
+	}
+
+	batches := par.Chunks(len(pending), 63)
+	workers := cd.workers
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	par.Do(workers, len(batches), func(worker, bi int) {
+		eval := cd.evals[worker]
+		if eval == nil {
+			eval = sim.NewCompiledCombFrom(cd.prog)
+			cd.evals[worker] = eval
+			cd.injbuf[worker] = make([]sim.LaneInject, 0, 63)
+		}
+		base, n := batches[bi].Lo, batches[bi].Len()
+		injs := cd.injbuf[worker][:0]
 		for k := 0; k < n; k++ {
 			f := cd.cm.MapFault(cd.hard[pending[base+k]].Fault)
 			injs = append(injs, sim.LaneInject{Inject: f.Inject(), Lane: uint(k + 1)})
 		}
-		cd.eval.SetInjections(injs)
-		cd.eval.ClearX()
+		cd.injbuf[worker] = injs
+		eval.SetInjections(injs)
+		eval.ClearX()
+		vals := eval.Words()
 		for i, in := range c.Inputs {
-			val := cd.base[i]
-			if vv, ok := v.FFs[in]; ok && vv.Known() {
-				val = vv
-			} else if vv, ok := v.PIs[in]; ok && vv.Known() {
-				val = vv
-			}
-			cd.eval.Vals[in] = logic.WordAll(val)
+			vals[in] = cd.inW[i]
 		}
-		cd.eval.Eval()
+		eval.Eval()
 		laneMask := (uint64(1)<<uint(n+1) - 1) &^ 1
 		var det uint64
 		for _, o := range c.Outputs {
-			w := cd.eval.Vals[o]
+			w := vals[o]
 			switch w.Get(0) {
 			case logic.One:
 				det |= w.Zeros & laneMask
@@ -98,9 +130,9 @@ func (cd *combDropper) drop(v scan.Vector) {
 		}
 		for k := 0; k < n; k++ {
 			if det&(uint64(1)<<uint(k+1)) != 0 {
-				cd.covered[pending[base+k]] = true
+				cd.covered.Set(pending[base+k])
 				cd.coveredAt[pending[base+k]] = vecIdx
 			}
 		}
-	}
+	})
 }

@@ -31,7 +31,7 @@ func TestDropperMatchesGroundTruth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cd := newCombDropper(d, cm, hard)
+	cd := newCombDropper(d, cm, hard, 0)
 
 	// A fully-specified vector: all FFs 1, all free PIs 1.
 	vec := scan.Vector{
@@ -72,11 +72,11 @@ func TestDropperMatchesGroundTruth(t *testing.T) {
 	res := faultsim.Run(cm.C, faultsim.Sequence{pi}, mf, faultsim.Options{})
 	for i := range hard {
 		want := res.DetectedAt[i] >= 0
-		if cd.covered[i] != want {
+		if cd.covered.Get(i) != want {
 			t.Errorf("fault %s: dropper=%v ground truth=%v",
-				hard[i].Fault.Describe(d.C), cd.covered[i], want)
+				hard[i].Fault.Describe(d.C), cd.covered.Get(i), want)
 		}
-		if cd.covered[i] && cd.coveredAt[i] != 0 {
+		if cd.covered.Get(i) && cd.coveredAt[i] != 0 {
 			t.Errorf("coveredAt = %d, want 0", cd.coveredAt[i])
 		}
 	}

@@ -52,6 +52,11 @@ type Params struct {
 	// designs use this path automatically (auto-sized when 0); full-scan
 	// designs use it only when set explicitly.
 	RandomVectors int
+
+	// Workers shards the fault axis of screening and every fault
+	// simulation across this many goroutines (0 = GOMAXPROCS, 1 =
+	// serial). Reports are identical at any width.
+	Workers int
 }
 
 func (p Params) withDefaults(maxChain int) Params {
@@ -159,7 +164,7 @@ func Run(d *scan.Design, p Params) (*Report, error) {
 
 	// ---- Screening (Section 3) ----
 	t0 := time.Now()
-	screened := Screen(d, faults)
+	screened := ScreenOpt(d, faults, ScreenOptions{Workers: p.Workers})
 	rep.ScreenCPU = time.Since(t0)
 
 	var easy, hard []Screened
@@ -179,7 +184,7 @@ func Run(d *scan.Design, p Params) (*Report, error) {
 	for i := range easy {
 		easyFaults[i] = easy[i].Fault
 	}
-	altRes := faultsim.Run(d.C, alt, easyFaults, faultsim.Options{})
+	altRes := faultsim.Run(d.C, alt, easyFaults, faultsim.Options{Workers: p.Workers})
 	rep.EasyConfirmed = altRes.NumDetected()
 	for _, i := range altRes.Undetected() {
 		// Safety net: a category-1 fault the alternating sequence missed
@@ -192,7 +197,7 @@ func Run(d *scan.Design, p Params) (*Report, error) {
 		for i := range hard {
 			hf[i] = hard[i].Fault
 		}
-		hres := faultsim.Run(d.C, alt, hf, faultsim.Options{})
+		hres := faultsim.Run(d.C, alt, hf, faultsim.Options{Workers: p.Workers})
 		var keep []Screened
 		for i := range hard {
 			if hres.DetectedAt[i] < 0 {
@@ -256,7 +261,7 @@ func runStep2Random(d *scan.Design, hard []Screened, p Params, rep *Report) []Sc
 	for i := range hard {
 		hf[i] = hard[i].Fault
 	}
-	res := faultsim.Run(d.C, seq, hf, faultsim.Options{StopWhenAllDetected: true})
+	res := faultsim.Run(d.C, seq, hf, faultsim.Options{StopWhenAllDetected: true, Workers: p.Workers})
 
 	if L > 0 {
 		bounds := make([]int, nVec+1)
@@ -304,12 +309,12 @@ func runStep2(d *scan.Design, hard []Screened, p Params, rep *Report) ([]Screene
 	// the vector already covers, so PODEM only runs for still-uncovered
 	// faults and the vector set stays small (the paper's Figure 5 makes
 	// the same point: the early vectors carry almost all detections).
-	dropper := newCombDropper(d, cm, hard)
+	dropper := newCombDropper(d, cm, hard, p.Workers)
 
 	redundant := make([]bool, len(hard))
 	var vectors []scan.Vector
 	for i := range hard {
-		if !p.NoCompaction && dropper.covered[i] {
+		if !p.NoCompaction && dropper.covered.Get(i) {
 			continue
 		}
 		res := eng.Generate(cm.MapFault(hard[i].Fault), p.CombBacktracks)
@@ -359,7 +364,7 @@ func runStep2(d *scan.Design, hard []Screened, p Params, rep *Report) ([]Screene
 	for i, pi := range perm {
 		hf[i] = hard[pi].Fault
 	}
-	permRes := faultsim.Run(d.C, seq, hf, faultsim.Options{StopWhenAllDetected: true})
+	permRes := faultsim.Run(d.C, seq, hf, faultsim.Options{StopWhenAllDetected: true, Workers: p.Workers})
 	res := &faultsim.Result{DetectedAt: make([]int, len(hard))}
 	for i, pi := range perm {
 		res.DetectedAt[pi] = permRes.DetectedAt[i]

@@ -378,7 +378,7 @@ func runStep3(d *scan.Design, remaining []Screened, p Params, rep *Report) error
 	}
 	if len(open) > 0 {
 		seq := randomSequence(d, 120*d.MaxChainLen()+512, 0x5eed)
-		fr := faultsim.Run(d.C, seq, open, faultsim.Options{StopWhenAllDetected: true})
+		fr := faultsim.Run(d.C, seq, open, faultsim.Options{StopWhenAllDetected: true, Workers: p.Workers})
 		for k := range open {
 			if fr.DetectedAt[k] >= 0 {
 				status[remaining[openIdx[k]].Fault] = 1

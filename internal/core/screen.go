@@ -13,6 +13,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/scan"
 	"repro/internal/sim"
 )
@@ -69,13 +70,42 @@ func (s *Screened) Span() (first, last Location, multiChain bool) {
 	return
 }
 
+// ScreenOptions tunes the screening engine's execution.
+type ScreenOptions struct {
+	// Workers shards the 63-fault batches across this many goroutines,
+	// each owning a private packed evaluator. 0 selects GOMAXPROCS; 1
+	// forces serial. Output is identical at any width.
+	Workers int
+	// MapEval selects the map-based reference evaluator (ablation).
+	MapEval bool
+}
+
+// packedEval is the lane-parallel combinational evaluator contract the
+// screener and dropper use; both sim.PackedComb and sim.CompiledComb
+// satisfy it.
+type packedEval interface {
+	SetInjections([]sim.LaneInject)
+	ClearX()
+	Eval()
+	Words() []logic.Word
+}
+
 // Screen computes the forward-implication categorization of every fault
-// against the scan design: one three-valued scan-mode evaluation per
-// fault (batched 63 wide), comparing on-path nets (X in the good
+// against the scan design with default options (parallel, compiled
+// evaluator); see ScreenOpt.
+func Screen(d *scan.Design, faults []fault.Fault) []Screened {
+	return ScreenOpt(d, faults, ScreenOptions{})
+}
+
+// ScreenOpt computes the forward-implication categorization of every
+// fault against the scan design: one three-valued scan-mode evaluation
+// per fault (batched 63 wide), comparing on-path nets (X in the good
 // circuit; a definite value under the fault means category 1) and side
 // inputs (definite non-controlling in the good circuit; X under the
-// fault means category 2).
-func Screen(d *scan.Design, faults []fault.Fault) []Screened {
+// fault means category 2). Batches are sharded across workers; each
+// fault's verdict lives in its own output slot, so the result does not
+// depend on the worker count.
+func ScreenOpt(d *scan.Design, faults []fault.Fault, opts ScreenOptions) []Screened {
 	c := d.C
 	out := make([]Screened, len(faults))
 	for i := range out {
@@ -119,22 +149,52 @@ func Screen(d *scan.Design, faults []fault.Fault) []Screened {
 		}
 	}
 
-	eval := sim.NewPackedComb(c)
-	for base := 0; base < len(faults); base += 63 {
-		n := len(faults) - base
-		if n > 63 {
-			n = 63
+	// Scan-mode input words, shared read-only by every worker.
+	inW := make([]logic.Word, 0, len(d.Assignments))
+	inID := make([]netlist.SignalID, 0, len(d.Assignments))
+	for _, in := range c.Inputs {
+		if v, ok := d.Assignments[in]; ok {
+			inID = append(inID, in)
+			inW = append(inW, logic.WordAll(v))
 		}
-		injs := make([]sim.LaneInject, 0, n)
-		for k := 0; k < n; k++ {
-			injs = append(injs, sim.LaneInject{Inject: faults[base+k].Inject(), Lane: uint(k + 1)})
-		}
-		eval.SetInjections(injs)
-		eval.ClearX()
-		for _, in := range c.Inputs {
-			if v, ok := d.Assignments[in]; ok {
-				eval.Vals[in] = logic.WordAll(v)
+	}
+
+	batches := par.Chunks(len(faults), 63)
+	workers := par.Workers(opts.Workers)
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	var prog *sim.Program
+	if !opts.MapEval {
+		prog = sim.Compile(c)
+	}
+	type wstate struct {
+		eval packedEval
+		injs []sim.LaneInject
+	}
+	states := make([]*wstate, workers)
+	par.Do(workers, len(batches), func(worker, bi int) {
+		st := states[worker]
+		if st == nil {
+			st = &wstate{injs: make([]sim.LaneInject, 0, 63)}
+			if opts.MapEval {
+				st.eval = sim.NewPackedComb(c)
+			} else {
+				st.eval = sim.NewCompiledCombFrom(prog)
 			}
+			states[worker] = st
+		}
+		base, n := batches[bi].Lo, batches[bi].Len()
+		st.injs = st.injs[:0]
+		for k := 0; k < n; k++ {
+			st.injs = append(st.injs, sim.LaneInject{Inject: faults[base+k].Inject(), Lane: uint(k + 1)})
+		}
+		eval := st.eval
+		eval.SetInjections(st.injs)
+		eval.ClearX()
+		vals := eval.Words()
+		for i, in := range inID {
+			vals[in] = inW[i]
 		}
 		eval.Eval()
 
@@ -154,12 +214,12 @@ func Screen(d *scan.Design, faults []fault.Fault) []Screened {
 		// On-path nets pinned definite -> category 1.
 		for _, sn := range segs {
 			for _, p := range sn.path {
-				if lanes := eval.Vals[p].Known() & laneMask; lanes != 0 {
+				if lanes := vals[p].Known() & laneMask; lanes != 0 {
 					addLoc(lanes, sn.loc, Cat1)
 				}
 			}
 			for _, sd := range sn.sides {
-				w := eval.Vals[sd]
+				w := vals[sd]
 				// Good value is definite (design invariant); a lane gone
 				// X is category 2; a lane flipped shows up on-path.
 				if lanes := ^w.Known() & laneMask; lanes != 0 {
@@ -169,11 +229,11 @@ func Screen(d *scan.Design, faults []fault.Fault) []Screened {
 		}
 		// Flip-flop Q stems pinned definite -> category 1 at the next link.
 		for _, q := range qs {
-			if lanes := eval.Vals[q.net].Known() & laneMask; lanes != 0 {
+			if lanes := vals[q.net].Known() & laneMask; lanes != 0 {
 				addLoc(lanes, q.loc, Cat1)
 			}
 		}
-	}
+	})
 
 	// FF D-pin branch faults (invisible to net-value comparison).
 	for i := range out {

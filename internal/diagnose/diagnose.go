@@ -75,7 +75,7 @@ func Build(d *scan.Design, faults []fault.Fault, seqs [][][]logic.V) *Dictionary
 	}
 	hashers := make([]hasher, len(faults)+1) // last entry: fault-free machine
 
-	ps := sim.NewPackedSeq(d.C)
+	ps := sim.NewCompiledSeq(d.C)
 	piW := make([]logic.Word, len(d.C.Inputs))
 	var poW []logic.Word
 	for base := 0; base <= len(faults); base += 63 {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -27,6 +28,14 @@ type Options struct {
 	// StopWhenAllDetected ends each batch early once every fault in it
 	// has been detected.
 	StopWhenAllDetected bool
+	// Workers is the number of goroutines sharding the fault axis
+	// (each owns a private packed simulator and processes whole
+	// 63-fault batches). 0 selects runtime.GOMAXPROCS; 1 forces the
+	// serial path. Results are identical at any width.
+	Workers int
+	// MapEval selects the map-based reference evaluator instead of the
+	// compiled one (ablation; slower).
+	MapEval bool
 }
 
 // Result reports, for each fault (by index into the input fault slice),
@@ -48,7 +57,7 @@ func (r *Result) NumDetected() int {
 
 // Undetected returns the indices of undetected faults.
 func (r *Result) Undetected() []int {
-	var u []int
+	u := make([]int, 0, len(r.DetectedAt)-r.NumDetected())
 	for i, d := range r.DetectedAt {
 		if d < 0 {
 			u = append(u, i)
@@ -73,8 +82,21 @@ func (r *Result) Profile(bounds []int) []int {
 	return out
 }
 
+// packedSeq is the lane-parallel sequential simulator contract both the
+// map-based reference (sim.PackedSeq) and the compiled backend
+// (sim.CompiledSeq) satisfy.
+type packedSeq interface {
+	SetInjections([]sim.LaneInject)
+	ResetX()
+	SetStateWord(int, logic.Word)
+	Cycle([]logic.Word, []logic.Word) []logic.Word
+}
+
 // Run simulates seq against every fault using the packed simulator, 63
 // faulty machines at a time with the fault-free machine in lane 0.
+// Batches are sharded across opts.Workers goroutines; each worker owns
+// a private simulator and writes detections only into its batch's slice
+// range, so the result is identical at any worker count.
 func Run(c *netlist.Circuit, seq Sequence, faults []fault.Fault, opts Options) *Result {
 	res := &Result{DetectedAt: make([]int, len(faults))}
 	for i := range res.DetectedAt {
@@ -84,35 +106,62 @@ func Run(c *netlist.Circuit, seq Sequence, faults []fault.Fault, opts Options) *
 		return res
 	}
 
-	ps := sim.NewPackedSeq(c)
-	piW := make([]logic.Word, len(c.Inputs))
-	var poW []logic.Word
+	// Broadcast the stimulus to packed words once; every worker reads it.
+	seqW := make([][]logic.Word, len(seq))
+	for cyc, pi := range seq {
+		w := make([]logic.Word, len(pi))
+		for i, v := range pi {
+			w[i] = logic.WordAll(v)
+		}
+		seqW[cyc] = w
+	}
 
-	for base := 0; base < len(faults); base += 63 {
-		n := len(faults) - base
-		if n > 63 {
-			n = 63
+	batches := par.Chunks(len(faults), 63)
+	workers := par.Workers(opts.Workers)
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	var prog *sim.Program
+	if !opts.MapEval {
+		prog = sim.Compile(c) // shared, immutable
+	}
+
+	type wstate struct {
+		ps   packedSeq
+		poW  []logic.Word
+		injs []sim.LaneInject
+	}
+	states := make([]*wstate, workers)
+	par.Do(workers, len(batches), func(worker, bi int) {
+		st := states[worker]
+		if st == nil {
+			st = &wstate{injs: make([]sim.LaneInject, 0, 63)}
+			if opts.MapEval {
+				st.ps = sim.NewPackedSeq(c)
+			} else {
+				st.ps = sim.NewCompiledSeqFrom(prog)
+			}
+			states[worker] = st
 		}
-		injs := make([]sim.LaneInject, 0, n)
+		base, n := batches[bi].Lo, batches[bi].Len()
+		st.injs = st.injs[:0]
 		for k := 0; k < n; k++ {
-			injs = append(injs, sim.LaneInject{Inject: faults[base+k].Inject(), Lane: uint(k + 1)})
+			st.injs = append(st.injs, sim.LaneInject{Inject: faults[base+k].Inject(), Lane: uint(k + 1)})
 		}
-		ps.SetInjections(injs)
+		ps := st.ps
+		ps.SetInjections(st.injs)
 		ps.ResetX()
 		if opts.InitState != nil {
 			for i, v := range opts.InitState {
-				setPackedState(ps, i, v)
+				ps.SetStateWord(i, logic.WordAll(v))
 			}
 		}
 
 		allMask := (uint64(1)<<uint(n+1) - 1) &^ 1 // lanes 1..n
 		detected := uint64(0)
-		for cyc, pi := range seq {
-			for i, v := range pi {
-				piW[i] = logic.WordAll(v)
-			}
-			poW = ps.Cycle(piW, poW)
-			for _, w := range poW {
+		for cyc, piW := range seqW {
+			st.poW = ps.Cycle(piW, st.poW)
+			for _, w := range st.poW {
 				switch w.Get(0) {
 				case logic.One:
 					detected |= noteDetections(res, base, n, w.Zeros&allMask&^detected, cyc)
@@ -124,7 +173,7 @@ func Run(c *netlist.Circuit, seq Sequence, faults []fault.Fault, opts Options) *
 				break
 			}
 		}
-	}
+	})
 	return res
 }
 
@@ -138,10 +187,6 @@ func noteDetections(res *Result, base, n int, newly uint64, cyc int) uint64 {
 		}
 	}
 	return newly
-}
-
-func setPackedState(ps *sim.PackedSeq, ffIndex int, v logic.V) {
-	ps.SetStateWord(ffIndex, logic.WordAll(v))
 }
 
 // RunSerial is the reference implementation: one scalar simulation per

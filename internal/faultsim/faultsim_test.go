@@ -2,6 +2,8 @@ package faultsim
 
 import (
 	"math/rand"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
@@ -51,6 +53,52 @@ func TestParallelMatchesSerial(t *testing.T) {
 			if par.DetectedAt[i] != ser.DetectedAt[i] {
 				t.Errorf("%s: fault %d (%s): parallel %d, serial %d",
 					tc.name, i, faults[i].Describe(c), par.DetectedAt[i], ser.DetectedAt[i])
+			}
+		}
+	}
+}
+
+// TestCompiledMatchesMapEvaluator cross-checks the compiled evaluator
+// backend against the map-based reference over whole fault-simulation
+// runs on randomized circuits and sequences (the faultsim-level
+// counterpart of the sim-package evaluator cross-check).
+func TestCompiledMatchesMapEvaluator(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 6; trial++ {
+		c := gen.Generate(gen.Profile{
+			Name: "xev", PIs: 4 + r.Intn(6), POs: 4 + r.Intn(4),
+			FFs: 6 + r.Intn(12), Gates: 80 + r.Intn(160),
+		}, int64(40+trial))
+		faults := fault.Collapsed(c)
+		seq := randSeq(r, len(c.Inputs), 40, true)
+		mapRes := Run(c, seq, faults, Options{Workers: 1, MapEval: true})
+		compRes := Run(c, seq, faults, Options{Workers: 1})
+		for i := range mapRes.DetectedAt {
+			if mapRes.DetectedAt[i] != compRes.DetectedAt[i] {
+				t.Errorf("trial %d fault %d (%s): map %d, compiled %d",
+					trial, i, faults[i].Describe(c), mapRes.DetectedAt[i], compRes.DetectedAt[i])
+			}
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkers pins the sharding determinism
+// contract: identical Result for workers = 1, 4 and GOMAXPROCS, with
+// either evaluator backend, with and without early stop.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	c := gen.Generate(gen.Profile{Name: "det", PIs: 8, POs: 6, FFs: 20, Gates: 400}, 77)
+	faults := fault.Collapsed(c)
+	seq := randSeq(r, len(c.Inputs), 60, true)
+	for _, mapEval := range []bool{false, true} {
+		for _, stop := range []bool{false, true} {
+			ref := Run(c, seq, faults, Options{Workers: 1, MapEval: mapEval, StopWhenAllDetected: stop})
+			for _, workers := range []int{4, runtime.GOMAXPROCS(0), 0} {
+				got := Run(c, seq, faults, Options{Workers: workers, MapEval: mapEval, StopWhenAllDetected: stop})
+				if !reflect.DeepEqual(ref.DetectedAt, got.DetectedAt) {
+					t.Fatalf("mapEval=%v stop=%v: workers=%d result differs from serial",
+						mapEval, stop, workers)
+				}
 			}
 		}
 	}

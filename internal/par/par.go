@@ -1,0 +1,145 @@
+// Package par provides the bounded-parallelism primitives the fault
+// simulator and screening engine shard their fault axis with: a worker
+// pool with dynamic index distribution, chunk helpers for 63-wide fault
+// batches, and an atomic bit set for cross-worker fault dropping.
+//
+// Determinism contract: Do distributes indices dynamically, so the
+// order in which indices are processed is scheduling-dependent — but
+// every caller writes results only into slots keyed by the index (or
+// into the disjoint fault range a chunk owns), so the merged output is
+// byte-identical regardless of worker count. Tests in the faultsim and
+// core packages pin that property for workers = 1, 4 and GOMAXPROCS.
+package par
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), anything else is returned as given.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Do runs fn(worker, index) for every index in [0, n), distributing
+// indices dynamically over min(workers, n) goroutines. The worker
+// argument is a dense ID in [0, workers) so callers can give each
+// goroutine its own scratch state (for example a private packed
+// evaluator). With workers <= 1 everything runs inline on the calling
+// goroutine with worker 0 — the serial path has no pool overhead.
+//
+// fn must confine its writes to storage owned by index (or by the
+// chunk that index denotes); under that discipline the result is
+// independent of worker count and scheduling.
+func Do(workers, n int, fn func(worker, index int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Range is a half-open index interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Chunks splits [0, total) into contiguous ranges of at most size
+// indices, in ascending order. It returns nil when total <= 0; size <= 0
+// yields a single range covering everything.
+func Chunks(total, size int) []Range {
+	if total <= 0 {
+		return nil
+	}
+	if size <= 0 {
+		return []Range{{0, total}}
+	}
+	out := make([]Range, 0, (total+size-1)/size)
+	for lo := 0; lo < total; lo += size {
+		hi := lo + size
+		if hi > total {
+			hi = total
+		}
+		out = append(out, Range{lo, hi})
+	}
+	return out
+}
+
+// BitSet is a fixed-size set of integers safe for concurrent use. The
+// fault simulator and the step-2 dropper share one across workers as
+// the detected-fault set: concurrent Set calls on any indices are safe,
+// and a Get that observes true stays true (bits are never cleared).
+type BitSet struct {
+	words []atomic.Uint64
+	n     int
+}
+
+// NewBitSet returns an empty set over [0, n).
+func NewBitSet(n int) *BitSet {
+	return &BitSet{words: make([]atomic.Uint64, (n+63)/64), n: n}
+}
+
+// Len returns the domain size the set was created with.
+func (b *BitSet) Len() int { return b.n }
+
+// Set adds i to the set and reports whether it was newly added.
+func (b *BitSet) Set(i int) bool {
+	w := &b.words[i>>6]
+	bit := uint64(1) << uint(i&63)
+	for {
+		old := w.Load()
+		if old&bit != 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old|bit) {
+			return true
+		}
+	}
+}
+
+// Get reports whether i is in the set.
+func (b *BitSet) Get(i int) bool {
+	return b.words[i>>6].Load()&(uint64(1)<<uint(i&63)) != 0
+}
+
+// Count returns the number of elements currently in the set.
+func (b *BitSet) Count() int {
+	n := 0
+	for i := range b.words {
+		n += bits.OnesCount64(b.words[i].Load())
+	}
+	return n
+}

@@ -1,0 +1,136 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16, 100} {
+		const n = 257
+		counts := make([]atomic.Int32, n)
+		Do(workers, n, func(_, i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoWorkerIDsAreDense(t *testing.T) {
+	const workers, n = 4, 64
+	var seen [workers]atomic.Int32
+	Do(workers, n, func(w, _ int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker ID %d out of range", w)
+			return
+		}
+		seen[w].Add(1)
+	})
+	total := int32(0)
+	for i := range seen {
+		total += seen[i].Load()
+	}
+	if total != n {
+		t.Errorf("visited %d indices, want %d", total, n)
+	}
+}
+
+func TestDoDeterministicMerge(t *testing.T) {
+	// Writes keyed by index must produce identical output at any width.
+	const n = 500
+	ref := make([]int, n)
+	Do(1, n, func(_, i int) { ref[i] = i * i })
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		got := make([]int, n)
+		Do(workers, n, func(_, i int) { got[i] = i * i })
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestDoEmptyAndSerialInline(t *testing.T) {
+	Do(4, 0, func(_, _ int) { t.Error("fn called for n=0") })
+	// workers=1 must run on the calling goroutine (no races on plain locals).
+	sum := 0
+	Do(1, 10, func(_, i int) { sum += i })
+	if sum != 45 {
+		t.Errorf("serial sum = %d", sum)
+	}
+}
+
+func TestChunks(t *testing.T) {
+	if c := Chunks(0, 63); c != nil {
+		t.Errorf("Chunks(0) = %v", c)
+	}
+	if c := Chunks(10, 0); len(c) != 1 || c[0] != (Range{0, 10}) {
+		t.Errorf("Chunks(10,0) = %v", c)
+	}
+	c := Chunks(200, 63)
+	want := []Range{{0, 63}, {63, 126}, {126, 189}, {189, 200}}
+	if len(c) != len(want) {
+		t.Fatalf("Chunks(200,63) = %v", c)
+	}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Errorf("chunk %d = %v, want %v", i, c[i], want[i])
+		}
+	}
+	if c[len(c)-1].Len() != 11 {
+		t.Errorf("tail chunk len = %d", c[len(c)-1].Len())
+	}
+}
+
+func TestBitSet(t *testing.T) {
+	b := NewBitSet(130)
+	if b.Len() != 130 || b.Count() != 0 {
+		t.Fatalf("fresh set: len %d count %d", b.Len(), b.Count())
+	}
+	if !b.Set(0) || !b.Set(64) || !b.Set(129) {
+		t.Error("first Set returned false")
+	}
+	if b.Set(64) {
+		t.Error("second Set(64) returned true")
+	}
+	if !b.Get(0) || !b.Get(64) || !b.Get(129) || b.Get(1) {
+		t.Error("membership wrong")
+	}
+	if b.Count() != 3 {
+		t.Errorf("count = %d", b.Count())
+	}
+}
+
+func TestBitSetConcurrent(t *testing.T) {
+	const n = 4096
+	b := NewBitSet(n)
+	var newly atomic.Int64
+	// Every index set twice concurrently: exactly n "newly added" wins.
+	Do(8, 2*n, func(_, i int) {
+		if b.Set(i % n) {
+			newly.Add(1)
+		}
+	})
+	if newly.Load() != n {
+		t.Errorf("newly added = %d, want %d", newly.Load(), n)
+	}
+	if b.Count() != n {
+		t.Errorf("count = %d, want %d", b.Count(), n)
+	}
+}

@@ -55,6 +55,11 @@ func (e *PackedComb) SetInjections(injs []LaneInject) {
 	}
 }
 
+// Words returns the per-signal value slice (aliased, indexed by
+// SignalID) — the field access point shared with CompiledComb so
+// callers can hold either backend behind one interface.
+func (e *PackedComb) Words() []logic.Word { return e.Vals }
+
 // ClearX resets every signal word to all-lanes-X.
 func (e *PackedComb) ClearX() {
 	for i := range e.Vals {
