@@ -1,0 +1,65 @@
+package fsct
+
+// Observability overhead guard. The obs layer's contract is that
+// DISABLED instrumentation (the nil collector, the library default) is
+// free on the hot paths: the compiled-evaluator screening and fault
+// simulation engines pay only nil-receiver checks at batch granularity.
+// The acceptance bound for this repo is <2% on the PR-1 compiled
+// evaluator path; compare the off/on pairs below with benchstat:
+//
+//	go test -bench 'ObsOverhead' -count 10 > obs.txt
+//	benchstat obs.txt   # off vs on, per engine
+//
+// The "on" variants additionally quantify what an enabled collector
+// costs (they are allowed to be slower; they exist so a regression in
+// the disabled path can't hide behind a cheap enabled path or vice
+// versa).
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/faultsim"
+)
+
+// BenchmarkObsOverheadScreen measures the screening engine with
+// instrumentation off (nil collector — the default) and on, at the
+// serial width so the comparison is pure hot-loop cost, not scheduling
+// noise.
+func BenchmarkObsOverheadScreen(b *testing.B) {
+	d := benchDesign(b, "s38584", 0)
+	faults := CollapsedFaults(d.C)
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ScreenFaultsOpt(d, faults, ScreenOptions{Workers: 1})
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ScreenFaultsOpt(d, faults, ScreenOptions{Workers: 1, Obs: NewCollector()})
+		}
+	})
+}
+
+// BenchmarkObsOverheadFaultSim measures compiled-evaluator sequential
+// fault simulation of the alternating sequence with instrumentation
+// off and on.
+func BenchmarkObsOverheadFaultSim(b *testing.B) {
+	d := benchDesign(b, "s38584", 0)
+	faults := fault.Collapsed(d.C)
+	seq := faultsim.Sequence(d.AlternatingSequence(8))
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			faultsim.Run(d.C, seq, faults, faultsim.Options{Workers: 1})
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			faultsim.Run(d.C, seq, faults, faultsim.Options{Workers: 1, Obs: NewCollector()})
+		}
+	})
+}

@@ -25,6 +25,8 @@ func main() {
 		chains  = flag.Int("chains", 0, "number of scan chains (0 = default)")
 		seed    = flag.Int64("seed", 1, "seed")
 		list    = flag.Bool("list", false, "list every escaping hard fault")
+		workers = flag.Int("workers", 0, "fault-axis worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		mapEval = flag.Bool("mapeval", false, "use the map-based reference evaluator (slower; ablation)")
 	)
 	flag.Parse()
 
@@ -49,7 +51,7 @@ func main() {
 	}
 
 	faults := fsct.CollapsedFaults(d.C)
-	screened := fsct.ScreenFaults(d, faults)
+	screened := fsct.ScreenFaultsOpt(d, faults, fsct.ScreenOptions{Workers: *workers, MapEval: *mapEval})
 	var easy, hard []fsct.Fault
 	for _, s := range screened {
 		switch s.Cat {
@@ -66,13 +68,14 @@ func main() {
 	fmt.Printf("alternating shift test: %d cycles over %d chain(s), longest %d\n",
 		len(alt), len(d.Chains), d.MaxChainLen())
 
-	easyRes := fsct.SimulateFaults(d.C, alt, easy)
-	hardRes := fsct.SimulateFaults(d.C, alt, hard)
+	simOpts := fsct.SimOptions{Workers: *workers, MapEval: *mapEval}
+	easyRes := fsct.SimulateFaultsOpt(d.C, alt, easy, simOpts)
+	hardRes := fsct.SimulateFaultsOpt(d.C, alt, hard, simOpts)
 	fmt.Printf("  easy faults caught: %d / %d\n", easyRes.NumDetected(), len(easy))
 	fmt.Printf("  hard faults caught: %d / %d  — %d ESCAPE the alternating test\n",
 		hardRes.NumDetected(), len(hard), len(hardRes.Undetected()))
 
-	tdet, ttot := fsct.ChainTransitionCoverage(d, 8)
+	tdet, ttot := fsct.ChainTransitionCoverageOpt(d, 8, *workers)
 	fmt.Printf("  bonus: the same test covers %d / %d transition (delay) faults on the chain path\n",
 		tdet, ttot)
 

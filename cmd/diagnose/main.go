@@ -28,6 +28,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed")
 		inject  = flag.Int("inject", 0, "index of the hidden fault among chain-affecting candidates")
 		stats   = flag.Bool("stats", false, "diagnose every candidate and report resolution statistics")
+		workers = flag.Int("workers", 0, "fault-axis worker goroutines for screening and dictionary building (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -50,13 +51,13 @@ func main() {
 		fail(err)
 	}
 	var affecting []fault.Fault
-	for _, s := range fsct.ScreenFaults(d, fsct.CollapsedFaults(d.C)) {
+	for _, s := range fsct.ScreenFaultsOpt(d, fsct.CollapsedFaults(d.C), fsct.ScreenOptions{Workers: *workers}) {
 		if s.Cat != fsct.CatUnaffecting {
 			affecting = append(affecting, s.Fault)
 		}
 	}
 	fmt.Printf("circuit %s: dictionary over %d chain-affecting faults\n", d.C.Name, len(affecting))
-	dict := fsct.BuildDictionary(d, affecting, uint64(*seed))
+	dict := fsct.BuildDictionaryOpt(d, affecting, uint64(*seed), *workers)
 
 	if *stats {
 		exact, ambiguous, silent := 0, 0, 0

@@ -6,7 +6,7 @@
 //
 //	faultsim -in circuit.bench -seq tests.txt
 //	faultsim -profile s9234 -scale 0.1 -random 2000 -profileplot
-//	faultsim -in scan.bench -alternating   # needs scan-inserted circuit? no: plain shift stimulus
+//	faultsim -profile s5378 -scale 0.1 -random 500 -metrics [-trace]
 package main
 
 import (
@@ -33,6 +33,8 @@ func main() {
 		emit        = flag.String("emit", "", "write the stimulus used to this file")
 		workers     = flag.Int("workers", 0, "fault-axis worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 		mapEval     = flag.Bool("mapeval", false, "use the map-based reference evaluator (slower; ablation)")
+		metrics     = flag.Bool("metrics", false, "print a metrics summary (counters, pool utilization) after the run")
+		trace       = flag.Bool("trace", false, "stream trace annotations to stderr (implies instrumentation)")
 	)
 	flag.Parse()
 
@@ -112,10 +114,20 @@ func main() {
 	fmt.Printf("circuit %s: %d gates, %d FFs; %d faults; %d cycles\n",
 		c.Name, st.Gates, st.FFs, len(faults), len(seq))
 
-	res := faultsim.Run(c, seq, faults, faultsim.Options{Workers: *workers, MapEval: *mapEval})
+	var col *fsct.Collector
+	if *metrics || *trace {
+		col = fsct.NewCollector()
+		if *trace {
+			col.SetTrace(os.Stderr)
+		}
+	}
+	res := faultsim.Run(c, seq, faults, faultsim.Options{Workers: *workers, MapEval: *mapEval, Obs: col})
 	det := res.NumDetected()
 	fmt.Printf("detected %d / %d faults (%.2f%% coverage)\n",
 		det, len(faults), 100*float64(det)/float64(len(faults)))
+	if *metrics {
+		fmt.Print(fsct.FormatMetrics(col.Snapshot()))
+	}
 
 	if *profilePlot {
 		step := len(seq) / 20

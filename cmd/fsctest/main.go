@@ -7,12 +7,21 @@
 //
 //	fsctest [-scale 0.1] [-circuits s1423,s5378] [-chains N] [-seed 1]
 //	        [-table all|1|2|3] [-fig5 s38584] [-v]
+//	        [-metrics] [-trace] [-debug addr]
+//
+// With -metrics each run is instrumented and the output switches to a
+// JSON array of per-circuit reports, each embedding its metrics
+// snapshot (phase wall times, fault-category counters, ATPG and
+// fault-simulation statistics, worker-pool utilization); -trace
+// additionally streams phase annotations to stderr, and -debug
+// addr serves /debug/pprof and /debug/vars while running.
 //
 // Absolute numbers differ from the paper (synthetic circuits, different
 // ATPG engines, modern hardware); the shapes are the reproduction target.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,8 +40,18 @@ func main() {
 		fig5     = flag.String("fig5", "", "circuit whose detection profile to plot (default: largest run)")
 		verbose  = flag.Bool("v", false, "print per-circuit reports while running")
 		workers  = flag.Int("workers", 0, "fault-axis worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		metrics  = flag.Bool("metrics", false, "instrument the runs and emit JSON reports with metrics instead of tables")
+		trace    = flag.Bool("trace", false, "stream phase/step trace annotations to stderr (implies instrumentation)")
+		debug    = flag.String("debug", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		if err := fsct.ServeDebug(*debug); err != nil {
+			fmt.Fprintf(os.Stderr, "fsctest: -debug: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	want := map[string]bool{}
 	if *circuits != "" {
@@ -41,14 +60,24 @@ func main() {
 		}
 	}
 
+	instrument := *metrics || *trace
 	var reports []*fsct.Report
 	for _, p := range fsct.Suite() {
 		if len(want) > 0 && !want[p.Name] {
 			continue
 		}
+		var col *fsct.Collector
+		if instrument {
+			col = fsct.NewCollector()
+			if *trace {
+				col.SetTrace(os.Stderr)
+				col.Tracef("run %s (scale %g, seed %d)", p.Name, *scale, *seed)
+			}
+			fsct.PublishMetrics(col)
+		}
 		exp := fsct.Experiment{
 			Profile: p, Scale: *scale, Chains: *chains, Seed: *seed,
-			Flow: fsct.FlowParams{Workers: *workers},
+			Flow: fsct.FlowParams{Workers: *workers, Obs: col},
 		}
 		rep, _, err := exp.Run()
 		if err != nil {
@@ -58,11 +87,24 @@ func main() {
 		reports = append(reports, rep)
 		if *verbose {
 			fmt.Print(fsct.FormatReport(rep))
+			if rep.Metrics != nil {
+				fmt.Print(fsct.FormatMetrics(rep.Metrics))
+			}
 		}
 	}
 	if len(reports) == 0 {
 		fmt.Fprintln(os.Stderr, "fsctest: no circuits selected")
 		os.Exit(1)
+	}
+
+	if *metrics {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(os.Stderr, "fsctest: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	switch *table {

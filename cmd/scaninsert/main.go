@@ -28,6 +28,8 @@ func main() {
 		detail  = flag.Bool("detail", false, "print every segment")
 		screen  = flag.Bool("screen", false, "also screen the collapsed fault list (easy/hard split)")
 		workers = flag.Int("workers", 0, "fault-axis worker goroutines for -screen (0 = GOMAXPROCS)")
+		metrics = flag.Bool("metrics", false, "print a metrics summary after -screen (screening counters, pool utilization)")
+		trace   = flag.Bool("trace", false, "stream trace annotations to stderr during -screen")
 	)
 	flag.Parse()
 
@@ -88,9 +90,16 @@ func main() {
 		ourCost, convCost, 100*float64(ourCost)/float64(convCost))
 
 	if *screen {
+		var col *fsct.Collector
+		if *metrics || *trace {
+			col = fsct.NewCollector()
+			if *trace {
+				col.SetTrace(os.Stderr)
+			}
+		}
 		faults := fsct.CollapsedFaults(d.C)
 		easy, hard := 0, 0
-		for _, s := range fsct.ScreenFaultsOpt(d, faults, fsct.ScreenOptions{Workers: *workers}) {
+		for _, s := range fsct.ScreenFaultsOpt(d, faults, fsct.ScreenOptions{Workers: *workers, Obs: col}) {
 			switch s.Cat {
 			case fsct.CatEasy:
 				easy++
@@ -100,6 +109,9 @@ func main() {
 		}
 		fmt.Printf("screening: %d faults, %d easy, %d hard (%.1f%% affect the chain)\n",
 			len(faults), easy, hard, 100*float64(easy+hard)/float64(len(faults)))
+		if *metrics {
+			fmt.Print(fsct.FormatMetrics(col.Snapshot()))
+		}
 	}
 
 	if *detail {

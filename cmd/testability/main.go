@@ -7,6 +7,13 @@
 //
 //	testability -profile s9234 -scale 0.1 [-scan] [-top 15]
 //	testability -in circuit.bench
+//
+// Unlike the fault-driven commands there is no -workers flag here:
+// SCOAP analysis is one levelized forward pass (controllability) and
+// one backward pass (observability) over the circuit, with no fault
+// axis to shard — each gate's measure depends on its fanin/fanout
+// measures, so the passes are inherently sequential and already take
+// milliseconds on the largest suite circuits.
 package main
 
 import (

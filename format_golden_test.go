@@ -1,0 +1,90 @@
+package fsct
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Golden-output tests: FormatReport and FormatMetrics render fixed
+// inputs, so their exact output is part of the public contract (scripts
+// parse it; EXPERIMENTS.md quotes it). Update the golden strings
+// deliberately when changing the format.
+
+func TestFormatReportGolden(t *testing.T) {
+	r := &Report{
+		Circuit:         "golden",
+		Gates:           100,
+		FFs:             10,
+		Faults:          200,
+		Chains:          2,
+		Easy:            50,
+		Hard:            30,
+		ScreenCPU:       2 * time.Millisecond,
+		EasyConfirmed:   50,
+		EasyEscapes:     0,
+		Step2:           StepStats{Detected: 25, Undetectable: 3, Undetected: 2, CPU: 150 * time.Millisecond},
+		Step2Vectors:    12,
+		COCircuits:      3,
+		FinalCOCircuits: 1,
+		Step3:           StepStats{Detected: 2, Undetectable: 0, Undetected: 0, CPU: 1200 * time.Millisecond},
+	}
+	want := `circuit golden: 100 gates, 10 FFs, 2 chains, 200 faults
+  screening: easy=50 (25.0%)  hard=30 (15.0%)  affecting=80 (40.0%)  [2ms]
+  step 1: alternating sequence confirmed 50/50 easy faults (0 escapes)
+  step 2: 12 vectors; det=25 undetectable=3 undetected=2  [150ms]
+  step 3: 3+1 C/O circuits; det=2 undetectable=0 undetected=0  [1.2s]
+  undetected: 0 = 0.0000% of faults = 0.0000% of affecting
+`
+	if got := FormatReport(r); got != want {
+		t.Errorf("FormatReport golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestFormatMetricsGolden(t *testing.T) {
+	m := &Metrics{
+		WallNS: (10 * time.Millisecond).Nanoseconds(),
+		Phases: []obs.PhaseMetric{
+			{Name: "screen", StartNS: 0, WallNS: (2 * time.Millisecond).Nanoseconds()},
+			{Name: "step2", StartNS: (2 * time.Millisecond).Nanoseconds(), WallNS: (8 * time.Millisecond).Nanoseconds()},
+		},
+		Counters: map[string]int64{
+			"screen.faults":       200,
+			"atpg.comb.generated": 40,
+		},
+		Histograms: map[string]obs.HistogramMetric{
+			"atpg.comb.backtracks": {Count: 4, Sum: 10, Max: 6},
+		},
+		Pools: map[string]obs.PoolMetric{
+			"faultsim": {
+				WallNS:      (4 * time.Millisecond).Nanoseconds(),
+				Calls:       3,
+				Utilization: 0.85,
+				Workers:     []obs.WorkerMetric{{BusyNS: (3400 * time.Microsecond).Nanoseconds(), Items: 12}},
+			},
+		},
+	}
+	want := `metrics: wall=10ms
+  phases:
+    screen                          2ms   20.0%
+    step2                           8ms   80.0%
+  counters:
+    atpg.comb.generated                        40
+    screen.faults                             200
+  histograms:
+    atpg.comb.backtracks             count=4 sum=10 max=6 mean=2.5
+  pools:
+    faultsim         util= 85.0%  calls=3  workers=1  wall=4ms
+      worker 0  busy=3.4ms      items=12
+`
+	if got := FormatMetrics(m); got != want {
+		t.Errorf("FormatMetrics golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestFormatMetricsNil(t *testing.T) {
+	if got := FormatMetrics(nil); got != "metrics: (none)\n" {
+		t.Errorf("FormatMetrics(nil) = %q", got)
+	}
+}

@@ -53,6 +53,8 @@ type (
 	FlowParams = core.Params
 	// Report is the per-circuit outcome (Tables 1-3, Figure 5 data).
 	Report = core.Report
+	// StepStats aggregates one flow step's outcome within a Report.
+	StepStats = core.StepStats
 	// Fault is a single stuck-at fault.
 	Fault = fault.Fault
 	// Value is a three-valued logic value (V0, V1, VX).
@@ -196,6 +198,13 @@ func BuildDictionary(d *Design, faults []Fault, seed uint64) *Dictionary {
 	return diagnose.Build(d, faults, diagnose.DefaultSequences(d, seed))
 }
 
+// BuildDictionaryOpt is BuildDictionary with the 63-fault simulation
+// batches sharded across workers goroutines (0 = GOMAXPROCS); the
+// dictionary is identical at any width.
+func BuildDictionaryOpt(d *Design, faults []Fault, seed uint64, workers int) *Dictionary {
+	return diagnose.BuildOpt(d, faults, diagnose.DefaultSequences(d, seed), workers)
+}
+
 // ChainNets returns every on-path net of the design's chains.
 func ChainNets(d *Design) []SignalID { return core.ChainNets(d) }
 
@@ -204,6 +213,13 @@ func ChainNets(d *Design) []SignalID { return core.ChainNets(d) }
 // detections over slow-to-rise/slow-to-fall faults on every on-path net.
 func ChainTransitionCoverage(d *Design, extraCycles int) (detected, total int) {
 	detected, total, _ = core.ChainTransitionCoverage(d, extraCycles)
+	return detected, total
+}
+
+// ChainTransitionCoverageOpt is ChainTransitionCoverage with the fault
+// axis sharded across workers goroutines (0 = GOMAXPROCS, 1 = serial).
+func ChainTransitionCoverageOpt(d *Design, extraCycles, workers int) (detected, total int) {
+	detected, total, _ = core.ChainTransitionCoverageOpt(d, extraCycles, workers)
 	return detected, total
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -120,6 +121,56 @@ type Engine struct {
 
 	// decision stack
 	stack []decision
+
+	// Observability sinks (nil-safe no-ops until Instrument is called).
+	// They are touched once per Generate call, never inside the search
+	// loop, so an uninstrumented engine pays only nil-receiver checks.
+	obs engineObs
+}
+
+// engineObs holds the per-engine metric sinks. The zero value (all nil)
+// is the disabled state.
+type engineObs struct {
+	generated  *obs.Counter
+	found      *obs.Counter
+	redundant  *obs.Counter
+	aborted    *obs.Counter
+	backtracks *obs.Counter
+	hist       *obs.Histogram
+}
+
+// Instrument attaches the engine to a collector: every Generate /
+// GenerateMulti call then records its outcome under prefix.* —
+// generated, found, redundant and aborted call counts, a cumulative
+// backtracks counter, and a backtracks histogram. A nil collector
+// leaves the engine uninstrumented.
+func (e *Engine) Instrument(col *obs.Collector, prefix string) {
+	if !col.Enabled() {
+		return
+	}
+	e.obs = engineObs{
+		generated:  col.Counter(prefix + ".generated"),
+		found:      col.Counter(prefix + ".found"),
+		redundant:  col.Counter(prefix + ".redundant"),
+		aborted:    col.Counter(prefix + ".aborted"),
+		backtracks: col.Counter(prefix + ".backtracks"),
+		hist:       col.Histogram(prefix + ".backtracks"),
+	}
+}
+
+// record notes one completed generation attempt.
+func (eo *engineObs) record(res *Result) {
+	eo.generated.Inc()
+	eo.backtracks.Add(int64(res.Backtracks))
+	eo.hist.Observe(int64(res.Backtracks))
+	switch res.Status {
+	case Found:
+		eo.found.Inc()
+	case Redundant:
+		eo.redundant.Inc()
+	case Aborted:
+		eo.aborted.Inc()
+	}
 }
 
 type decision struct {
@@ -299,6 +350,12 @@ func (e *Engine) Generate(f fault.Fault, backtrackLimit int) Result {
 // physical defect appears once per unrolled frame. A test is found when
 // any site activates and its effect reaches an output.
 func (e *Engine) GenerateMulti(injs []sim.Inject, backtrackLimit int) Result {
+	res := e.generateMulti(injs, backtrackLimit)
+	e.obs.record(&res)
+	return res
+}
+
+func (e *Engine) generateMulti(injs []sim.Inject, backtrackLimit int) Result {
 	e.loadFault(injs)
 	e.reset()
 

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/atpg"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/scan"
 	"repro/internal/sim"
@@ -29,14 +30,15 @@ type combDropper struct {
 	nVectors  int
 	workers   int
 	prog      *sim.Program
-	evals     []packedEval      // one per worker, lazily created
+	evals     []packedEval // one per worker, lazily created
 	injbuf    [][]sim.LaneInject
 	base      []logic.V // per model input: vector-independent fill
 	pending   []int     // reused scratch: still-uncovered fault indices
 	inW       []logic.Word
+	predCtr   *obs.Counter // step2.drop.predicted (nil-safe)
 }
 
-func newCombDropper(d *scan.Design, cm *atpg.CombModel, hard []Screened, workers int) *combDropper {
+func newCombDropper(d *scan.Design, cm *atpg.CombModel, hard []Screened, workers int, col *obs.Collector) *combDropper {
 	workers = par.Workers(workers)
 	cd := &combDropper{
 		d:         d,
@@ -45,7 +47,8 @@ func newCombDropper(d *scan.Design, cm *atpg.CombModel, hard []Screened, workers
 		covered:   par.NewBitSet(len(hard)),
 		coveredAt: make([]int, len(hard)),
 		workers:   workers,
-		prog:      sim.Compile(cm.C),
+		prog:      sim.CompileObs(cm.C, col),
+		predCtr:   col.Counter("step2.drop.predicted"),
 		evals:     make([]packedEval, workers),
 		injbuf:    make([][]sim.LaneInject, workers),
 		base:      make([]logic.V, len(cm.C.Inputs)),
@@ -128,11 +131,15 @@ func (cd *combDropper) drop(v scan.Vector) {
 				det |= w.Ones & laneMask
 			}
 		}
+		newly := int64(0)
 		for k := 0; k < n; k++ {
 			if det&(uint64(1)<<uint(k+1)) != 0 {
-				cd.covered.Set(pending[base+k])
+				if cd.covered.Set(pending[base+k]) {
+					newly++
+				}
 				cd.coveredAt[pending[base+k]] = vecIdx
 			}
 		}
+		cd.predCtr.Add(newly)
 	})
 }

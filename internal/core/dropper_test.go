@@ -31,7 +31,7 @@ func TestDropperMatchesGroundTruth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cd := newCombDropper(d, cm, hard, 0)
+	cd := newCombDropper(d, cm, hard, 0, nil)
 
 	// A fully-specified vector: all FFs 1, all free PIs 1.
 	vec := scan.Vector{

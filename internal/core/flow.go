@@ -10,6 +10,7 @@ import (
 	"repro/internal/faultsim"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/scan"
 )
 
@@ -57,6 +58,14 @@ type Params struct {
 	// simulation across this many goroutines (0 = GOMAXPROCS, 1 =
 	// serial). Reports are identical at any width.
 	Workers int
+
+	// Obs, when non-nil, collects run metrics: per-phase wall time
+	// (screen, step1.alternating, step2, step3), per-category fault
+	// counters, ATPG engine statistics (atpg.comb.*, atpg.seq.*,
+	// atpg.final.*), fault-simulation and worker-pool activity. The
+	// final snapshot lands in Report.Metrics. Nil (the default) keeps
+	// the flow uninstrumented at ~zero cost.
+	Obs *obs.Collector
 }
 
 func (p Params) withDefaults(maxChain int) Params {
@@ -136,6 +145,10 @@ type Report struct {
 
 	// Remaining undetected faults, for inspection.
 	UndetectedFaults []fault.Fault
+
+	// Metrics is the observability snapshot for this run; nil unless
+	// Params.Obs was set.
+	Metrics *obs.Metrics `json:"Metrics,omitempty"`
 }
 
 // Undetected returns the final number of undetected chain-affecting
@@ -163,9 +176,12 @@ func Run(d *scan.Design, p Params) (*Report, error) {
 	rep.Faults = len(faults)
 
 	// ---- Screening (Section 3) ----
+	col := p.Obs
+	span := col.Phase("screen")
 	t0 := time.Now()
-	screened := ScreenOpt(d, faults, ScreenOptions{Workers: p.Workers})
+	screened := ScreenOpt(d, faults, ScreenOptions{Workers: p.Workers, Obs: col})
 	rep.ScreenCPU = time.Since(t0)
+	span.End()
 
 	var easy, hard []Screened
 	for _, s := range screened {
@@ -179,12 +195,13 @@ func Run(d *scan.Design, p Params) (*Report, error) {
 	rep.Easy, rep.Hard = len(easy), len(hard)
 
 	// ---- Step 1: alternating sequence ----
+	span = col.Phase("step1.alternating")
 	alt := faultsim.Sequence(d.AlternatingSequence(p.AltExtraCycles))
 	easyFaults := make([]fault.Fault, len(easy))
 	for i := range easy {
 		easyFaults[i] = easy[i].Fault
 	}
-	altRes := faultsim.Run(d.C, alt, easyFaults, faultsim.Options{Workers: p.Workers})
+	altRes := faultsim.Run(d.C, alt, easyFaults, faultsim.Options{Workers: p.Workers, Obs: col})
 	rep.EasyConfirmed = altRes.NumDetected()
 	for _, i := range altRes.Undetected() {
 		// Safety net: a category-1 fault the alternating sequence missed
@@ -197,7 +214,7 @@ func Run(d *scan.Design, p Params) (*Report, error) {
 		for i := range hard {
 			hf[i] = hard[i].Fault
 		}
-		hres := faultsim.Run(d.C, alt, hf, faultsim.Options{Workers: p.Workers})
+		hres := faultsim.Run(d.C, alt, hf, faultsim.Options{Workers: p.Workers, Obs: col})
 		var keep []Screened
 		for i := range hard {
 			if hres.DetectedAt[i] < 0 {
@@ -208,8 +225,16 @@ func Run(d *scan.Design, p Params) (*Report, error) {
 		}
 		hard = keep
 	}
+	span.End()
+	if col.Enabled() {
+		col.Counter("step1.confirmed").Add(int64(rep.EasyConfirmed))
+		col.Counter("step1.escapes").Add(int64(rep.EasyEscapes))
+		col.Tracef("step1: %d/%d easy faults confirmed by the alternating test, %d escapes rejoin f_hard",
+			rep.EasyConfirmed, len(easyFaults), rep.EasyEscapes)
+	}
 
 	// ---- Step 2: combinational ATPG + sequential fault simulation ----
+	span = col.Phase("step2")
 	t0 = time.Now()
 	var remaining []Screened
 	var err error
@@ -226,13 +251,35 @@ func Run(d *scan.Design, p Params) (*Report, error) {
 		}
 	}
 	rep.Step2.CPU = time.Since(t0)
+	span.End()
+	if col.Enabled() {
+		col.Counter("step2.detected").Add(int64(rep.Step2.Detected))
+		col.Counter("step2.undetectable").Add(int64(rep.Step2.Undetectable))
+		col.Counter("step2.vectors").Add(int64(rep.Step2Vectors))
+		col.Tracef("step2: %d detected, %d proven undetectable, %d vectors, %d faults remain",
+			rep.Step2.Detected, rep.Step2.Undetectable, rep.Step2Vectors, len(remaining))
+	}
 
 	// ---- Step 3: grouped sequential ATPG with enhanced C/O ----
+	span = col.Phase("step3")
 	t0 = time.Now()
 	if err := runStep3(d, remaining, p, rep); err != nil {
 		return nil, err
 	}
 	rep.Step3.CPU = time.Since(t0)
+	span.End()
+	if col.Enabled() {
+		col.Counter("step3.detected").Add(int64(rep.Step3.Detected))
+		col.Counter("step3.undetectable").Add(int64(rep.Step3.Undetectable))
+		col.Counter("step3.undetected").Add(int64(rep.Step3.Undetected))
+		col.Counter("step3.models").Add(int64(rep.COCircuits))
+		col.Counter("step3.final_models").Add(int64(rep.FinalCOCircuits))
+		col.Counter("step3.translation_miss").Add(int64(rep.TranslationMiss))
+		col.Tracef("step3: %d detected, %d undetectable, %d undetected over %d+%d C/O models",
+			rep.Step3.Detected, rep.Step3.Undetectable, rep.Step3.Undetected,
+			rep.COCircuits, rep.FinalCOCircuits)
+		rep.Metrics = col.Snapshot()
+	}
 	return rep, nil
 }
 
@@ -261,7 +308,7 @@ func runStep2Random(d *scan.Design, hard []Screened, p Params, rep *Report) []Sc
 	for i := range hard {
 		hf[i] = hard[i].Fault
 	}
-	res := faultsim.Run(d.C, seq, hf, faultsim.Options{StopWhenAllDetected: true, Workers: p.Workers})
+	res := faultsim.Run(d.C, seq, hf, faultsim.Options{StopWhenAllDetected: true, Workers: p.Workers, Obs: p.Obs})
 
 	if L > 0 {
 		bounds := make([]int, nVec+1)
@@ -303,13 +350,14 @@ func runStep2(d *scan.Design, hard []Screened, p Params, rep *Report) ([]Screene
 		return nil, err
 	}
 	eng := atpg.NewEngine(model)
+	eng.Instrument(p.Obs, "atpg.comb")
 
 	// Static compaction: after each generated vector, a one-cycle packed
 	// fault simulation of the combinational model drops every hard fault
 	// the vector already covers, so PODEM only runs for still-uncovered
 	// faults and the vector set stays small (the paper's Figure 5 makes
 	// the same point: the early vectors carry almost all detections).
-	dropper := newCombDropper(d, cm, hard, p.Workers)
+	dropper := newCombDropper(d, cm, hard, p.Workers, p.Obs)
 
 	redundant := make([]bool, len(hard))
 	var vectors []scan.Vector
@@ -364,7 +412,7 @@ func runStep2(d *scan.Design, hard []Screened, p Params, rep *Report) ([]Screene
 	for i, pi := range perm {
 		hf[i] = hard[pi].Fault
 	}
-	permRes := faultsim.Run(d.C, seq, hf, faultsim.Options{StopWhenAllDetected: true, Workers: p.Workers})
+	permRes := faultsim.Run(d.C, seq, hf, faultsim.Options{StopWhenAllDetected: true, Workers: p.Workers, Obs: p.Obs})
 	res := &faultsim.Result{DetectedAt: make([]int, len(hard))}
 	for i, pi := range perm {
 		res.DetectedAt[pi] = permRes.DetectedAt[i]

@@ -83,8 +83,8 @@ func TestTryVectorFillsDeterministic(t *testing.T) {
 	p := d.Chains[0].Segment[1].Path[0]
 	f := fault.Fault{Signal: p, Gate: netlist.None, Pin: -1, Stuck: logic.One}
 	v := scanVector()
-	a := tryVectorFills(d, f, v, 4)
-	b := tryVectorFills(d, f, v, 4)
+	a := tryVectorFills(d, f, v, 4, nil)
+	b := tryVectorFills(d, f, v, 4, nil)
 	if a != b {
 		t.Error("tryVectorFills nondeterministic")
 	}

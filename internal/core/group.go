@@ -8,6 +8,7 @@ import (
 	"repro/internal/faultsim"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/scan"
 	"repro/internal/seqatpg"
 )
@@ -17,7 +18,7 @@ import (
 // patterns, fault-simulating each single-vector sequence until one
 // detects f. The fill changes the chain data surrounding the corrupted
 // capture, and with it whether the effect survives the shift-out.
-func tryVectorFills(d *scan.Design, f fault.Fault, v scan.Vector, tries int) bool {
+func tryVectorFills(d *scan.Design, f fault.Fault, v scan.Vector, tries int, col *obs.Collector) bool {
 	rng := uint64(f.Signal)<<40 ^ uint64(f.Gate)<<16 ^ uint64(f.Pin)<<8 ^ uint64(f.Stuck) ^ 0x9e3779b97f4a7c15
 	next := func() logic.V {
 		rng = rng*6364136223846793005 + 1442695040888963407
@@ -36,7 +37,7 @@ func tryVectorFills(d *scan.Design, f fault.Fault, v scan.Vector, tries int) boo
 			}
 		}
 		seq := faultsim.Sequence(d.ConvertVectors([]scan.Vector{vv}))
-		fr := faultsim.Run(d.C, seq, []fault.Fault{f}, faultsim.Options{})
+		fr := faultsim.Run(d.C, seq, []fault.Fault{f}, faultsim.Options{Obs: col})
 		if fr.DetectedAt[0] >= 0 {
 			return true
 		}
@@ -257,6 +258,7 @@ func runStep3(d *scan.Design, remaining []Screened, p Params, rep *Report) error
 			return err
 		}
 		combEng = atpg.NewEngine(combModel)
+		combEng.Instrument(p.Obs, "atpg.final")
 	}
 
 	status := make(map[fault.Fault]byte) // 0 open, 1 detected, 2 undetectable
@@ -266,6 +268,7 @@ func runStep3(d *scan.Design, remaining []Screened, p Params, rep *Report) error
 		if err != nil {
 			return err
 		}
+		tm.Instrument(p.Obs, "atpg.seq")
 		for _, s := range m.faults {
 			if status[s.Fault] != 0 {
 				continue
@@ -274,7 +277,7 @@ func runStep3(d *scan.Design, remaining []Screened, p Params, rep *Report) error
 			switch res.Status {
 			case atpg.Found:
 				fr := faultsim.Run(d.C, faultsim.Sequence(res.Sequence),
-					[]fault.Fault{s.Fault}, faultsim.Options{})
+					[]fault.Fault{s.Fault}, faultsim.Options{Obs: p.Obs})
 				if fr.DetectedAt[0] >= 0 {
 					status[s.Fault] = 1
 				} else {
@@ -320,7 +323,7 @@ func runStep3(d *scan.Design, remaining []Screened, p Params, rep *Report) error
 					v.PIs[in] = val
 				}
 			}
-			if tryVectorFills(d, s.Fault, v, 9) {
+			if tryVectorFills(d, s.Fault, v, 9, p.Obs) {
 				status[s.Fault] = 1
 				continue
 			}
@@ -349,10 +352,11 @@ func runStep3(d *scan.Design, remaining []Screened, p Params, rep *Report) error
 		if err != nil {
 			return err
 		}
+		tm.Instrument(p.Obs, "atpg.seq")
 		res := tm.Generate(s.Fault, p.FinalBacktracks)
 		if res.Status == atpg.Found {
 			fsr := faultsim.Run(d.C, faultsim.Sequence(res.Sequence),
-				[]fault.Fault{s.Fault}, faultsim.Options{})
+				[]fault.Fault{s.Fault}, faultsim.Options{Obs: p.Obs})
 			if fsr.DetectedAt[0] >= 0 {
 				status[s.Fault] = 1
 			} else {
@@ -378,12 +382,15 @@ func runStep3(d *scan.Design, remaining []Screened, p Params, rep *Report) error
 	}
 	if len(open) > 0 {
 		seq := randomSequence(d, 120*d.MaxChainLen()+512, 0x5eed)
-		fr := faultsim.Run(d.C, seq, open, faultsim.Options{StopWhenAllDetected: true, Workers: p.Workers})
+		fr := faultsim.Run(d.C, seq, open, faultsim.Options{StopWhenAllDetected: true, Workers: p.Workers, Obs: p.Obs})
+		rescued := int64(0)
 		for k := range open {
 			if fr.DetectedAt[k] >= 0 {
 				status[remaining[openIdx[k]].Fault] = 1
+				rescued++
 			}
 		}
+		p.Obs.Counter("step3.random_rescued").Add(rescued)
 	}
 
 	for _, s := range remaining {

@@ -9,10 +9,12 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/scan"
 	"repro/internal/sim"
@@ -78,6 +80,9 @@ type ScreenOptions struct {
 	Workers int
 	// MapEval selects the map-based reference evaluator (ablation).
 	MapEval bool
+	// Obs, when non-nil, receives screen.* counters (faults, batches,
+	// per-category verdicts) and the "screen" worker-pool utilization.
+	Obs *obs.Collector
 }
 
 // packedEval is the lane-parallel combinational evaluator contract the
@@ -164,16 +169,17 @@ func ScreenOpt(d *scan.Design, faults []fault.Fault, opts ScreenOptions) []Scree
 	if workers > len(batches) {
 		workers = len(batches)
 	}
+	col := opts.Obs
 	var prog *sim.Program
 	if !opts.MapEval {
-		prog = sim.Compile(c)
+		prog = sim.CompileObs(c, col)
 	}
 	type wstate struct {
 		eval packedEval
 		injs []sim.LaneInject
 	}
 	states := make([]*wstate, workers)
-	par.Do(workers, len(batches), func(worker, bi int) {
+	body := func(worker, bi int) {
 		st := states[worker]
 		if st == nil {
 			st = &wstate{injs: make([]sim.LaneInject, 0, 63)}
@@ -233,7 +239,16 @@ func ScreenOpt(d *scan.Design, faults []fault.Fault, opts ScreenOptions) []Scree
 				addLoc(lanes, q.loc, Cat1)
 			}
 		}
-	})
+	}
+	if col.Enabled() {
+		col.Counter("screen.faults").Add(int64(len(faults)))
+		col.Counter("screen.batches").Add(int64(len(batches)))
+		t0 := time.Now()
+		stats := par.DoTimed(workers, len(batches), body)
+		col.RecordPool("screen", time.Since(t0), stats)
+	} else {
+		par.Do(workers, len(batches), body)
+	}
 
 	// FF D-pin branch faults (invisible to net-value comparison).
 	for i := range out {
@@ -264,6 +279,23 @@ func ScreenOpt(d *scan.Design, faults []fault.Fault, opts ScreenOptions) []Scree
 			}
 		}
 		out[i].Locs = dst
+	}
+	if col.Enabled() {
+		var n1, n2, n3 int64
+		for i := range out {
+			switch out[i].Cat {
+			case Cat1:
+				n1++
+			case Cat2:
+				n2++
+			default:
+				n3++
+			}
+		}
+		col.Counter("screen.easy").Add(n1)
+		col.Counter("screen.hard").Add(n2)
+		col.Counter("screen.unaffecting").Add(n3)
+		col.Tracef("screen: %d faults -> %d easy, %d hard, %d unaffecting", len(out), n1, n2, n3)
 	}
 	return out
 }

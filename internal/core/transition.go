@@ -43,6 +43,13 @@ func ChainNets(d *scan.Design) []netlist.SignalID {
 // keep scan hardware off critical paths, so the chain's timing is worth
 // checking too.
 func ChainTransitionCoverage(d *scan.Design, extraCycles int) (detected, total int, undetected []faultsim.TransitionFault) {
+	return ChainTransitionCoverageOpt(d, extraCycles, 1)
+}
+
+// ChainTransitionCoverageOpt is ChainTransitionCoverage with the fault
+// axis sharded across workers goroutines (0 = GOMAXPROCS, 1 = serial);
+// the result is identical at any width.
+func ChainTransitionCoverageOpt(d *scan.Design, extraCycles, workers int) (detected, total int, undetected []faultsim.TransitionFault) {
 	faults := faultsim.ChainTransitionFaults(ChainNets(d))
 	total = len(faults)
 	if total == 0 {
@@ -51,7 +58,7 @@ func ChainTransitionCoverage(d *scan.Design, extraCycles int) (detected, total i
 	// Two periods of the alternating pattern after a definite-fill
 	// preamble, so every transition launches from a known state.
 	alt := d.AlternatingSequence(extraCycles)
-	res := faultsim.RunTransition(d.C, faultsim.Sequence(alt), faults, faultsim.Options{})
+	res := faultsim.RunTransition(d.C, faultsim.Sequence(alt), faults, faultsim.Options{Workers: workers})
 	for i, at := range res.DetectedAt {
 		if at >= 0 {
 			detected++

@@ -18,6 +18,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/scan"
 	"repro/internal/sim"
 )
@@ -65,7 +66,18 @@ func DefaultSequences(d *scan.Design, seed uint64) [][][]logic.V {
 
 // Build simulates every candidate fault against the diagnostic
 // sequences (63 machines per packed pass) and indexes the signatures.
+// It is BuildOpt at the serial width.
 func Build(d *scan.Design, faults []fault.Fault, seqs [][][]logic.V) *Dictionary {
+	return BuildOpt(d, faults, seqs, 1)
+}
+
+// BuildOpt is Build with the 63-fault batches sharded across workers
+// goroutines (0 = GOMAXPROCS, 1 = serial). Every fault's hash state
+// lives in its own slot and a fault belongs to exactly one batch, so
+// the dictionary is identical at any worker count; the fault-free
+// machine is hashed by whichever worker runs the first batch (every
+// batch's lane 0 simulates the same fault-free device).
+func BuildOpt(d *scan.Design, faults []fault.Fault, seqs [][][]logic.V, workers int) *Dictionary {
 	dict := &Dictionary{
 		Design: d,
 		Faults: faults,
@@ -75,35 +87,44 @@ func Build(d *scan.Design, faults []fault.Fault, seqs [][][]logic.V) *Dictionary
 	}
 	hashers := make([]hasher, len(faults)+1) // last entry: fault-free machine
 
-	ps := sim.NewCompiledSeq(d.C)
-	piW := make([]logic.Word, len(d.C.Inputs))
-	var poW []logic.Word
-	for base := 0; base <= len(faults); base += 63 {
-		n := len(faults) - base
-		if n > 63 {
-			n = 63
+	// Broadcast the stimulus to packed words once; every worker reads it.
+	seqW := make([][][]logic.Word, len(seqs))
+	for si, seq := range seqs {
+		seqW[si] = make([][]logic.Word, len(seq))
+		for t, pi := range seq {
+			w := make([]logic.Word, len(pi))
+			for i, v := range pi {
+				w[i] = logic.WordAll(v)
+			}
+			seqW[si][t] = w
 		}
-		if n < 0 {
-			n = 0
-		}
-		// Lane 0 simulates fault-free (hashed only on the first batch).
-		injs := make([]sim.LaneInject, 0, n)
+	}
+
+	prog := sim.Compile(d.C)
+	batches := par.Chunks(len(faults), 63)
+	workers = par.Workers(workers)
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	type wstate struct {
+		ps   *sim.CompiledSeq
+		poW  []logic.Word
+		injs []sim.LaneInject
+	}
+	states := make([]*wstate, workers)
+	runBatch := func(st *wstate, base, n int, hashGood bool) {
+		st.injs = st.injs[:0]
 		for k := 0; k < n; k++ {
-			injs = append(injs, sim.LaneInject{Inject: faults[base+k].Inject(), Lane: uint(k + 1)})
+			st.injs = append(st.injs, sim.LaneInject{Inject: faults[base+k].Inject(), Lane: uint(k + 1)})
 		}
-		if n == 0 && base > 0 {
-			break
-		}
-		ps.SetInjections(injs)
-		for _, seq := range seqs {
+		ps := st.ps
+		ps.SetInjections(st.injs)
+		for _, seq := range seqW {
 			ps.ResetX()
-			for _, pi := range seq {
-				for i, v := range pi {
-					piW[i] = logic.WordAll(v)
-				}
-				poW = ps.Cycle(piW, poW)
-				for _, w := range poW {
-					if base == 0 {
+			for _, piW := range seq {
+				st.poW = ps.Cycle(piW, st.poW)
+				for _, w := range st.poW {
+					if hashGood {
 						hashers[len(faults)].add(w.Get(0))
 					}
 					for k := 0; k < n; k++ {
@@ -112,9 +133,19 @@ func Build(d *scan.Design, faults []fault.Fault, seqs [][][]logic.V) *Dictionary
 				}
 			}
 		}
-		if n == 0 {
-			break
-		}
+	}
+	if len(batches) == 0 {
+		// No candidates: still hash the fault-free reference.
+		runBatch(&wstate{ps: sim.NewCompiledSeqFrom(prog)}, 0, 0, true)
+	} else {
+		par.Do(workers, len(batches), func(worker, bi int) {
+			st := states[worker]
+			if st == nil {
+				st = &wstate{ps: sim.NewCompiledSeqFrom(prog), injs: make([]sim.LaneInject, 0, 63)}
+				states[worker] = st
+			}
+			runBatch(st, batches[bi].Lo, batches[bi].Len(), bi == 0)
+		})
 	}
 	for i := range faults {
 		s := Signature(hashers[i].sum())

@@ -160,3 +160,37 @@ func TestEmptyDictionary(t *testing.T) {
 		t.Error("unknown signature localized")
 	}
 }
+
+// TestBuildOptWorkerInvariance pins the determinism contract: the
+// dictionary (per-fault signatures and the good reference) is
+// byte-identical at any worker count, on a circuit large enough for
+// several 63-fault batches.
+func TestBuildOptWorkerInvariance(t *testing.T) {
+	c := gen.Generate(gen.Suite()[0].Scale(0.2), 3)
+	d, err := tpi.Insert(c, tpi.Options{NumChains: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var affecting []fault.Fault
+	for _, s := range core.Screen(d, fault.Collapsed(d.C)) {
+		if s.Cat != core.Cat3 {
+			affecting = append(affecting, s.Fault)
+		}
+	}
+	if len(affecting) < 64 {
+		t.Fatalf("want >63 affecting faults for a multi-batch test, got %d", len(affecting))
+	}
+	seqs := DefaultSequences(d, 7)
+	ref := BuildOpt(d, affecting, seqs, 1)
+	for _, w := range []int{2, 4, 0} {
+		got := BuildOpt(d, affecting, seqs, w)
+		if got.good != ref.good {
+			t.Errorf("workers=%d: good signature %016x != %016x", w, got.good, ref.good)
+		}
+		for i := range affecting {
+			if got.sigs[i] != ref.sigs[i] {
+				t.Fatalf("workers=%d: fault %d signature differs", w, i)
+			}
+		}
+	}
+}

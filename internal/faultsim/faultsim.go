@@ -9,9 +9,12 @@
 package faultsim
 
 import (
+	"time"
+
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sim"
 )
@@ -36,6 +39,11 @@ type Options struct {
 	// MapEval selects the map-based reference evaluator instead of the
 	// compiled one (ablation; slower).
 	MapEval bool
+	// Obs, when non-nil, receives run metrics: faultsim.* counters
+	// (runs by evaluator kind, batches, executed cycles, detections,
+	// early exits) and per-worker utilization under the "faultsim"
+	// pool. A nil collector costs one pointer test per batch.
+	Obs *obs.Collector
 }
 
 // Result reports, for each fault (by index into the input fault slice),
@@ -121,9 +129,22 @@ func Run(c *netlist.Circuit, seq Sequence, faults []fault.Fault, opts Options) *
 	if workers > len(batches) {
 		workers = len(batches)
 	}
+	col := opts.Obs
+	if col.Enabled() {
+		col.Counter("faultsim.runs").Inc()
+		if opts.MapEval {
+			col.Counter("faultsim.eval.map").Inc()
+		} else {
+			col.Counter("faultsim.eval.compiled").Inc()
+		}
+		col.Counter("faultsim.faults").Add(int64(len(faults)))
+		col.Counter("faultsim.batches").Add(int64(len(batches)))
+	}
+	cycleCtr := col.Counter("faultsim.cycles")
+	earlyCtr := col.Counter("faultsim.early_exits")
 	var prog *sim.Program
 	if !opts.MapEval {
-		prog = sim.Compile(c) // shared, immutable
+		prog = sim.CompileObs(c, col) // shared, immutable
 	}
 
 	type wstate struct {
@@ -132,7 +153,7 @@ func Run(c *netlist.Circuit, seq Sequence, faults []fault.Fault, opts Options) *
 		injs []sim.LaneInject
 	}
 	states := make([]*wstate, workers)
-	par.Do(workers, len(batches), func(worker, bi int) {
+	body := func(worker, bi int) {
 		st := states[worker]
 		if st == nil {
 			st = &wstate{injs: make([]sim.LaneInject, 0, 63)}
@@ -159,8 +180,10 @@ func Run(c *netlist.Circuit, seq Sequence, faults []fault.Fault, opts Options) *
 
 		allMask := (uint64(1)<<uint(n+1) - 1) &^ 1 // lanes 1..n
 		detected := uint64(0)
+		ran := 0
 		for cyc, piW := range seqW {
 			st.poW = ps.Cycle(piW, st.poW)
+			ran++
 			for _, w := range st.poW {
 				switch w.Get(0) {
 				case logic.One:
@@ -170,10 +193,20 @@ func Run(c *netlist.Circuit, seq Sequence, faults []fault.Fault, opts Options) *
 				}
 			}
 			if opts.StopWhenAllDetected && detected == allMask {
+				earlyCtr.Inc()
 				break
 			}
 		}
-	})
+		cycleCtr.Add(int64(ran))
+	}
+	if col.Enabled() {
+		t0 := time.Now()
+		stats := par.DoTimed(workers, len(batches), body)
+		col.RecordPool("faultsim", time.Since(t0), stats)
+		col.Counter("faultsim.detected").Add(int64(res.NumDetected()))
+	} else {
+		par.Do(workers, len(batches), body)
+	}
 	return res
 }
 

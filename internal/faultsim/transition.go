@@ -3,6 +3,7 @@ package faultsim
 import (
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/par"
 )
 
 // TransitionFault is a gross-delay fault: when the site's value makes a
@@ -124,16 +125,19 @@ func (m *transitionMachine) cycle(pi []logic.V, po []logic.V) []logic.V {
 	return po
 }
 
-// RunTransition simulates seq against every transition fault (serially;
-// each machine carries per-cycle site history) and reports the first
-// cycle with a definite primary-output mismatch versus the fault-free
-// machine.
+// RunTransition simulates seq against every transition fault and
+// reports the first cycle with a definite primary-output mismatch
+// versus the fault-free machine. Transition machines carry per-cycle
+// site history, so there is no packed (63-lane) variant; instead the
+// fault axis itself is sharded across opts.Workers goroutines, each
+// fault owning its machine and its result slot (identical output at
+// any worker count).
 func RunTransition(c *netlist.Circuit, seq Sequence, faults []TransitionFault, opts Options) *Result {
 	res := &Result{DetectedAt: make([]int, len(faults))}
 	good := goodTrace(c, seq, opts)
-	for fi, f := range faults {
+	par.Do(par.Workers(opts.Workers), len(faults), func(_, fi int) {
 		res.DetectedAt[fi] = -1
-		m := newTransitionMachine(c, f)
+		m := newTransitionMachine(c, faults[fi])
 		if opts.InitState != nil {
 			copy(m.state, opts.InitState)
 		}
@@ -149,7 +153,7 @@ func RunTransition(c *netlist.Circuit, seq Sequence, faults []TransitionFault, o
 				}
 			}
 		}
-	}
+	})
 	return res
 }
 

@@ -1,0 +1,50 @@
+package obs
+
+// Opt-in HTTP debug surface for long runs: net/http/pprof profiles and
+// an expvar export of the currently published collector. Nothing here
+// runs unless a CLI passes -debug <addr>; the blank pprof import only
+// registers handlers on the default mux, it starts no goroutines.
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	published   atomic.Pointer[Collector]
+	publishOnce sync.Once
+)
+
+// Publish makes c the collector exported as the expvar variable
+// "fsct_metrics" (a Metrics snapshot taken on every scrape). Calling it
+// again replaces the published collector — a flow that runs several
+// circuits republishes per circuit. Publishing nil clears the export.
+func Publish(c *Collector) {
+	published.Store(c)
+	publishOnce.Do(func() {
+		expvar.Publish("fsct_metrics", expvar.Func(func() any {
+			return published.Load().Snapshot()
+		}))
+	})
+}
+
+// ServeDebug starts an HTTP server on addr (in the background) serving
+// the default mux: /debug/pprof/* from net/http/pprof and /debug/vars
+// from expvar, including the collector published with Publish. The
+// listen error is returned synchronously; serve errors after that are
+// ignored (the process is shutting down).
+func ServeDebug(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: debug server: %w", err)
+	}
+	go func() {
+		_ = http.Serve(ln, nil)
+	}()
+	return nil
+}

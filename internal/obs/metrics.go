@@ -1,0 +1,64 @@
+package obs
+
+// This file defines the frozen, JSON-ready snapshot types. They carry
+// no behaviour beyond encoding: a Metrics value is plain data that a
+// run report embeds (core.Report.Metrics), the CLIs emit with
+// -metrics, and ServeDebug exports over expvar.
+
+// Metrics is a frozen snapshot of a Collector.
+type Metrics struct {
+	// WallNS is the nanoseconds elapsed from collector creation to the
+	// snapshot.
+	WallNS int64 `json:"wall_ns"`
+	// Phases lists the recorded phase spans in open order.
+	Phases []PhaseMetric `json:"phases,omitempty"`
+	// Counters holds every registered counter by name.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Histograms holds every registered histogram by name.
+	Histograms map[string]HistogramMetric `json:"histograms,omitempty"`
+	// Pools holds accumulated worker-pool utilization by pool name.
+	Pools map[string]PoolMetric `json:"pools,omitempty"`
+}
+
+// PhaseMetric is one phase span: wall time and the offset of its start
+// from the collector's origin.
+type PhaseMetric struct {
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	WallNS  int64  `json:"wall_ns"`
+}
+
+// HistogramMetric summarizes one histogram: observation count, sum and
+// maximum, plus the non-empty power-of-two buckets.
+type HistogramMetric struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Max     int64             `json:"max"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// HistogramBucket counts observations v <= Le; Le == -1 marks the
+// unbounded overflow bucket.
+type HistogramBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// PoolMetric is the accumulated utilization of one worker pool across
+// every recorded invocation: total pool wall time, invocation count and
+// per-worker busy time / item counts. Utilization is the fraction of
+// the pool's total worker-seconds actually spent working
+// (sum(busy) / (wall * len(workers))); a value well below 1 with
+// uneven Workers entries is the load-imbalance signature.
+type PoolMetric struct {
+	WallNS      int64          `json:"wall_ns"`
+	Calls       int64          `json:"calls"`
+	Utilization float64        `json:"utilization"`
+	Workers     []WorkerMetric `json:"workers,omitempty"`
+}
+
+// WorkerMetric is one worker's accumulated busy time and item count.
+type WorkerMetric struct {
+	BusyNS int64 `json:"busy_ns"`
+	Items  int64 `json:"items"`
+}

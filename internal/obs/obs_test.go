@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorIsValidSink(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Fatal("nil collector must report disabled")
+	}
+	// Every operation must be a no-op, not a panic.
+	c.SetTrace(nil)
+	c.Tracef("ignored %d", 1)
+	ctr := c.Counter("x")
+	ctr.Add(5)
+	ctr.Inc()
+	if ctr.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	h := c.Histogram("h")
+	h.Observe(42)
+	sp := c.Phase("p")
+	if d := sp.End(); d != 0 {
+		t.Fatalf("nil span End = %v, want 0", d)
+	}
+	c.RecordPool("pool", time.Second, []WorkerStat{{Busy: time.Second, Items: 1}})
+	if c.Snapshot() != nil {
+		t.Fatal("nil collector snapshot must be nil")
+	}
+	if c.CounterNames() != nil {
+		t.Fatal("nil collector has no counter names")
+	}
+}
+
+func TestCountersAndHistogram(t *testing.T) {
+	c := New()
+	a := c.Counter("a")
+	a.Add(3)
+	a.Inc()
+	if c.Counter("a") != a {
+		t.Fatal("Counter must return the same instance per name")
+	}
+	if got := a.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	h := c.Histogram("bt")
+	for _, v := range []int64{0, 1, 2, 3, 100, -7} {
+		h.Observe(v)
+	}
+	m := c.Snapshot()
+	if m.Counters["a"] != 4 {
+		t.Fatalf("snapshot counter = %d, want 4", m.Counters["a"])
+	}
+	hm := m.Histograms["bt"]
+	if hm.Count != 6 || hm.Sum != 106 || hm.Max != 100 {
+		t.Fatalf("histogram summary = %+v", hm)
+	}
+	var n int64
+	for _, b := range hm.Buckets {
+		n += b.Count
+	}
+	if n != 6 {
+		t.Fatalf("bucket counts sum to %d, want 6", n)
+	}
+	// 0 and the clamped -7 land in the v == 0 bucket (le 0).
+	if hm.Buckets[0].Le != 0 || hm.Buckets[0].Count != 2 {
+		t.Fatalf("zero bucket = %+v", hm.Buckets[0])
+	}
+}
+
+func TestPhasesAndPools(t *testing.T) {
+	c := New()
+	sp := c.Phase("screen")
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d <= 0 {
+		t.Fatal("phase duration must be positive")
+	}
+	if again := sp.End(); again != d {
+		t.Fatalf("End not idempotent: %v then %v", d, again)
+	}
+	open := c.Phase("step2") // left open on purpose
+	_ = open
+	c.RecordPool("faultsim", 10*time.Millisecond, []WorkerStat{
+		{Busy: 8 * time.Millisecond, Items: 5},
+		{Busy: 6 * time.Millisecond, Items: 3},
+	})
+	c.RecordPool("faultsim", 10*time.Millisecond, []WorkerStat{
+		{Busy: 10 * time.Millisecond, Items: 7},
+	})
+	m := c.Snapshot()
+	if len(m.Phases) != 2 || m.Phases[0].Name != "screen" || m.Phases[1].Name != "step2" {
+		t.Fatalf("phases = %+v", m.Phases)
+	}
+	if m.Phases[1].WallNS <= 0 {
+		t.Fatal("open phase must report wall time so far")
+	}
+	p := m.Pools["faultsim"]
+	if p.Calls != 2 || len(p.Workers) != 2 {
+		t.Fatalf("pool = %+v", p)
+	}
+	if p.Workers[0].Items != 12 || p.Workers[1].Items != 3 {
+		t.Fatalf("worker merge wrong: %+v", p.Workers)
+	}
+	// utilization = 24ms busy / (20ms wall * 2 workers) = 0.6
+	if p.Utilization < 0.55 || p.Utilization > 0.65 {
+		t.Fatalf("utilization = %f, want ~0.6", p.Utilization)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := New()
+	ctr := c.Counter("n")
+	h := c.Histogram("h")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				ctr.Inc()
+				h.Observe(int64(i))
+				c.Counter("n").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ctr.Value(); got != 16000 {
+		t.Fatalf("counter = %d, want 16000", got)
+	}
+	if got := c.Snapshot().Histograms["h"].Count; got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	c := New()
+	var b strings.Builder
+	c.SetTrace(&b)
+	c.Phase("screen").End()
+	c.Tracef("custom %s", "line")
+	out := b.String()
+	for _, want := range []string{"phase screen: start", "phase screen: end", "custom line"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	c := New()
+	c.Counter("screen.easy").Add(10)
+	c.Phase("screen").End()
+	c.Histogram("atpg.backtracks").Observe(17)
+	c.RecordPool("screen", time.Millisecond, []WorkerStat{{Busy: time.Millisecond, Items: 4}})
+	raw, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Metrics
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["screen.easy"] != 10 || len(back.Phases) != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Histograms["atpg.backtracks"].Sum != 17 {
+		t.Fatalf("histogram lost: %+v", back.Histograms)
+	}
+}
+
+func TestCounterNamesSorted(t *testing.T) {
+	c := New()
+	c.Counter("b")
+	c.Counter("a")
+	c.Counter("c")
+	names := c.CounterNames()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestPublishAndServeDebug(t *testing.T) {
+	c := New()
+	c.Counter("x").Add(7)
+	Publish(c)
+	// Replacing and clearing must not panic (expvar re-publish guard).
+	Publish(New())
+	Publish(c)
+	if err := ServeDebug("127.0.0.1:0"); err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+}

@@ -1,7 +1,9 @@
 // Package par provides the bounded-parallelism primitives the fault
 // simulator and screening engine shard their fault axis with: a worker
-// pool with dynamic index distribution, chunk helpers for 63-wide fault
-// batches, and an atomic bit set for cross-worker fault dropping.
+// pool with dynamic index distribution (Do, plus the measured DoTimed
+// variant feeding the observability layer's pool-utilization metrics),
+// chunk helpers for 63-wide fault batches, and an atomic bit set for
+// cross-worker fault dropping.
 //
 // Determinism contract: Do distributes indices dynamically, so the
 // order in which indices are processed is scheduling-dependent — but
@@ -16,6 +18,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Workers resolves a requested worker count: values <= 0 select
@@ -67,6 +72,59 @@ func Do(workers, n int, fn func(worker, index int)) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// WorkerStat aliases the observability layer's per-worker sample (busy
+// time inside the work loop plus indices claimed), so DoTimed results
+// feed Collector.RecordPool without conversion. The workload is
+// CPU-bound with no blocking, so loop time is busy time; uneven
+// Busy/Items across workers is the load-imbalance signature surfaced as
+// pool utilization.
+type WorkerStat = obs.WorkerStat
+
+// DoTimed is Do plus per-worker measurement: it returns one WorkerStat
+// per dense worker ID (length min(workers, n) after resolution). The
+// distribution, determinism contract and serial path match Do exactly;
+// the only extra cost is two monotonic clock reads per worker, so it is
+// safe to substitute for Do whenever a collector is enabled.
+func DoTimed(workers, n int, fn func(worker, index int)) []WorkerStat {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	stats := make([]WorkerStat, workers)
+	if workers <= 1 {
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		stats[0] = WorkerStat{Busy: time.Since(t0), Items: int64(n)}
+		return stats
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			t0 := time.Now()
+			items := int64(0)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				fn(worker, i)
+				items++
+			}
+			stats[worker] = WorkerStat{Busy: time.Since(t0), Items: items}
+		}(w)
+	}
+	wg.Wait()
+	return stats
 }
 
 // Range is a half-open index interval [Lo, Hi).

@@ -134,3 +134,44 @@ func TestBitSetConcurrent(t *testing.T) {
 		t.Errorf("count = %d, want %d", b.Count(), n)
 	}
 }
+
+func TestDoTimedCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		const n = 500
+		var hits [n]atomic.Int32
+		stats := DoTimed(workers, n, func(_, i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, got)
+			}
+		}
+		var items int64
+		for _, s := range stats {
+			items += s.Items
+		}
+		if items != n {
+			t.Fatalf("workers=%d: item counts sum to %d, want %d", workers, items, n)
+		}
+		want := workers
+		if want > n {
+			want = n
+		}
+		if len(stats) != want {
+			t.Fatalf("workers=%d: %d stats entries, want %d", workers, len(stats), want)
+		}
+	}
+	if got := DoTimed(4, 0, func(_, _ int) {}); got != nil {
+		t.Fatalf("n=0 must return nil, got %v", got)
+	}
+}
+
+func TestDoTimedSerialInline(t *testing.T) {
+	var worker atomic.Int32
+	stats := DoTimed(1, 10, func(w, _ int) { worker.Store(int32(w)) })
+	if worker.Load() != 0 {
+		t.Fatal("serial path must use worker 0")
+	}
+	if len(stats) != 1 || stats[0].Items != 10 || stats[0].Busy < 0 {
+		t.Fatalf("serial stats = %+v", stats)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	obsPkg "repro/internal/obs"
 	"repro/internal/scan"
 	"repro/internal/sim"
 )
@@ -43,6 +44,24 @@ type Model struct {
 
 	ctrl map[netlist.SignalID]bool
 	obs  map[netlist.SignalID]bool
+
+	// Metric sinks (nil-safe no-ops until Instrument is called).
+	conflictCtr *obsPkg.Counter
+	noSiteCtr   *obsPkg.Counter
+}
+
+// Instrument attaches the model's PODEM engine to a collector under
+// prefix.* (see atpg.Engine.Instrument) and additionally records
+// prefix.translation_conflicts (scan-in cells two constraints disagreed
+// on) and prefix.no_site (faults with no injection site in this model).
+// A nil collector leaves the model uninstrumented.
+func (m *Model) Instrument(col *obsPkg.Collector, prefix string) {
+	if !col.Enabled() {
+		return
+	}
+	m.eng.Instrument(col, prefix)
+	m.conflictCtr = col.Counter(prefix + ".translation_conflicts")
+	m.noSiteCtr = col.Counter(prefix + ".no_site")
 }
 
 // Build unrolls design d over frames frames with the given controllable
@@ -227,6 +246,7 @@ func (m *Model) Generate(f fault.Fault, backtrackLimit int) Result {
 	if len(injs) == 0 {
 		// The fault has no site in this model (e.g. a D-pin branch of a
 		// flip-flop declared controllable): no verdict.
+		m.noSiteCtr.Inc()
 		return Result{Status: atpg.Aborted}
 	}
 	res := m.eng.GenerateMulti(injs, backtrackLimit)
@@ -235,6 +255,7 @@ func (m *Model) Generate(f fault.Fault, backtrackLimit int) Result {
 		return out
 	}
 	out.Sequence, out.Conflicts = m.translate(res.Assignment)
+	m.conflictCtr.Add(int64(out.Conflicts))
 	return out
 }
 

@@ -1,0 +1,105 @@
+package fsct
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Observability facade. The flow is uninstrumented by default; attach a
+// collector to make it account for itself:
+//
+//	col := fsct.NewCollector()
+//	rep, _ := fsct.RunFlow(d, fsct.FlowParams{Obs: col})
+//	fmt.Print(fsct.FormatMetrics(rep.Metrics))
+//
+// The same collector can be shared across RunFlow, ScreenFaultsOpt and
+// SimulateFaultsOpt calls; Snapshot (or Report.Metrics) freezes it into
+// plain JSON-ready data.
+
+// Collector gathers phase timings, counters, histograms and worker-pool
+// utilization across a run. A nil *Collector is a valid no-op sink.
+type Collector = obs.Collector
+
+// Metrics is a frozen, JSON-ready snapshot of a Collector.
+type Metrics = obs.Metrics
+
+// NewCollector returns an enabled metrics collector.
+func NewCollector() *Collector { return obs.New() }
+
+// PublishMetrics exports col's live snapshot as the expvar variable
+// "fsct_metrics" (visible on /debug/vars once ServeDebug or any HTTP
+// server on the default mux is running). Calling it again rebinds the
+// variable to the new collector.
+func PublishMetrics(col *Collector) { obs.Publish(col) }
+
+// ServeDebug starts an HTTP server on addr exposing the standard
+// net/http/pprof profiles under /debug/pprof/ and expvar (including any
+// published collector) under /debug/vars. It returns once the listener
+// is bound; serving continues in the background.
+func ServeDebug(addr string) error { return obs.ServeDebug(addr) }
+
+// FormatMetrics renders a metrics snapshot as an indented text block:
+// per-phase wall times with their share of the total, sorted counters,
+// histogram summaries and worker-pool utilization.
+func FormatMetrics(m *Metrics) string {
+	if m == nil {
+		return "metrics: (none)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "metrics: wall=%s\n", round(time.Duration(m.WallNS)))
+	if len(m.Phases) > 0 {
+		b.WriteString("  phases:\n")
+		for _, p := range m.Phases {
+			share := 0.0
+			if m.WallNS > 0 {
+				share = 100 * float64(p.WallNS) / float64(m.WallNS)
+			}
+			fmt.Fprintf(&b, "    %-24s %10s  %5.1f%%\n",
+				p.Name, round(time.Duration(p.WallNS)), share)
+		}
+	}
+	if len(m.Counters) > 0 {
+		b.WriteString("  counters:\n")
+		for _, name := range sortedKeys(m.Counters) {
+			fmt.Fprintf(&b, "    %-32s %12d\n", name, m.Counters[name])
+		}
+	}
+	if len(m.Histograms) > 0 {
+		b.WriteString("  histograms:\n")
+		for _, name := range sortedKeys(m.Histograms) {
+			h := m.Histograms[name]
+			mean := 0.0
+			if h.Count > 0 {
+				mean = float64(h.Sum) / float64(h.Count)
+			}
+			fmt.Fprintf(&b, "    %-32s count=%d sum=%d max=%d mean=%.1f\n",
+				name, h.Count, h.Sum, h.Max, mean)
+		}
+	}
+	if len(m.Pools) > 0 {
+		b.WriteString("  pools:\n")
+		for _, name := range sortedKeys(m.Pools) {
+			p := m.Pools[name]
+			fmt.Fprintf(&b, "    %-16s util=%5.1f%%  calls=%d  workers=%d  wall=%s\n",
+				name, 100*p.Utilization, p.Calls, len(p.Workers), round(time.Duration(p.WallNS)))
+			for i, w := range p.Workers {
+				fmt.Fprintf(&b, "      worker %-2d busy=%-10s items=%d\n",
+					i, round(time.Duration(w.BusyNS)), w.Items)
+			}
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
