@@ -1,0 +1,101 @@
+package fsct
+
+// TestEmitEngineBench writes BENCH_engine.json: the cache-on/off
+// ablation for the shared circuit-artifact cache (internal/engine) and
+// per-backend fault-simulation timings under the unified evaluator
+// interface, so the engine layer's effect on the Table-3 flow is pinned
+// next to BENCH_baseline.json.
+//
+// Like TestEmitBench it is opt-in — a plain `go test ./...` skips it:
+//
+//	FSCT_EMIT_BENCH=1 go test -run TestEmitEngineBench .
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+)
+
+type engineFlowEntry struct {
+	Circuit string       `json:"circuit"`
+	Cached  benchMeasure `json:"flow_cached"`
+	Bypass  benchMeasure `json:"flow_bypass"`
+}
+
+type engineBench struct {
+	Note       string                  `json:"note"`
+	GoVersion  string                  `json:"go_version"`
+	GOMAXPROCS int                     `json:"gomaxprocs"`
+	Scale      float64                 `json:"scale"`
+	Flow       []engineFlowEntry       `json:"flow"`
+	Backends   map[string]benchMeasure `json:"faultsim_backends"`
+	// Headline ratio: summed bypass flow time over summed cached flow
+	// time (per-circuit rows above are the source of truth).
+	FlowCacheSpeedup float64 `json:"flow_cache_speedup"`
+}
+
+func TestEmitEngineBench(t *testing.T) {
+	if os.Getenv("FSCT_EMIT_BENCH") == "" {
+		t.Skip("set FSCT_EMIT_BENCH=1 to measure and write BENCH_engine.json")
+	}
+	out := engineBench{
+		Note: "Cache ablation for the shared circuit-artifact cache: flow_cached reuses " +
+			"one warm engine cache across iterations (the default-cache behavior of " +
+			"repeated runs on one circuit); flow_bypass rebuilds every derived artifact " +
+			"per phase. Backend rows force one evaluator each on the largest circuit.",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      benchScale,
+		Backends:   map[string]benchMeasure{},
+	}
+
+	var cachedNs, bypassNs int64
+	for _, name := range []string{"s9234", "s38584"} {
+		p := MustProfile(name).Scale(benchScale)
+		c := GenerateCircuit(p, 1)
+		d, err := InsertScan(c, ScanOptions{NumChains: DefaultChains(len(c.FFs)), Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache := NewEngineCache()
+		e := engineFlowEntry{Circuit: name}
+		e.Cached = measure(func() {
+			if _, err := RunFlow(d, FlowParams{Engine: cache}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		e.Bypass = measure(func() {
+			if _, err := RunFlow(d, FlowParams{Engine: NewEngineBypass()}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		cachedNs += e.Cached.NsPerOp
+		bypassNs += e.Bypass.NsPerOp
+		out.Flow = append(out.Flow, e)
+	}
+	if cachedNs > 0 {
+		out.FlowCacheSpeedup = float64(bypassNs) / float64(cachedNs)
+	}
+
+	d := mustBenchDesign(t, "s38584")
+	faults := CollapsedFaults(d.C)
+	seq := Sequence(d.AlternatingSequence(8))
+	for _, b := range []EvalBackend{EvalCompiled, EvalPacked, EvalEvent} {
+		out.Backends[b.String()] = measure(func() {
+			SimulateFaultsOpt(d.C, seq, faults, SimOptions{Eval: b})
+		})
+	}
+
+	f, err := os.Create("BENCH_engine.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&out); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("flow cache speedup (bypass/cached): %.2fx", out.FlowCacheSpeedup)
+}

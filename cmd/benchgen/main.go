@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -38,7 +40,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
 		os.Exit(1)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	for _, p := range fsct.Suite() {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "benchgen: interrupted")
+			os.Exit(1)
+		}
 		if len(want) > 0 && !want[p.Name] {
 			continue
 		}

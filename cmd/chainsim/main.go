@@ -8,12 +8,19 @@
 // Usage:
 //
 //	chainsim [-profile s27|s1423|…] [-scale 0.1] [-chains N] [-seed 1] [-list]
+//	         [-eval auto|compiled|packed|scalar|event]
+//
+// SIGINT cancels the screening/simulation cooperatively and the process
+// exits non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro"
 )
@@ -26,15 +33,27 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed")
 		list    = flag.Bool("list", false, "list every escaping hard fault")
 		workers = flag.Int("workers", 0, "fault-axis worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		mapEval = flag.Bool("mapeval", false, "use the map-based reference evaluator (slower; ablation)")
+		eval    = flag.String("eval", "auto", "evaluator backend: auto, compiled, packed, scalar, event")
+		mapEval = flag.Bool("mapeval", false, "deprecated: same as -eval packed")
 	)
 	flag.Parse()
+
+	backend, err := fsct.ParseEvalBackend(*eval)
+	if err != nil {
+		fail(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var c *fsct.Circuit
 	if *profile == "s27" {
 		c = fsct.S27()
 	} else {
-		p := fsct.MustProfile(*profile)
+		p, perr := fsct.ProfileByName(*profile)
+		if perr != nil {
+			fail(perr)
+		}
 		if *scale > 0 && *scale < 1 {
 			p = p.Scale(*scale)
 		}
@@ -46,12 +65,15 @@ func main() {
 	}
 	d, err := fsct.InsertScan(c, fsct.ScanOptions{NumChains: n, Seed: *seed})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "chainsim: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	faults := fsct.CollapsedFaults(d.C)
-	screened := fsct.ScreenFaultsOpt(d, faults, fsct.ScreenOptions{Workers: *workers, MapEval: *mapEval})
+	screened, err := fsct.ScreenFaultsCtx(ctx, d, faults,
+		fsct.ScreenOptions{Workers: *workers, Eval: backend, MapEval: *mapEval})
+	if err != nil {
+		fail(err)
+	}
 	var easy, hard []fsct.Fault
 	for _, s := range screened {
 		switch s.Cat {
@@ -68,14 +90,23 @@ func main() {
 	fmt.Printf("alternating shift test: %d cycles over %d chain(s), longest %d\n",
 		len(alt), len(d.Chains), d.MaxChainLen())
 
-	simOpts := fsct.SimOptions{Workers: *workers, MapEval: *mapEval}
-	easyRes := fsct.SimulateFaultsOpt(d.C, alt, easy, simOpts)
-	hardRes := fsct.SimulateFaultsOpt(d.C, alt, hard, simOpts)
+	simOpts := fsct.SimOptions{Workers: *workers, Eval: backend, MapEval: *mapEval}
+	easyRes, err := fsct.SimulateFaultsCtx(ctx, d.C, alt, easy, simOpts)
+	if err != nil {
+		fail(err)
+	}
+	hardRes, err := fsct.SimulateFaultsCtx(ctx, d.C, alt, hard, simOpts)
+	if err != nil {
+		fail(err)
+	}
 	fmt.Printf("  easy faults caught: %d / %d\n", easyRes.NumDetected(), len(easy))
 	fmt.Printf("  hard faults caught: %d / %d  — %d ESCAPE the alternating test\n",
 		hardRes.NumDetected(), len(hard), len(hardRes.Undetected()))
 
-	tdet, ttot := fsct.ChainTransitionCoverageOpt(d, 8, *workers)
+	tdet, ttot, err := fsct.ChainTransitionCoverageCtx(ctx, d, 8, *workers)
+	if err != nil {
+		fail(err)
+	}
 	fmt.Printf("  bonus: the same test covers %d / %d transition (delay) faults on the chain path\n",
 		tdet, ttot)
 
@@ -96,4 +127,13 @@ func main() {
 		fmt.Printf("\nrun the full flow (cmd/fsctest) to see them detected by\n")
 		fmt.Printf("combinational ATPG + sequential fault simulation.\n")
 	}
+}
+
+func fail(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "chainsim: interrupted")
+	} else {
+		fmt.Fprintf(os.Stderr, "chainsim: %v\n", err)
+	}
+	os.Exit(1)
 }

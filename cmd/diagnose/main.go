@@ -8,12 +8,18 @@
 //
 //	diagnose -profile s3330 -scale 0.1 -chains 2 -inject 7
 //	diagnose -profile s9234 -scale 0.05 -stats
+//
+// SIGINT cancels screening, dictionary building, and the -stats sweep
+// cooperatively; the process exits non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro"
 	"repro/internal/diagnose"
@@ -32,11 +38,17 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var c *fsct.Circuit
 	if *profile == "s27" {
 		c = fsct.S27()
 	} else {
-		p := fsct.MustProfile(*profile)
+		p, perr := fsct.ProfileByName(*profile)
+		if perr != nil {
+			fail(perr)
+		}
 		if *scale > 0 && *scale < 1 {
 			p = p.Scale(*scale)
 		}
@@ -50,19 +62,29 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	screened, err := fsct.ScreenFaultsCtx(ctx, d, fsct.CollapsedFaults(d.C), fsct.ScreenOptions{Workers: *workers})
+	if err != nil {
+		fail(err)
+	}
 	var affecting []fault.Fault
-	for _, s := range fsct.ScreenFaultsOpt(d, fsct.CollapsedFaults(d.C), fsct.ScreenOptions{Workers: *workers}) {
+	for _, s := range screened {
 		if s.Cat != fsct.CatUnaffecting {
 			affecting = append(affecting, s.Fault)
 		}
 	}
 	fmt.Printf("circuit %s: dictionary over %d chain-affecting faults\n", d.C.Name, len(affecting))
-	dict := fsct.BuildDictionaryOpt(d, affecting, uint64(*seed), *workers)
+	dict, err := fsct.BuildDictionaryCtx(ctx, d, affecting, uint64(*seed), *workers)
+	if err != nil {
+		fail(err)
+	}
 
 	if *stats {
 		exact, ambiguous, silent := 0, 0, 0
 		totalMatches := 0
 		for _, f := range affecting {
+			if ctx.Err() != nil {
+				fail(ctx.Err())
+			}
 			hidden := f
 			sig := dict.Observe(&diagnose.SimulatedDevice{C: d.C, Hidden: &hidden})
 			if sig == dict.GoodSignature() {
@@ -112,6 +134,10 @@ func main() {
 }
 
 func fail(err error) {
-	fmt.Fprintf(os.Stderr, "diagnose: %v\n", err)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "diagnose: interrupted")
+	} else {
+		fmt.Fprintf(os.Stderr, "diagnose: %v\n", err)
+	}
 	os.Exit(1)
 }

@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"go/parser"
 	"go/token"
 	"io/fs"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -27,6 +30,9 @@ func main() {
 		root = os.Args[1]
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// dir -> true once any non-test file in it documents the package.
 	documented := map[string]bool{}
 	hasGo := map[string]bool{}
@@ -35,6 +41,9 @@ func main() {
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
 		}
 		if d.IsDir() {
 			name := d.Name()
@@ -61,6 +70,10 @@ func main() {
 		return nil
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "doclint: interrupted")
+			os.Exit(1)
+		}
 		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
 		os.Exit(2)
 	}

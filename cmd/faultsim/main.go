@@ -7,12 +7,19 @@
 //	faultsim -in circuit.bench -seq tests.txt
 //	faultsim -profile s9234 -scale 0.1 -random 2000 -profileplot
 //	faultsim -profile s5378 -scale 0.1 -random 500 -metrics [-trace]
+//	faultsim -profile s1423 -random 500 -eval packed
+//
+// SIGINT cancels the run at the next fault batch; the partial coverage
+// is printed and the process exits non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro"
 	"repro/internal/fault"
@@ -32,14 +39,24 @@ func main() {
 		profilePlot = flag.Bool("profileplot", false, "print the cumulative detection profile")
 		emit        = flag.String("emit", "", "write the stimulus used to this file")
 		workers     = flag.Int("workers", 0, "fault-axis worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		mapEval     = flag.Bool("mapeval", false, "use the map-based reference evaluator (slower; ablation)")
+		eval        = flag.String("eval", "auto", "evaluator backend: auto, compiled, packed, scalar, event")
+		mapEval     = flag.Bool("mapeval", false, "deprecated: same as -eval packed")
 		metrics     = flag.Bool("metrics", false, "print a metrics summary (counters, pool utilization) after the run")
 		trace       = flag.Bool("trace", false, "stream trace annotations to stderr (implies instrumentation)")
 	)
 	flag.Parse()
 
+	backend, err := fsct.ParseEvalBackend(*eval)
+	if err != nil {
+		fail(err)
+	}
+
+	// SIGINT cancels the simulation at the next fault batch; the partial
+	// coverage over the batches that completed is still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var c *fsct.Circuit
-	var err error
 	switch {
 	case *in != "":
 		f, ferr := os.Open(*in)
@@ -51,7 +68,10 @@ func main() {
 	case *profile == "s27":
 		c = fsct.S27()
 	case *profile != "":
-		p := fsct.MustProfile(*profile)
+		p, perr := fsct.ProfileByName(*profile)
+		if perr != nil {
+			fail(perr)
+		}
 		if *scale > 0 && *scale < 1 {
 			p = p.Scale(*scale)
 		}
@@ -121,10 +141,19 @@ func main() {
 			col.SetTrace(os.Stderr)
 		}
 	}
-	res := faultsim.Run(c, seq, faults, faultsim.Options{Workers: *workers, MapEval: *mapEval, Obs: col})
+	res, rerr := faultsim.RunCtx(ctx, c, seq, faults,
+		faultsim.Options{Workers: *workers, Eval: backend, MapEval: *mapEval, Obs: col})
+	interrupted := errors.Is(rerr, context.Canceled)
+	if rerr != nil && !interrupted {
+		fail(rerr)
+	}
 	det := res.NumDetected()
-	fmt.Printf("detected %d / %d faults (%.2f%% coverage)\n",
-		det, len(faults), 100*float64(det)/float64(len(faults)))
+	note := ""
+	if interrupted {
+		note = "  (interrupted — partial)"
+	}
+	fmt.Printf("detected %d / %d faults (%.2f%% coverage)%s\n",
+		det, len(faults), 100*float64(det)/float64(len(faults)), note)
 	if *metrics {
 		fmt.Print(fsct.FormatMetrics(col.Snapshot()))
 	}
@@ -146,6 +175,9 @@ func main() {
 			}
 			fmt.Printf("%7d cyc |%-50s| %d\n", b, bars(bar), prof[i])
 		}
+	}
+	if interrupted {
+		os.Exit(1)
 	}
 }
 

@@ -7,7 +7,12 @@
 //
 //	fsctest [-scale 0.1] [-circuits s1423,s5378] [-chains N] [-seed 1]
 //	        [-table all|1|2|3] [-fig5 s38584] [-v]
+//	        [-eval auto|compiled|packed|scalar|event]
 //	        [-metrics] [-trace] [-debug addr]
+//
+// SIGINT (ctrl-C) cancels the run cooperatively: completed circuits and
+// the partial report of the interrupted one are still printed, and the
+// process exits non-zero.
 //
 // With -metrics each run is instrumented and the output switches to a
 // JSON array of per-circuit reports, each embedding its metrics
@@ -21,10 +26,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro"
@@ -40,11 +48,23 @@ func main() {
 		fig5     = flag.String("fig5", "", "circuit whose detection profile to plot (default: largest run)")
 		verbose  = flag.Bool("v", false, "print per-circuit reports while running")
 		workers  = flag.Int("workers", 0, "fault-axis worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		eval     = flag.String("eval", "auto", "evaluator backend: auto, compiled, packed, scalar, event")
 		metrics  = flag.Bool("metrics", false, "instrument the runs and emit JSON reports with metrics instead of tables")
 		trace    = flag.Bool("trace", false, "stream phase/step trace annotations to stderr (implies instrumentation)")
 		debug    = flag.String("debug", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	backend, err := fsct.ParseEvalBackend(*eval)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsctest: %v\n", err)
+		os.Exit(1)
+	}
+
+	// SIGINT cancels the flow mid-step; whatever completed is still
+	// reported below, marked interrupted.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *debug != "" {
 		if err := fsct.ServeDebug(*debug); err != nil {
@@ -61,6 +81,7 @@ func main() {
 	}
 
 	instrument := *metrics || *trace
+	interrupted := false
 	var reports []*fsct.Report
 	for _, p := range fsct.Suite() {
 		if len(want) > 0 && !want[p.Name] {
@@ -77,9 +98,18 @@ func main() {
 		}
 		exp := fsct.Experiment{
 			Profile: p, Scale: *scale, Chains: *chains, Seed: *seed,
-			Flow: fsct.FlowParams{Workers: *workers, Obs: col},
+			Flow: fsct.FlowParams{Workers: *workers, Obs: col, Eval: backend},
 		}
-		rep, _, err := exp.Run()
+		rep, _, err := exp.RunCtx(ctx)
+		if errors.Is(err, context.Canceled) {
+			// Keep the partial report; the tables below cover what ran.
+			fmt.Fprintf(os.Stderr, "fsctest: %s: interrupted, reporting partial results\n", p.Name)
+			interrupted = true
+			if rep != nil {
+				reports = append(reports, rep)
+			}
+			break
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fsctest: %s: %v\n", p.Name, err)
 			os.Exit(1)
@@ -102,6 +132,9 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reports); err != nil {
 			fmt.Fprintf(os.Stderr, "fsctest: %v\n", err)
+			os.Exit(1)
+		}
+		if interrupted {
 			os.Exit(1)
 		}
 		return
@@ -129,6 +162,10 @@ func main() {
 	if *fig5 != "" && *table != "all" {
 		fmt.Println()
 		fmt.Print(fsct.Figure5(pickFig5(reports, *fig5)))
+	}
+	if interrupted {
+		fmt.Println("\n(interrupted — tables cover the circuits that completed, plus one partial run)")
+		os.Exit(1)
 	}
 }
 

@@ -9,8 +9,10 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"regexp"
 	"strconv"
 )
@@ -37,12 +39,20 @@ var (
 func atoi(s string) int { n, _ := strconv.Atoi(s); return n }
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var rows []*row
 	var cur *row
 	for _, f := range os.Args[1:] {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "mktables: interrupted")
+			os.Exit(1)
+		}
 		fh, err := os.Open(f)
 		if err != nil {
-			panic(err)
+			fmt.Fprintf(os.Stderr, "mktables: %v\n", err)
+			os.Exit(1)
 		}
 		sc := bufio.NewScanner(fh)
 		for sc.Scan() {
@@ -60,6 +70,10 @@ func main() {
 				cur.circ = m[1] + "+" + m[2]
 				cur.s3d, cur.s3u, cur.s3x, cur.s3cpu = atoi(m[3]), atoi(m[4]), atoi(m[5]), m[6]
 			}
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "mktables: %s: %v\n", f, err)
+			os.Exit(1)
 		}
 		fh.Close()
 	}

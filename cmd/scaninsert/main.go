@@ -7,12 +7,17 @@
 //
 //	scaninsert -in circuit.bench [-chains 2] [-seed 1] [-out scan.bench] [-detail]
 //	scaninsert -profile s5378 [-scale 0.1] ...
+//
+// SIGINT cancels -screen cooperatively; the process exits non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro"
 )
@@ -33,6 +38,9 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var (
 		c   *fsct.Circuit
 		err error
@@ -48,7 +56,10 @@ func main() {
 	case *profile == "s27":
 		c = fsct.S27()
 	case *profile != "":
-		p := fsct.MustProfile(*profile)
+		p, perr := fsct.ProfileByName(*profile)
+		if perr != nil {
+			fail(perr)
+		}
 		if *scale > 0 && *scale < 1 {
 			p = p.Scale(*scale)
 		}
@@ -99,7 +110,11 @@ func main() {
 		}
 		faults := fsct.CollapsedFaults(d.C)
 		easy, hard := 0, 0
-		for _, s := range fsct.ScreenFaultsOpt(d, faults, fsct.ScreenOptions{Workers: *workers, Obs: col}) {
+		screened, serr := fsct.ScreenFaultsCtx(ctx, d, faults, fsct.ScreenOptions{Workers: *workers, Obs: col})
+		if serr != nil {
+			fail(serr)
+		}
+		for _, s := range screened {
 			switch s.Cat {
 			case fsct.CatEasy:
 				easy++
@@ -150,6 +165,10 @@ func main() {
 }
 
 func fail(err error) {
-	fmt.Fprintf(os.Stderr, "scaninsert: %v\n", err)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "scaninsert: interrupted")
+	} else {
+		fmt.Fprintf(os.Stderr, "scaninsert: %v\n", err)
+	}
 	os.Exit(1)
 }

@@ -22,7 +22,6 @@ import (
 	"os"
 
 	"repro"
-	"repro/internal/atpg"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 )
@@ -51,7 +50,10 @@ func main() {
 	case *profile == "s27":
 		c = fsct.S27()
 	case *profile != "":
-		p := fsct.MustProfile(*profile)
+		p, perr := fsct.ProfileByName(*profile)
+		if perr != nil {
+			fail(perr)
+		}
 		if *scale > 0 && *scale < 1 {
 			p = p.Scale(*scale)
 		}
@@ -78,23 +80,18 @@ func main() {
 		fmt.Printf("analyzing scan-mode model (%d pinned inputs)\n", len(fixed))
 	}
 
-	cm, err := atpg.BuildCombModel(c)
+	ta, mc, err := fsct.AnalyzeTestability(c, fixed)
 	if err != nil {
 		fail(err)
 	}
-	model, err := atpg.NewModel(cm.C, fixed)
-	if err != nil {
-		fail(err)
-	}
-	ta := atpg.Analyze(model)
 
 	// Distribution of per-gate combined costs.
 	const inf = int64(1) << 40
 	buckets := []int64{4, 8, 16, 32, 64, 128, 256}
 	counts := make([]int, len(buckets)+2) // +overflow +uncontrollable/unobservable
 	gates := 0
-	for id := netlist.SignalID(0); int(id) < len(cm.C.Signals); id++ {
-		if !cm.C.IsGate(id) {
+	for id := netlist.SignalID(0); int(id) < len(mc.Signals); id++ {
+		if !mc.IsGate(id) {
 			continue
 		}
 		gates++
@@ -117,7 +114,7 @@ func main() {
 	}
 	st := c.Stat()
 	fmt.Printf("circuit %s: %d gates, %d FFs (model: %d signals)\n",
-		c.Name, st.Gates, st.FFs, len(cm.C.Signals))
+		c.Name, st.Gates, st.FFs, len(mc.Signals))
 	fmt.Println("testability cost distribution (SCOAP, min(CC0,CC1)+CO):")
 	lo := int64(0)
 	for i, b := range buckets {
@@ -130,8 +127,8 @@ func main() {
 		counts[len(counts)-1], 100*float64(counts[len(counts)-1])/float64(gates))
 
 	fmt.Printf("\nhardest %d nets:\n", *top)
-	for _, id := range ta.Hardest(cm.C, *top) {
-		fmt.Printf("  %-16s CC0=%-8s CC1=%-8s CO=%s\n", cm.C.NameOf(id),
+	for _, id := range ta.Hardest(mc, *top) {
+		fmt.Printf("  %-16s CC0=%-8s CC1=%-8s CO=%s\n", mc.NameOf(id),
 			fmtCost(ta.CC0[id]), fmtCost(ta.CC1[id]), fmtCost(ta.CO[id]))
 	}
 }

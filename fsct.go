@@ -22,6 +22,7 @@
 package fsct
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 
@@ -29,6 +30,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/diagnose"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/faultsim"
 	"repro/internal/gen"
@@ -69,7 +71,37 @@ type (
 	Sequence = faultsim.Sequence
 	// SimResult is the outcome of fault-simulating a sequence.
 	SimResult = faultsim.Result
+	// EvalBackend selects a simulation backend (EvalAuto, EvalCompiled,
+	// EvalPacked, EvalScalar, EvalEvent).
+	EvalBackend = engine.Backend
+	// EngineCache memoizes per-circuit derived artifacts (compiled
+	// programs, collapsed fault lists, combinational ATPG models and
+	// SCOAP tables) across flow phases and library calls.
+	EngineCache = engine.Cache
 )
+
+// Evaluator backends for SimOptions.Eval, ScreenOptions.Eval and
+// FlowParams.Eval.
+const (
+	EvalAuto     = engine.Auto
+	EvalCompiled = engine.Compiled
+	EvalPacked   = engine.Packed
+	EvalScalar   = engine.Scalar
+	EvalEvent    = engine.Event
+)
+
+// ParseEvalBackend maps a flag string (auto, compiled, packed, scalar,
+// event) to an EvalBackend.
+func ParseEvalBackend(s string) (EvalBackend, error) { return engine.ParseBackend(s) }
+
+// NewEngineCache returns an empty artifact cache. Passing nil wherever
+// an *EngineCache is accepted selects the shared process-wide cache;
+// NewEngineBypass returns a cache that never memoizes (every phase
+// rebuilds its derived structures — the ablation reference).
+func NewEngineCache() *EngineCache { return engine.New() }
+
+// NewEngineBypass returns the never-memoizing cache; see NewEngineCache.
+func NewEngineBypass() *EngineCache { return engine.Bypass() }
 
 // Logic constants.
 const (
@@ -91,7 +123,13 @@ const (
 // suite.
 func Suite() []Profile { return gen.Suite() }
 
-// MustProfile returns the named suite profile or panics.
+// ProfileByName returns the named suite profile, or an error naming the
+// valid choices when no profile matches.
+func ProfileByName(name string) (Profile, error) { return gen.ProfileByName(name) }
+
+// MustProfile returns the named suite profile or panics. Command-line
+// tools (and anything else fed user input) should prefer ProfileByName
+// and report the error.
 func MustProfile(name string) Profile {
 	p, err := gen.ProfileByName(name)
 	if err != nil {
@@ -134,6 +172,15 @@ func SelectPartialScan(c *Circuit, minFraction float64) []netlist.SignalID {
 // RunFlow executes the paper's three-step methodology on a scan design.
 func RunFlow(d *Design, p FlowParams) (*Report, error) { return core.Run(d, p) }
 
+// RunFlowCtx is RunFlow with cooperative cancellation: when ctx fires
+// the flow stops at the next fault-batch or ATPG-backtrack boundary and
+// returns the partially filled report together with an error wrapping
+// ctx.Err(). Use the report's populated phases; treat the rest as not
+// run.
+func RunFlowCtx(ctx context.Context, d *Design, p FlowParams) (*Report, error) {
+	return core.RunCtx(ctx, d, p)
+}
+
 // CollapsedFaults returns the equivalence-collapsed stuck-at fault list
 // of a circuit (the paper's "#faults").
 func CollapsedFaults(c *Circuit) []Fault { return fault.Collapsed(c) }
@@ -157,6 +204,13 @@ func ScreenFaultsOpt(d *Design, faults []Fault, opts ScreenOptions) []Screened {
 	return core.ScreenOpt(d, faults, opts)
 }
 
+// ScreenFaultsCtx is ScreenFaultsOpt with cooperative cancellation;
+// faults whose batch never ran keep the unaffecting default in the
+// partial result.
+func ScreenFaultsCtx(ctx context.Context, d *Design, faults []Fault, opts ScreenOptions) ([]Screened, error) {
+	return core.ScreenOptCtx(ctx, d, faults, opts)
+}
+
 // SimOptions tunes a fault-simulation run (initial state, early stop,
 // worker count, evaluator backend).
 type SimOptions = faultsim.Options
@@ -170,6 +224,13 @@ func SimulateFaults(c *Circuit, seq Sequence, faults []Fault) *SimResult {
 // SimulateFaultsOpt is SimulateFaults with explicit execution options.
 func SimulateFaultsOpt(c *Circuit, seq Sequence, faults []Fault, opts SimOptions) *SimResult {
 	return faultsim.Run(c, seq, faults, opts)
+}
+
+// SimulateFaultsCtx is SimulateFaultsOpt with cooperative cancellation;
+// detections recorded before the cancel are valid in the partial
+// result, the remaining faults stay undetected.
+func SimulateFaultsCtx(ctx context.Context, c *Circuit, seq Sequence, faults []Fault, opts SimOptions) (*SimResult, error) {
+	return faultsim.RunCtx(ctx, c, seq, faults, opts)
 }
 
 // WriteSequence / ReadSequence persist test sequences in the simple
@@ -205,6 +266,12 @@ func BuildDictionaryOpt(d *Design, faults []Fault, seed uint64, workers int) *Di
 	return diagnose.BuildOpt(d, faults, diagnose.DefaultSequences(d, seed), workers)
 }
 
+// BuildDictionaryCtx is BuildDictionaryOpt with cooperative
+// cancellation; discard the dictionary when the error is non-nil.
+func BuildDictionaryCtx(ctx context.Context, d *Design, faults []Fault, seed uint64, workers int) (*Dictionary, error) {
+	return diagnose.BuildOptCtx(ctx, d, faults, diagnose.DefaultSequences(d, seed), workers)
+}
+
 // ChainNets returns every on-path net of the design's chains.
 func ChainNets(d *Design) []SignalID { return core.ChainNets(d) }
 
@@ -221,6 +288,14 @@ func ChainTransitionCoverage(d *Design, extraCycles int) (detected, total int) {
 func ChainTransitionCoverageOpt(d *Design, extraCycles, workers int) (detected, total int) {
 	detected, total, _ = core.ChainTransitionCoverageOpt(d, extraCycles, workers)
 	return detected, total
+}
+
+// ChainTransitionCoverageCtx is ChainTransitionCoverageOpt with
+// cooperative cancellation; unsimulated faults count as undetected in
+// the partial result.
+func ChainTransitionCoverageCtx(ctx context.Context, d *Design, extraCycles, workers int) (detected, total int, err error) {
+	detected, total, _, err = core.ChainTransitionCoverageCtx(ctx, d, extraCycles, workers)
+	return detected, total, err
 }
 
 // CompactVectors statically compacts a step-2 vector set against a
@@ -246,12 +321,16 @@ type Testability = atpg.Testability
 
 // AnalyzeTestability computes SCOAP measures for a circuit's
 // combinational model under the given pinned inputs (nil for none).
+// The combinational model and ATPG model come from the shared artifact
+// cache, so analyzing a circuit the flow has already processed reuses
+// its derived structures.
 func AnalyzeTestability(c *Circuit, pinned map[SignalID]Value) (*Testability, *Circuit, error) {
-	cm, err := atpg.BuildCombModel(c)
+	arts := engine.Default().For(c)
+	cm, err := arts.CombModel()
 	if err != nil {
 		return nil, nil, err
 	}
-	m, err := atpg.NewModel(cm.C, pinned)
+	m, _, err := arts.CombSearch(pinned)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -288,6 +367,13 @@ type Experiment struct {
 
 // Run generates the circuit, inserts scan, and executes the flow.
 func (e Experiment) Run() (*Report, *Design, error) {
+	return e.RunCtx(nil)
+}
+
+// RunCtx is Run with cooperative cancellation: on cancel the partial
+// report (possibly nil when the flow never started) is returned with
+// the design and an error wrapping ctx.Err().
+func (e Experiment) RunCtx(ctx context.Context) (*Report, *Design, error) {
 	p := e.Profile
 	if e.Scale > 0 && e.Scale < 1 {
 		p = p.Scale(e.Scale)
@@ -301,9 +387,9 @@ func (e Experiment) Run() (*Report, *Design, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	rep, err := core.Run(d, e.Flow)
+	rep, err := core.RunCtx(ctx, d, e.Flow)
 	if err != nil {
-		return nil, d, err
+		return rep, d, err
 	}
 	return rep, d, nil
 }

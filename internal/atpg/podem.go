@@ -11,6 +11,7 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fault"
@@ -179,8 +180,37 @@ type decision struct {
 	triedBoth bool
 }
 
-// NewEngine builds an engine for m.
+// Tables bundles the search-guidance structures PODEM derives once per
+// (circuit, fixed-assignment) model: SCOAP 0/1 controllability per
+// signal and the minimum gate-hop distance to an observation point.
+// They are immutable after construction, depend only on the model (not
+// on any fault), and are safe to share across engines and goroutines —
+// the engine-layer artifact cache memoizes one Tables per model so
+// step-2 and step-3 engines on the same scan-mode model stop recomputing
+// them.
+type Tables struct {
+	CC0, CC1 []int64
+	ObsDist  []int32
+}
+
+// NewTables computes the SCOAP controllability and observation-distance
+// tables for m.
+func NewTables(m *Model) *Tables {
+	t := &Tables{ObsDist: observationDistance(m.C)}
+	t.CC0, t.CC1 = controllability(m)
+	return t
+}
+
+// NewEngine builds an engine for m, computing fresh search tables.
 func NewEngine(m *Model) *Engine {
+	return NewEngineTables(m, NewTables(m))
+}
+
+// NewEngineTables builds an engine for m reusing precomputed search
+// tables (which must have been built with NewTables on the same model).
+// The engine only reads the tables, so any number of engines can share
+// one Tables value.
+func NewEngineTables(m *Model, t *Tables) *Engine {
 	c := m.C
 	e := &Engine{
 		m:       m,
@@ -201,8 +231,8 @@ func NewEngine(m *Model) *Engine {
 		}
 	}
 	e.buckets = make([][]netlist.SignalID, e.maxLevel+1)
-	e.obsDist = observationDistance(c)
-	e.cc0, e.cc1 = controllability(m)
+	e.obsDist = t.ObsDist
+	e.cc0, e.cc1 = t.CC0, t.CC1
 	return e
 }
 
@@ -345,17 +375,47 @@ func (e *Engine) Generate(f fault.Fault, backtrackLimit int) Result {
 	return e.GenerateMulti([]sim.Inject{f.Inject()}, backtrackLimit)
 }
 
+// GenerateCtx is Generate with cooperative cancellation: the search
+// checks ctx at backtrack boundaries and, once cancelled, returns an
+// Aborted result together with the context error. A nil context (or a
+// context that never fires) makes it exactly Generate.
+func (e *Engine) GenerateCtx(ctx context.Context, f fault.Fault, backtrackLimit int) (Result, error) {
+	return e.GenerateMultiCtx(ctx, []sim.Inject{f.Inject()}, backtrackLimit)
+}
+
 // GenerateMulti runs PODEM for a fault present at several injection
 // sites simultaneously — the time-frame-expansion case, where one
 // physical defect appears once per unrolled frame. A test is found when
 // any site activates and its effect reaches an output.
 func (e *Engine) GenerateMulti(injs []sim.Inject, backtrackLimit int) Result {
-	res := e.generateMulti(injs, backtrackLimit)
+	res, _ := e.generateMulti(nil, injs, backtrackLimit)
 	e.obs.record(&res)
 	return res
 }
 
-func (e *Engine) generateMulti(injs []sim.Inject, backtrackLimit int) Result {
+// GenerateMultiCtx is GenerateMulti with the cancellation semantics of
+// GenerateCtx.
+func (e *Engine) GenerateMultiCtx(ctx context.Context, injs []sim.Inject, backtrackLimit int) (Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{Status: Aborted}, err
+		}
+	}
+	res, cancelled := e.generateMulti(ctx, injs, backtrackLimit)
+	e.obs.record(&res)
+	if cancelled {
+		return res, ctx.Err()
+	}
+	return res, nil
+}
+
+// ctxCheckMask throttles cancellation polling: the context is consulted
+// once every ctxCheckMask+1 backtracks, keeping the check off the
+// per-decision path while still bounding the post-cancel latency to a
+// handful of backtracks.
+const ctxCheckMask = 15
+
+func (e *Engine) generateMulti(ctx context.Context, injs []sim.Inject, backtrackLimit int) (res Result, cancelled bool) {
 	e.loadFault(injs)
 	e.reset()
 
@@ -363,7 +423,7 @@ func (e *Engine) generateMulti(injs []sim.Inject, backtrackLimit int) Result {
 	for {
 		e.drain()
 		if e.observedD() {
-			return Result{Status: Found, Assignment: e.assignment(), Backtracks: backtracks}
+			return Result{Status: Found, Assignment: e.assignment(), Backtracks: backtracks}, false
 		}
 		frontier := e.dFrontier()
 		ok := e.feasible(frontier)
@@ -395,10 +455,13 @@ func (e *Engine) generateMulti(injs []sim.Inject, backtrackLimit int) Result {
 			e.stack = e.stack[:len(e.stack)-1]
 		}
 		if !flipped {
-			return Result{Status: Redundant, Backtracks: backtracks}
+			return Result{Status: Redundant, Backtracks: backtracks}, false
 		}
 		if backtracks > backtrackLimit {
-			return Result{Status: Aborted, Backtracks: backtracks}
+			return Result{Status: Aborted, Backtracks: backtracks}, false
+		}
+		if ctx != nil && backtracks&ctxCheckMask == 0 && ctx.Err() != nil {
+			return Result{Status: Aborted, Backtracks: backtracks}, true
 		}
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/atpg"
+	"repro/internal/engine"
 	"repro/internal/logic"
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -29,8 +30,10 @@ type combDropper struct {
 	coveredAt []int
 	nVectors  int
 	workers   int
-	prog      *sim.Program
-	evals     []packedEval // one per worker, lazily created
+	arts      *engine.Artifacts
+	backend   engine.Backend
+	col       *obs.Collector
+	evals     []engine.CombEvaluator // one per worker, lazily created
 	injbuf    [][]sim.LaneInject
 	base      []logic.V // per model input: vector-independent fill
 	pending   []int     // reused scratch: still-uncovered fault indices
@@ -38,8 +41,13 @@ type combDropper struct {
 	predCtr   *obs.Counter // step2.drop.predicted (nil-safe)
 }
 
-func newCombDropper(d *scan.Design, cm *atpg.CombModel, hard []Screened, workers int, col *obs.Collector) *combDropper {
+func newCombDropper(d *scan.Design, cm *atpg.CombModel, hard []Screened, workers int, backend engine.Backend, cache *engine.Cache, col *obs.Collector) *combDropper {
 	workers = par.Workers(workers)
+	backend = backend.ResolveComb()
+	arts := engine.Resolve(cache).For(cm.C)
+	if backend == engine.Compiled {
+		arts.Program(col) // materialize (and account) the shared program up front
+	}
 	cd := &combDropper{
 		d:         d,
 		cm:        cm,
@@ -47,9 +55,11 @@ func newCombDropper(d *scan.Design, cm *atpg.CombModel, hard []Screened, workers
 		covered:   par.NewBitSet(len(hard)),
 		coveredAt: make([]int, len(hard)),
 		workers:   workers,
-		prog:      sim.CompileObs(cm.C, col),
+		arts:      arts,
+		backend:   backend,
+		col:       col,
 		predCtr:   col.Counter("step2.drop.predicted"),
-		evals:     make([]packedEval, workers),
+		evals:     make([]engine.CombEvaluator, workers),
 		injbuf:    make([][]sim.LaneInject, workers),
 		base:      make([]logic.V, len(cm.C.Inputs)),
 		inW:       make([]logic.Word, len(cm.C.Inputs)),
@@ -102,7 +112,7 @@ func (cd *combDropper) drop(v scan.Vector) {
 	par.Do(workers, len(batches), func(worker, bi int) {
 		eval := cd.evals[worker]
 		if eval == nil {
-			eval = sim.NewCompiledCombFrom(cd.prog)
+			eval = engine.NewCombEvaluator(cd.backend, cd.arts, cd.col)
 			cd.evals[worker] = eval
 			cd.injbuf[worker] = make([]sim.LaneInject, 0, 63)
 		}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/atpg"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/faultsim"
 	"repro/internal/logic"
@@ -58,6 +60,18 @@ type Params struct {
 	// simulation across this many goroutines (0 = GOMAXPROCS, 1 =
 	// serial). Reports are identical at any width.
 	Workers int
+
+	// Eval selects the simulation backend for screening, fault
+	// simulation and the step-2 dropper (engine.Auto picks per phase).
+	Eval engine.Backend
+
+	// Engine supplies the shared circuit-artifact cache every phase
+	// draws derived structures from (compiled programs, collapsed fault
+	// lists, combinational models, SCOAP tables). Nil selects the
+	// process-wide engine.Default(); engine.Bypass() forces a cold
+	// rebuild in every phase (ablation — the report is byte-identical
+	// either way).
+	Engine *engine.Cache
 
 	// Obs, when non-nil, collects run metrics: per-phase wall time
 	// (screen, step1.alternating, step2, step3), per-category fault
@@ -158,8 +172,31 @@ func (r *Report) Undetected() int { return len(r.UndetectedFaults) }
 // Affecting returns the number of faults that affect the scan chain.
 func (r *Report) Affecting() int { return r.Easy + r.Hard }
 
+// simOptions assembles the fault-simulation options the flow's phases
+// share, threading the evaluator backend and artifact cache through.
+func (p Params) simOptions(stopEarly bool) faultsim.Options {
+	return faultsim.Options{
+		StopWhenAllDetected: stopEarly,
+		Workers:             p.Workers,
+		Eval:                p.Eval,
+		Cache:               p.Engine,
+		Obs:                 p.Obs,
+	}
+}
+
 // Run executes the full methodology on a scan design.
 func Run(d *scan.Design, p Params) (*Report, error) {
+	return RunCtx(nil, d, p)
+}
+
+// RunCtx is Run with cooperative cancellation. Cancellation is observed
+// at fault-batch and ATPG-backtrack boundaries; when ctx fires the flow
+// stops where it is, and returns the partially filled report alongside
+// an error wrapping the context error — counters and phase results
+// accumulated so far are valid, later phases simply report zero. The
+// report is non-nil whenever the design verifies. A nil context behaves
+// like context.Background.
+func RunCtx(ctx context.Context, d *scan.Design, p Params) (*Report, error) {
 	if err := d.Verify(); err != nil {
 		return nil, fmt.Errorf("core: design does not verify: %v", err)
 	}
@@ -171,17 +208,30 @@ func Run(d *scan.Design, p Params) (*Report, error) {
 		FFs:     st.FFs,
 		Chains:  len(d.Chains),
 	}
+	col := p.Obs
+	finish := func(err error) (*Report, error) {
+		if col.Enabled() {
+			rep.Metrics = col.Snapshot()
+		}
+		if err != nil {
+			return rep, fmt.Errorf("core: flow interrupted: %w", err)
+		}
+		return rep, nil
+	}
 
-	faults := fault.Collapsed(d.C)
+	arts := engine.Resolve(p.Engine).For(d.C)
+	faults := arts.CollapsedFaults()
 	rep.Faults = len(faults)
 
 	// ---- Screening (Section 3) ----
-	col := p.Obs
 	span := col.Phase("screen")
 	t0 := time.Now()
-	screened := ScreenOpt(d, faults, ScreenOptions{Workers: p.Workers, Obs: col})
+	screened, err := ScreenOptCtx(ctx, d, faults, ScreenOptions{Workers: p.Workers, Eval: p.Eval, Cache: p.Engine, Obs: col})
 	rep.ScreenCPU = time.Since(t0)
 	span.End()
+	if err != nil {
+		return finish(err)
+	}
 
 	var easy, hard []Screened
 	for _, s := range screened {
@@ -201,7 +251,11 @@ func Run(d *scan.Design, p Params) (*Report, error) {
 	for i := range easy {
 		easyFaults[i] = easy[i].Fault
 	}
-	altRes := faultsim.Run(d.C, alt, easyFaults, faultsim.Options{Workers: p.Workers, Obs: col})
+	altRes, err := faultsim.RunCtx(ctx, d.C, alt, easyFaults, p.simOptions(false))
+	if err != nil {
+		span.End()
+		return finish(err)
+	}
 	rep.EasyConfirmed = altRes.NumDetected()
 	for _, i := range altRes.Undetected() {
 		// Safety net: a category-1 fault the alternating sequence missed
@@ -214,7 +268,11 @@ func Run(d *scan.Design, p Params) (*Report, error) {
 		for i := range hard {
 			hf[i] = hard[i].Fault
 		}
-		hres := faultsim.Run(d.C, alt, hf, faultsim.Options{Workers: p.Workers, Obs: col})
+		hres, herr := faultsim.RunCtx(ctx, d.C, alt, hf, p.simOptions(false))
+		if herr != nil {
+			span.End()
+			return finish(herr)
+		}
 		var keep []Screened
 		for i := range hard {
 			if hres.DetectedAt[i] < 0 {
@@ -237,21 +295,20 @@ func Run(d *scan.Design, p Params) (*Report, error) {
 	span = col.Phase("step2")
 	t0 = time.Now()
 	var remaining []Screened
-	var err error
 	switch {
 	case p.SkipStep2:
 		remaining = hard
 		rep.Step2.Undetected = len(hard)
 	case p.RandomVectors > 0 || d.Partial():
-		remaining = runStep2Random(d, hard, p, rep)
+		remaining, err = runStep2Random(ctx, d, hard, p, rep)
 	default:
-		remaining, err = runStep2(d, hard, p, rep)
-		if err != nil {
-			return nil, err
-		}
+		remaining, err = runStep2(ctx, d, hard, p, rep)
 	}
 	rep.Step2.CPU = time.Since(t0)
 	span.End()
+	if err != nil {
+		return finish(err)
+	}
 	if col.Enabled() {
 		col.Counter("step2.detected").Add(int64(rep.Step2.Detected))
 		col.Counter("step2.undetectable").Add(int64(rep.Step2.Undetectable))
@@ -263,11 +320,12 @@ func Run(d *scan.Design, p Params) (*Report, error) {
 	// ---- Step 3: grouped sequential ATPG with enhanced C/O ----
 	span = col.Phase("step3")
 	t0 = time.Now()
-	if err := runStep3(d, remaining, p, rep); err != nil {
-		return nil, err
-	}
+	err = runStep3(ctx, d, remaining, p, rep)
 	rep.Step3.CPU = time.Since(t0)
 	span.End()
+	if err != nil {
+		return finish(err)
+	}
 	if col.Enabled() {
 		col.Counter("step3.detected").Add(int64(rep.Step3.Detected))
 		col.Counter("step3.undetectable").Add(int64(rep.Step3.Undetectable))
@@ -278,18 +336,17 @@ func Run(d *scan.Design, p Params) (*Report, error) {
 		col.Tracef("step3: %d detected, %d undetectable, %d undetected over %d+%d C/O models",
 			rep.Step3.Detected, rep.Step3.Undetectable, rep.Step3.Undetected,
 			rep.COCircuits, rep.FinalCOCircuits)
-		rep.Metrics = col.Snapshot()
 	}
-	return rep, nil
+	return finish(nil)
 }
 
 // runStep2Random is the paper's partial-scan variant of step 2: a
 // random scan-mode test set fault-simulated sequentially with fault
 // dropping. Random vectors cannot prove undetectability, so everything
 // undetected moves on to step 3.
-func runStep2Random(d *scan.Design, hard []Screened, p Params, rep *Report) []Screened {
+func runStep2Random(ctx context.Context, d *scan.Design, hard []Screened, p Params, rep *Report) ([]Screened, error) {
 	if len(hard) == 0 {
-		return nil
+		return nil, nil
 	}
 	L := d.MaxChainLen()
 	nVec := p.RandomVectors
@@ -308,7 +365,10 @@ func runStep2Random(d *scan.Design, hard []Screened, p Params, rep *Report) []Sc
 	for i := range hard {
 		hf[i] = hard[i].Fault
 	}
-	res := faultsim.Run(d.C, seq, hf, faultsim.Options{StopWhenAllDetected: true, Workers: p.Workers, Obs: p.Obs})
+	res, err := faultsim.RunCtx(ctx, d.C, seq, hf, p.simOptions(true))
+	if err != nil {
+		return nil, err
+	}
 
 	if L > 0 {
 		bounds := make([]int, nVec+1)
@@ -326,18 +386,19 @@ func runStep2Random(d *scan.Design, hard []Screened, p Params, rep *Report) []Sc
 		}
 	}
 	rep.Step2.Undetected = len(remaining)
-	return remaining
+	return remaining, nil
 }
 
 // runStep2 targets f_hard with PODEM on the scan-mode combinational
 // model, converts the vectors to a scan sequence, and fault-simulates
 // the whole sequence sequentially; it returns the still-undetected
 // screened faults.
-func runStep2(d *scan.Design, hard []Screened, p Params, rep *Report) ([]Screened, error) {
+func runStep2(ctx context.Context, d *scan.Design, hard []Screened, p Params, rep *Report) ([]Screened, error) {
 	if len(hard) == 0 {
 		return nil, nil
 	}
-	cm, err := atpg.BuildCombModel(d.C)
+	arts := engine.Resolve(p.Engine).For(d.C)
+	cm, err := arts.CombModel()
 	if err != nil {
 		return nil, err
 	}
@@ -345,11 +406,14 @@ func runStep2(d *scan.Design, hard []Screened, p Params, rep *Report) ([]Screene
 	for k, v := range d.Assignments {
 		fixed[k] = v // PI IDs carry over into the comb model
 	}
-	model, err := atpg.NewModel(cm.C, fixed)
+	// The model and its SCOAP tables come from the cache: step 3's final
+	// pass asks for the same (circuit, fixed assignment) pair and shares
+	// one controllability/observability computation with this call.
+	model, tables, err := arts.CombSearch(fixed)
 	if err != nil {
 		return nil, err
 	}
-	eng := atpg.NewEngine(model)
+	eng := atpg.NewEngineTables(model, tables)
 	eng.Instrument(p.Obs, "atpg.comb")
 
 	// Static compaction: after each generated vector, a one-cycle packed
@@ -357,7 +421,7 @@ func runStep2(d *scan.Design, hard []Screened, p Params, rep *Report) ([]Screene
 	// the vector already covers, so PODEM only runs for still-uncovered
 	// faults and the vector set stays small (the paper's Figure 5 makes
 	// the same point: the early vectors carry almost all detections).
-	dropper := newCombDropper(d, cm, hard, p.Workers, p.Obs)
+	dropper := newCombDropper(d, cm, hard, p.Workers, p.Eval, p.Engine, p.Obs)
 
 	redundant := make([]bool, len(hard))
 	var vectors []scan.Vector
@@ -365,7 +429,10 @@ func runStep2(d *scan.Design, hard []Screened, p Params, rep *Report) ([]Screene
 		if !p.NoCompaction && dropper.covered.Get(i) {
 			continue
 		}
-		res := eng.Generate(cm.MapFault(hard[i].Fault), p.CombBacktracks)
+		res, gerr := eng.GenerateCtx(ctx, cm.MapFault(hard[i].Fault), p.CombBacktracks)
+		if gerr != nil {
+			return nil, gerr
+		}
 		switch res.Status {
 		case atpg.Found:
 			v := scan.Vector{
@@ -412,7 +479,10 @@ func runStep2(d *scan.Design, hard []Screened, p Params, rep *Report) ([]Screene
 	for i, pi := range perm {
 		hf[i] = hard[pi].Fault
 	}
-	permRes := faultsim.Run(d.C, seq, hf, faultsim.Options{StopWhenAllDetected: true, Workers: p.Workers, Obs: p.Obs})
+	permRes, err := faultsim.RunCtx(ctx, d.C, seq, hf, p.simOptions(true))
+	if err != nil {
+		return nil, err
+	}
 	res := &faultsim.Result{DetectedAt: make([]int, len(hard))}
 	for i, pi := range perm {
 		res.DetectedAt[pi] = permRes.DetectedAt[i]

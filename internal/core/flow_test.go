@@ -83,8 +83,14 @@ func TestTryVectorFillsDeterministic(t *testing.T) {
 	p := d.Chains[0].Segment[1].Path[0]
 	f := fault.Fault{Signal: p, Gate: netlist.None, Pin: -1, Stuck: logic.One}
 	v := scanVector()
-	a := tryVectorFills(d, f, v, 4, nil)
-	b := tryVectorFills(d, f, v, 4, nil)
+	a, err := tryVectorFills(nil, d, f, v, 4, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tryVectorFills(nil, d, f, v, 4, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a != b {
 		t.Error("tryVectorFills nondeterministic")
 	}

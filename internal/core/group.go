@@ -1,14 +1,15 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/atpg"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/faultsim"
 	"repro/internal/logic"
 	"repro/internal/netlist"
-	"repro/internal/obs"
 	"repro/internal/scan"
 	"repro/internal/seqatpg"
 )
@@ -18,7 +19,7 @@ import (
 // patterns, fault-simulating each single-vector sequence until one
 // detects f. The fill changes the chain data surrounding the corrupted
 // capture, and with it whether the effect survives the shift-out.
-func tryVectorFills(d *scan.Design, f fault.Fault, v scan.Vector, tries int, col *obs.Collector) bool {
+func tryVectorFills(ctx context.Context, d *scan.Design, f fault.Fault, v scan.Vector, tries int, p Params) (bool, error) {
 	rng := uint64(f.Signal)<<40 ^ uint64(f.Gate)<<16 ^ uint64(f.Pin)<<8 ^ uint64(f.Stuck) ^ 0x9e3779b97f4a7c15
 	next := func() logic.V {
 		rng = rng*6364136223846793005 + 1442695040888963407
@@ -37,12 +38,16 @@ func tryVectorFills(d *scan.Design, f fault.Fault, v scan.Vector, tries int, col
 			}
 		}
 		seq := faultsim.Sequence(d.ConvertVectors([]scan.Vector{vv}))
-		fr := faultsim.Run(d.C, seq, []fault.Fault{f}, faultsim.Options{Obs: col})
+		fr, err := faultsim.RunCtx(ctx, d.C, seq, []fault.Fault{f},
+			faultsim.Options{Eval: p.Eval, Cache: p.Engine, Obs: p.Obs})
+		if err != nil {
+			return false, err
+		}
 		if fr.DetectedAt[0] >= 0 {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 // coModel describes one increased-controllability/observability circuit
@@ -228,7 +233,7 @@ func planGroups(d *scan.Design, remaining []Screened, p Params) []coModel {
 // budget. Exhausting a bounded-frame enhanced model is NOT such a proof
 // — the enhanced model under-approximates what long shift sequences can
 // set up — so those faults stay "undetected".
-func runStep3(d *scan.Design, remaining []Screened, p Params, rep *Report) error {
+func runStep3(ctx context.Context, d *scan.Design, remaining []Screened, p Params, rep *Report) error {
 	if len(remaining) == 0 {
 		return nil
 	}
@@ -240,12 +245,15 @@ func runStep3(d *scan.Design, remaining []Screened, p Params, rep *Report) error
 	// would wrongly treat non-scan flip-flops as loadable and their D
 	// pins as observable, so both the proofs and the retries are
 	// disabled there (the paper's partial-scan setting relies on random
-	// vectors and sequential ATPG only).
+	// vectors and sequential ATPG only). The model and SCOAP tables come
+	// from the artifact cache — step 2 asked for the same (circuit,
+	// fixed assignment) pair, so nothing is recomputed here.
 	var combEng *atpg.Engine
 	var cm *atpg.CombModel
 	if !d.Partial() {
+		arts := engine.Resolve(p.Engine).For(d.C)
 		var err error
-		cm, err = atpg.BuildCombModel(d.C)
+		cm, err = arts.CombModel()
 		if err != nil {
 			return err
 		}
@@ -253,11 +261,11 @@ func runStep3(d *scan.Design, remaining []Screened, p Params, rep *Report) error
 		for k, v := range d.Assignments {
 			fixed[k] = v
 		}
-		combModel, err := atpg.NewModel(cm.C, fixed)
+		combModel, tables, err := arts.CombSearch(fixed)
 		if err != nil {
 			return err
 		}
-		combEng = atpg.NewEngine(combModel)
+		combEng = atpg.NewEngineTables(combModel, tables)
 		combEng.Instrument(p.Obs, "atpg.final")
 	}
 
@@ -273,11 +281,17 @@ func runStep3(d *scan.Design, remaining []Screened, p Params, rep *Report) error
 			if status[s.Fault] != 0 {
 				continue
 			}
-			res := tm.Generate(s.Fault, p.SeqBacktracks)
+			res, err := tm.GenerateCtx(ctx, s.Fault, p.SeqBacktracks)
+			if err != nil {
+				return err
+			}
 			switch res.Status {
 			case atpg.Found:
-				fr := faultsim.Run(d.C, faultsim.Sequence(res.Sequence),
-					[]fault.Fault{s.Fault}, faultsim.Options{Obs: p.Obs})
+				fr, err := faultsim.RunCtx(ctx, d.C, faultsim.Sequence(res.Sequence),
+					[]fault.Fault{s.Fault}, faultsim.Options{Eval: p.Eval, Cache: p.Engine, Obs: p.Obs})
+				if err != nil {
+					return err
+				}
 				if fr.DetectedAt[0] >= 0 {
 					status[s.Fault] = 1
 				} else {
@@ -300,7 +314,11 @@ func runStep3(d *scan.Design, remaining []Screened, p Params, rep *Report) error
 		var cres atpg.Result
 		cres.Status = atpg.Aborted
 		if combEng != nil {
-			cres = combEng.Generate(cm.MapFault(s.Fault), p.FinalBacktracks)
+			var err error
+			cres, err = combEng.GenerateCtx(ctx, cm.MapFault(s.Fault), p.FinalBacktracks)
+			if err != nil {
+				return err
+			}
 		}
 		switch cres.Status {
 		case atpg.Redundant:
@@ -323,7 +341,11 @@ func runStep3(d *scan.Design, remaining []Screened, p Params, rep *Report) error
 					v.PIs[in] = val
 				}
 			}
-			if tryVectorFills(d, s.Fault, v, 9, p.Obs) {
+			hit, err := tryVectorFills(ctx, d, s.Fault, v, 9, p)
+			if err != nil {
+				return err
+			}
+			if hit {
 				status[s.Fault] = 1
 				continue
 			}
@@ -353,10 +375,16 @@ func runStep3(d *scan.Design, remaining []Screened, p Params, rep *Report) error
 			return err
 		}
 		tm.Instrument(p.Obs, "atpg.seq")
-		res := tm.Generate(s.Fault, p.FinalBacktracks)
+		res, err := tm.GenerateCtx(ctx, s.Fault, p.FinalBacktracks)
+		if err != nil {
+			return err
+		}
 		if res.Status == atpg.Found {
-			fsr := faultsim.Run(d.C, faultsim.Sequence(res.Sequence),
-				[]fault.Fault{s.Fault}, faultsim.Options{Obs: p.Obs})
+			fsr, err := faultsim.RunCtx(ctx, d.C, faultsim.Sequence(res.Sequence),
+				[]fault.Fault{s.Fault}, faultsim.Options{Eval: p.Eval, Cache: p.Engine, Obs: p.Obs})
+			if err != nil {
+				return err
+			}
 			if fsr.DetectedAt[0] >= 0 {
 				status[s.Fault] = 1
 			} else {
@@ -382,7 +410,10 @@ func runStep3(d *scan.Design, remaining []Screened, p Params, rep *Report) error
 	}
 	if len(open) > 0 {
 		seq := randomSequence(d, 120*d.MaxChainLen()+512, 0x5eed)
-		fr := faultsim.Run(d.C, seq, open, faultsim.Options{StopWhenAllDetected: true, Workers: p.Workers, Obs: p.Obs})
+		fr, err := faultsim.RunCtx(ctx, d.C, seq, open, p.simOptions(true))
+		if err != nil {
+			return err
+		}
 		rescued := int64(0)
 		for k := range open {
 			if fr.DetectedAt[k] >= 0 {

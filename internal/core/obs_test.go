@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/obs"
 )
@@ -20,7 +21,9 @@ func TestRunWithCollector(t *testing.T) {
 		t.Fatal(err)
 	}
 	col := obs.New()
-	rep, err := Run(d, Params{Obs: col})
+	// A fresh artifact cache so the compiles happen under this
+	// collector (the shared default cache may already hold s27).
+	rep, err := Run(d, Params{Obs: col, Engine: engine.New()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,9 +8,11 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -79,20 +81,29 @@ type ScreenOptions struct {
 	// forces serial. Output is identical at any width.
 	Workers int
 	// MapEval selects the map-based reference evaluator (ablation).
+	//
+	// Deprecated: set Eval to engine.Packed instead. MapEval is only
+	// consulted while Eval is engine.Auto.
 	MapEval bool
+	// Eval selects the combinational evaluator backend (engine.Auto
+	// picks the compiled one).
+	Eval engine.Backend
+	// Cache supplies the shared circuit-artifact cache. Nil selects
+	// engine.Default().
+	Cache *engine.Cache
 	// Obs, when non-nil, receives screen.* counters (faults, batches,
 	// per-category verdicts) and the "screen" worker-pool utilization.
 	Obs *obs.Collector
 }
 
-// packedEval is the lane-parallel combinational evaluator contract the
-// screener and dropper use; both sim.PackedComb and sim.CompiledComb
-// satisfy it.
-type packedEval interface {
-	SetInjections([]sim.LaneInject)
-	ClearX()
-	Eval()
-	Words() []logic.Word
+// backend resolves the configured combinational backend, honouring the
+// deprecated MapEval switch.
+func (o ScreenOptions) backend() engine.Backend {
+	b := o.Eval
+	if b == engine.Auto && o.MapEval {
+		b = engine.Packed
+	}
+	return b.ResolveComb()
 }
 
 // Screen computes the forward-implication categorization of every fault
@@ -111,6 +122,16 @@ func Screen(d *scan.Design, faults []fault.Fault) []Screened {
 // fault's verdict lives in its own output slot, so the result does not
 // depend on the worker count.
 func ScreenOpt(d *scan.Design, faults []fault.Fault, opts ScreenOptions) []Screened {
+	out, _ := ScreenOptCtx(nil, d, faults, opts)
+	return out
+}
+
+// ScreenOptCtx is ScreenOpt with cooperative cancellation: workers stop
+// claiming fault batches once ctx is cancelled (bounded by one in-flight
+// batch per worker), all workers are joined, and the context error is
+// returned with the partial verdicts. Faults whose batch never ran keep
+// the Cat3 default. A nil context behaves like context.Background.
+func ScreenOptCtx(ctx context.Context, d *scan.Design, faults []fault.Fault, opts ScreenOptions) ([]Screened, error) {
 	c := d.C
 	out := make([]Screened, len(faults))
 	for i := range out {
@@ -170,12 +191,13 @@ func ScreenOpt(d *scan.Design, faults []fault.Fault, opts ScreenOptions) []Scree
 		workers = len(batches)
 	}
 	col := opts.Obs
-	var prog *sim.Program
-	if !opts.MapEval {
-		prog = sim.CompileObs(c, col)
+	backend := opts.backend()
+	arts := engine.Resolve(opts.Cache).For(c)
+	if backend == engine.Compiled {
+		arts.Program(col) // materialize (and account) the shared program up front
 	}
 	type wstate struct {
-		eval packedEval
+		eval engine.CombEvaluator
 		injs []sim.LaneInject
 	}
 	states := make([]*wstate, workers)
@@ -183,11 +205,7 @@ func ScreenOpt(d *scan.Design, faults []fault.Fault, opts ScreenOptions) []Scree
 		st := states[worker]
 		if st == nil {
 			st = &wstate{injs: make([]sim.LaneInject, 0, 63)}
-			if opts.MapEval {
-				st.eval = sim.NewPackedComb(c)
-			} else {
-				st.eval = sim.NewCompiledCombFrom(prog)
-			}
+			st.eval = engine.NewCombEvaluator(backend, arts, col)
 			states[worker] = st
 		}
 		base, n := batches[bi].Lo, batches[bi].Len()
@@ -240,14 +258,16 @@ func ScreenOpt(d *scan.Design, faults []fault.Fault, opts ScreenOptions) []Scree
 			}
 		}
 	}
+	var err error
 	if col.Enabled() {
 		col.Counter("screen.faults").Add(int64(len(faults)))
 		col.Counter("screen.batches").Add(int64(len(batches)))
 		t0 := time.Now()
-		stats := par.DoTimed(workers, len(batches), body)
+		var stats []par.WorkerStat
+		stats, err = par.DoTimedCtx(ctx, workers, len(batches), body)
 		col.RecordPool("screen", time.Since(t0), stats)
 	} else {
-		par.Do(workers, len(batches), body)
+		err = par.DoCtx(ctx, workers, len(batches), body)
 	}
 
 	// FF D-pin branch faults (invisible to net-value comparison).
@@ -297,5 +317,5 @@ func ScreenOpt(d *scan.Design, faults []fault.Fault, opts ScreenOptions) []Scree
 		col.Counter("screen.unaffecting").Add(n3)
 		col.Tracef("screen: %d faults -> %d easy, %d hard, %d unaffecting", len(out), n1, n2, n3)
 	}
-	return out
+	return out, err
 }

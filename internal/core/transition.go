@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/faultsim"
 	"repro/internal/netlist"
 	"repro/internal/scan"
@@ -50,15 +52,24 @@ func ChainTransitionCoverage(d *scan.Design, extraCycles int) (detected, total i
 // axis sharded across workers goroutines (0 = GOMAXPROCS, 1 = serial);
 // the result is identical at any width.
 func ChainTransitionCoverageOpt(d *scan.Design, extraCycles, workers int) (detected, total int, undetected []faultsim.TransitionFault) {
+	detected, total, undetected, _ = ChainTransitionCoverageCtx(nil, d, extraCycles, workers)
+	return detected, total, undetected
+}
+
+// ChainTransitionCoverageCtx is ChainTransitionCoverageOpt with
+// cooperative cancellation: faults not simulated when ctx fires count
+// as undetected in the partial result and the context error is
+// returned. A nil context behaves like context.Background.
+func ChainTransitionCoverageCtx(ctx context.Context, d *scan.Design, extraCycles, workers int) (detected, total int, undetected []faultsim.TransitionFault, err error) {
 	faults := faultsim.ChainTransitionFaults(ChainNets(d))
 	total = len(faults)
 	if total == 0 {
-		return 0, 0, nil
+		return 0, 0, nil, nil
 	}
 	// Two periods of the alternating pattern after a definite-fill
 	// preamble, so every transition launches from a known state.
 	alt := d.AlternatingSequence(extraCycles)
-	res := faultsim.RunTransition(d.C, faultsim.Sequence(alt), faults, faultsim.Options{Workers: workers})
+	res, err := faultsim.RunTransitionCtx(ctx, d.C, faultsim.Sequence(alt), faults, faultsim.Options{Workers: workers})
 	for i, at := range res.DetectedAt {
 		if at >= 0 {
 			detected++
@@ -66,5 +77,5 @@ func ChainTransitionCoverageOpt(d *scan.Design, extraCycles, workers int) (detec
 			undetected = append(undetected, faults[i])
 		}
 	}
-	return detected, total, undetected
+	return detected, total, undetected, err
 }

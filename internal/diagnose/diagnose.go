@@ -12,9 +12,11 @@
 package diagnose
 
 import (
+	"context"
 	"hash/fnv"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -78,6 +80,18 @@ func Build(d *scan.Design, faults []fault.Fault, seqs [][][]logic.V) *Dictionary
 // machine is hashed by whichever worker runs the first batch (every
 // batch's lane 0 simulates the same fault-free device).
 func BuildOpt(d *scan.Design, faults []fault.Fault, seqs [][][]logic.V, workers int) *Dictionary {
+	dict, _ := BuildOptCtx(nil, d, faults, seqs, workers)
+	return dict
+}
+
+// BuildOptCtx is BuildOpt with cooperative cancellation: workers stop
+// claiming fault batches once ctx fires and the context error is
+// returned. A cancelled build yields a dictionary whose unsimulated
+// faults carry the empty-trace signature — callers should discard it
+// when err is non-nil. The compiled program is drawn from the shared
+// artifact cache, so building a dictionary for a circuit the flow
+// already ran on costs no recompilation.
+func BuildOptCtx(ctx context.Context, d *scan.Design, faults []fault.Fault, seqs [][][]logic.V, workers int) (*Dictionary, error) {
 	dict := &Dictionary{
 		Design: d,
 		Faults: faults,
@@ -100,7 +114,7 @@ func BuildOpt(d *scan.Design, faults []fault.Fault, seqs [][][]logic.V, workers 
 		}
 	}
 
-	prog := sim.Compile(d.C)
+	prog := engine.Default().For(d.C).Program(nil)
 	batches := par.Chunks(len(faults), 63)
 	workers = par.Workers(workers)
 	if workers > len(batches) {
@@ -134,11 +148,15 @@ func BuildOpt(d *scan.Design, faults []fault.Fault, seqs [][][]logic.V, workers 
 			}
 		}
 	}
+	var err error
 	if len(batches) == 0 {
 		// No candidates: still hash the fault-free reference.
 		runBatch(&wstate{ps: sim.NewCompiledSeqFrom(prog)}, 0, 0, true)
+		if ctx != nil {
+			err = ctx.Err()
+		}
 	} else {
-		par.Do(workers, len(batches), func(worker, bi int) {
+		err = par.DoCtx(ctx, workers, len(batches), func(worker, bi int) {
 			st := states[worker]
 			if st == nil {
 				st = &wstate{ps: sim.NewCompiledSeqFrom(prog), injs: make([]sim.LaneInject, 0, 63)}
@@ -153,7 +171,7 @@ func BuildOpt(d *scan.Design, faults []fault.Fault, seqs [][][]logic.V, workers 
 		dict.byHash[s] = append(dict.byHash[s], i)
 	}
 	dict.good = Signature(hashers[len(faults)].sum())
-	return dict
+	return dict, err
 }
 
 type hasher struct {

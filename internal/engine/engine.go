@@ -1,0 +1,233 @@
+// Package engine is the shared artifact layer under the three-step
+// flow: a per-circuit cache of everything the phases derive from a
+// netlist — the compiled sim.Program (which embodies the levelization
+// order), the collapsed fault list, the scan-mode combinational ATPG
+// model and its SCOAP search tables — plus the unified evaluator
+// construction (Backend / Evaluator / CombEvaluator) that places all
+// four simulation backends behind one interface.
+//
+// Before this layer existed every phase rebuilt its own derived
+// structures: screening, each of the many fault-simulation calls inside
+// step 2 and step 3, the step-2 dropper and the diagnosis dictionary
+// all compiled the same circuit again, and step 2 and the step-3 final
+// pass each recomputed the same combinational model and SCOAP tables.
+// The cache makes each derivation happen once per distinct circuit
+// structure: entries are keyed by netlist.(*Circuit).StructuralHash, so
+// mutation (TPI insertion, C/O model construction) changes the key and
+// can never be served stale artifacts, and each artifact materializes
+// lazily under its own sync.Once, so concurrent workers share one
+// compilation instead of racing to duplicate it.
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// maxEntries bounds the cache: one entry per distinct circuit
+// structure, evicted FIFO beyond the bound. A flow run touches two
+// structures (the scan circuit and its combinational model); the bound
+// only matters to long-lived processes churning through many circuits.
+const maxEntries = 64
+
+// Cache memoizes derived artifacts per circuit structure. The zero
+// value is not usable; construct with New (or use the process-wide
+// Default). All methods are safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[uint64]*Artifacts
+	order   []uint64 // insertion order, for FIFO eviction
+	bypass  bool
+}
+
+// New returns an empty artifact cache.
+func New() *Cache {
+	return &Cache{entries: make(map[uint64]*Artifacts)}
+}
+
+// Bypass returns a cache that never memoizes: every For call hands back
+// a fresh Artifacts value, so each phase rebuilds its derived
+// structures from scratch. This is the cold-rebuild reference the
+// determinism tests and the cache-on/off benchmarks compare against.
+func Bypass() *Cache {
+	return &Cache{entries: make(map[uint64]*Artifacts), bypass: true}
+}
+
+var defaultCache = New()
+
+// Default returns the process-wide shared cache, used whenever a caller
+// does not supply an explicit one.
+func Default() *Cache { return defaultCache }
+
+// Resolve maps a possibly-nil cache to a usable one (nil selects
+// Default), letting option structs treat "no cache configured" as
+// "share the process-wide cache".
+func Resolve(c *Cache) *Cache {
+	if c == nil {
+		return Default()
+	}
+	return c
+}
+
+// For returns the artifact set for circuit c, creating it on first use.
+// The entry is keyed by c's structural hash; if a previously cached
+// circuit with the same hash has since been mutated (its current hash
+// no longer matches the key it was stored under), the stale entry is
+// replaced rather than served.
+func (ca *Cache) For(c *netlist.Circuit) *Artifacts {
+	if ca.bypass {
+		return newArtifacts(c)
+	}
+	h := c.StructuralHash()
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	if a, ok := ca.entries[h]; ok {
+		if a.c == c || a.c.StructuralHash() == h {
+			return a
+		}
+		// The cached circuit mutated after being cached; its artifacts
+		// no longer describe the structure hashed under this key.
+		delete(ca.entries, h)
+	}
+	a := newArtifacts(c)
+	ca.entries[h] = a
+	ca.order = append(ca.order, h)
+	for len(ca.order) > maxEntries {
+		old := ca.order[0]
+		ca.order = ca.order[1:]
+		if e, ok := ca.entries[old]; ok && e != a {
+			delete(ca.entries, old)
+		}
+	}
+	return a
+}
+
+// Len reports the number of cached circuit entries (for tests).
+func (ca *Cache) Len() int {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	return len(ca.entries)
+}
+
+// Artifacts is the set of lazily materialized derived structures for
+// one circuit. Each artifact is built at most once per Artifacts value
+// (sync.Once per artifact) and is immutable afterwards, so any number
+// of goroutines can share the value.
+type Artifacts struct {
+	c    *netlist.Circuit
+	hash uint64
+
+	progOnce sync.Once
+	prog     *sim.Program
+
+	faultsOnce sync.Once
+	faults     []fault.Fault
+
+	combOnce sync.Once
+	comb     *atpg.CombModel
+	combErr  error
+
+	searchMu sync.Mutex
+	searches map[uint64]*combSearch
+}
+
+// combSearch memoizes the ATPG model + SCOAP tables for one fixed
+// input assignment over the circuit's combinational model.
+type combSearch struct {
+	once   sync.Once
+	model  *atpg.Model
+	tables *atpg.Tables
+	err    error
+}
+
+func newArtifacts(c *netlist.Circuit) *Artifacts {
+	return &Artifacts{c: c, hash: c.StructuralHash(), searches: make(map[uint64]*combSearch)}
+}
+
+// Circuit returns the circuit these artifacts derive from.
+func (a *Artifacts) Circuit() *netlist.Circuit { return a.c }
+
+// Hash returns the structural hash the artifacts are keyed by.
+func (a *Artifacts) Hash() uint64 { return a.hash }
+
+// Program returns the compiled instruction stream (which carries the
+// levelization order), compiling on first use. When a collector is
+// supplied on the materializing call the compile is accounted under the
+// sim.compile.* counters — with the cache active that is exactly once
+// per distinct circuit structure.
+func (a *Artifacts) Program(col *obs.Collector) *sim.Program {
+	a.progOnce.Do(func() {
+		a.prog = sim.CompileObs(a.c, col)
+	})
+	return a.prog
+}
+
+// CollapsedFaults returns the equivalence-collapsed stuck-at fault list
+// of the circuit, computed on first use. Callers must not mutate the
+// returned slice.
+func (a *Artifacts) CollapsedFaults() []fault.Fault {
+	a.faultsOnce.Do(func() {
+		a.faults = fault.Collapsed(a.c)
+	})
+	return a.faults
+}
+
+// CombModel returns the scan-mode combinational ATPG model (flip-flop
+// outputs as pseudo-inputs, D pins as pseudo-outputs), built on first
+// use. The model's circuit is itself cacheable: derived structures for
+// it (its compiled program, used by the step-2 dropper) live under its
+// own cache entry.
+func (a *Artifacts) CombModel() (*atpg.CombModel, error) {
+	a.combOnce.Do(func() {
+		a.comb, a.combErr = atpg.BuildCombModel(a.c)
+	})
+	return a.comb, a.combErr
+}
+
+// CombSearch returns the ATPG model and SCOAP search tables for the
+// circuit's combinational model under the given fixed input assignment,
+// memoized per distinct assignment. Step 2 and the step-3 final pass
+// run against the same scan-mode model with the same pinned inputs;
+// through this accessor they share one controllability/observability
+// computation, each wrapping it in its own (cheap) atpg.Engine.
+func (a *Artifacts) CombSearch(fixed map[netlist.SignalID]logic.V) (*atpg.Model, *atpg.Tables, error) {
+	cm, err := a.CombModel()
+	if err != nil {
+		return nil, nil, err
+	}
+	key := fixedHash(fixed)
+	a.searchMu.Lock()
+	s, ok := a.searches[key]
+	if !ok {
+		s = &combSearch{}
+		a.searches[key] = s
+	}
+	a.searchMu.Unlock()
+	s.once.Do(func() {
+		s.model, s.err = atpg.NewModel(cm.C, fixed)
+		if s.err == nil {
+			s.tables = atpg.NewTables(s.model)
+		}
+	})
+	return s.model, s.tables, s.err
+}
+
+// fixedHash digests a fixed-assignment map order-independently: XOR of
+// per-entry FNV mixes, so map iteration order cannot perturb the key.
+func fixedHash(fixed map[netlist.SignalID]logic.V) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(len(fixed)) * prime64
+	for k, v := range fixed {
+		e := (uint64(uint32(k))<<8 | uint64(v) + 1) * prime64
+		e ^= e >> 29
+		e *= prime64
+		h ^= e
+	}
+	return h
+}

@@ -1,0 +1,398 @@
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Backend names one of the simulation backends behind the unified
+// evaluator interfaces. Auto defers the choice to a per-run heuristic
+// (circuit size, lane occupancy, sequence length); the other values
+// force a specific backend, which the -eval flags on the binaries
+// expose for ablation.
+type Backend int
+
+// The selectable backends. Compiled and Packed are 64-lane machines
+// (flat instruction stream vs the map-based reference); Scalar and
+// Event run one scalar machine per occupied lane behind the packed
+// interface, with Event using the event-driven simulator that only
+// re-evaluates changed fanout cones.
+const (
+	Auto Backend = iota
+	Compiled
+	Packed
+	Scalar
+	Event
+)
+
+var backendNames = [...]string{"auto", "compiled", "packed", "scalar", "event"}
+
+func (b Backend) String() string {
+	if int(b) < len(backendNames) {
+		return backendNames[b]
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// ParseBackend maps a flag value to a Backend.
+func ParseBackend(s string) (Backend, error) {
+	for i, n := range backendNames {
+		if s == n {
+			return Backend(i), nil
+		}
+	}
+	return Auto, fmt.Errorf("engine: unknown evaluator backend %q (want auto, compiled, packed, scalar or event)", s)
+}
+
+// Hint carries what a caller knows about the upcoming workload, feeding
+// the Auto selection.
+type Hint struct {
+	// Lanes is the number of occupied fault lanes per batch (0 when
+	// unknown). Low occupancy favours the per-lane scalar machines.
+	Lanes int
+	// Cycles is the expected sequence length per application (0 when
+	// unknown). Long sequences amortize the event simulator's
+	// scheduling overhead.
+	Cycles int
+}
+
+// ResolveSeq turns Auto into a concrete sequential backend for circuit
+// c under hint h. The heuristic is deliberately conservative: the
+// compiled 64-lane machine wins almost everywhere, so the event-driven
+// scalar path is chosen only where it is clearly ahead — near-empty
+// batches (a single fault under confirmation) on large circuits over
+// long sequences, where evaluating two scalar machines event-driven
+// beats sweeping all 64 lanes through every gate.
+func (b Backend) ResolveSeq(c *netlist.Circuit, h Hint) Backend {
+	if b != Auto {
+		return b
+	}
+	if h.Lanes > 0 && h.Lanes <= 2 && len(c.Order) >= 2048 && h.Cycles >= 64 {
+		return Event
+	}
+	return Compiled
+}
+
+// ResolveComb turns Auto into a concrete combinational backend. The
+// event simulator has no combinational form, so Event resolves to its
+// scalar sibling.
+func (b Backend) ResolveComb() Backend {
+	switch b {
+	case Auto:
+		return Compiled
+	case Event:
+		return Scalar
+	default:
+		return b
+	}
+}
+
+// Evaluator is the lane-parallel sequential simulator contract shared
+// by every backend: install per-lane injections, reset or preset
+// flip-flop state, then clock packed input words through. Lane 0 is the
+// fault-free reference by convention. sim.PackedSeq and sim.CompiledSeq
+// satisfy it directly; Scalar and Event are adapted per lane.
+type Evaluator interface {
+	SetInjections([]sim.LaneInject)
+	ResetX()
+	SetStateWord(int, logic.Word)
+	Cycle([]logic.Word, []logic.Word) []logic.Word
+}
+
+// CombEvaluator is the lane-parallel combinational contract: callers
+// preset input words directly into Words() (indexed by SignalID), Eval
+// across all lanes, and read any internal signal back out of Words().
+type CombEvaluator interface {
+	SetInjections([]sim.LaneInject)
+	ClearX()
+	Eval()
+	Words() []logic.Word
+}
+
+// NewSeqEvaluator builds a sequential evaluator of the given backend
+// over the artifact set. Auto is resolved with an empty hint (callers
+// wanting the workload-aware choice should ResolveSeq first). The
+// compiled backend draws its shared program from the cache, so any
+// number of worker evaluators cost one compilation.
+func NewSeqEvaluator(b Backend, a *Artifacts, col *obs.Collector) Evaluator {
+	switch b.ResolveSeq(a.c, Hint{}) {
+	case Packed:
+		return sim.NewPackedSeq(a.c)
+	case Scalar:
+		return newLaneSeq(a.c, func() laneMachine { return &seqMachine{s: sim.NewSeq(a.c)} })
+	case Event:
+		return newLaneSeq(a.c, func() laneMachine { return &eventMachine{s: sim.NewEventSeq(a.c)} })
+	default:
+		return sim.NewCompiledSeqFrom(a.Program(col))
+	}
+}
+
+// NewCombEvaluator builds a combinational evaluator of the given
+// backend over the artifact set.
+func NewCombEvaluator(b Backend, a *Artifacts, col *obs.Collector) CombEvaluator {
+	switch b.ResolveComb() {
+	case Packed:
+		return sim.NewPackedComb(a.c)
+	case Scalar:
+		return newLaneComb(a.c)
+	default:
+		return sim.NewCompiledCombFrom(a.Program(col))
+	}
+}
+
+// laneMachine is one scalar sequential simulator serving a single lane:
+// the adapter below multiplexes up to 64 of them behind the packed
+// Evaluator contract. state reports (as a private copy) the flip-flop
+// values the next cycle call will present, setState overwrites them —
+// the shared contract of sim.Seq and sim.EventSeq.
+type laneMachine interface {
+	setInjection(inj *sim.Inject)
+	setState(st []logic.V)
+	state() []logic.V
+	cycle(pi, po []logic.V) []logic.V
+}
+
+type seqMachine struct {
+	s   *sim.Seq
+	inj *sim.Inject
+}
+
+func (m *seqMachine) setInjection(inj *sim.Inject) { m.inj = inj }
+func (m *seqMachine) setState(st []logic.V)        { m.s.SetState(st) }
+func (m *seqMachine) state() []logic.V             { return append([]logic.V(nil), m.s.State()...) }
+func (m *seqMachine) cycle(pi, po []logic.V) []logic.V {
+	return m.s.Cycle(pi, m.inj, po)
+}
+
+type eventMachine struct {
+	s *sim.EventSeq
+}
+
+func (m *eventMachine) setInjection(inj *sim.Inject) { m.s.SetInjection(inj) }
+func (m *eventMachine) setState(st []logic.V)        { m.s.SetState(st) }
+func (m *eventMachine) state() []logic.V             { return m.s.State() }
+func (m *eventMachine) cycle(pi, po []logic.V) []logic.V {
+	return m.s.Cycle(pi, po)
+}
+
+// laneSeq adapts scalar sequential machines to the packed Evaluator
+// contract without paying for 64 machines when lanes coincide: a single
+// reference machine simulates the injection-free background carrying
+// lane 0's presented values, and a private machine exists only for
+// lanes that actually diverge — lanes holding an injection, or lanes
+// whose presented input or state value differs from lane 0's. Mirror
+// lanes read the reference machine's outputs. This is what makes the
+// Event backend worthwhile: a one-fault confirmation batch runs two
+// event-driven scalar machines instead of a 64-lane sweep.
+//
+// The scalar machines take a single injection, so the adapter supports
+// at most one injection per lane — the invariant every caller in this
+// repository already holds (63-fault batches place one fault per lane).
+type laneSeq struct {
+	c          *netlist.Circuit
+	newMachine func() laneMachine
+
+	ref      laneMachine
+	machines [64]laneMachine // non-nil exactly for diverged lanes
+	injs     [64]*sim.Inject
+	active   uint64 // mask of diverged lanes
+
+	piRef []logic.V
+	poRef []logic.V
+	piLn  []logic.V
+	poLn  []logic.V
+	allX  []logic.V
+}
+
+func newLaneSeq(c *netlist.Circuit, newMachine func() laneMachine) *laneSeq {
+	allX := make([]logic.V, len(c.FFs))
+	for i := range allX {
+		allX[i] = logic.X
+	}
+	return &laneSeq{
+		c:          c,
+		newMachine: newMachine,
+		ref:        newMachine(),
+		piRef:      make([]logic.V, len(c.Inputs)),
+		piLn:       make([]logic.V, len(c.Inputs)),
+		allX:       allX,
+	}
+}
+
+// activate gives lane a private machine seeded with the reference
+// machine's pending state (the lane was a mirror until now, so that is
+// exactly its state).
+func (l *laneSeq) activate(lane uint) laneMachine {
+	m := l.newMachine()
+	m.setState(l.ref.state())
+	l.machines[lane] = m
+	l.active |= uint64(1) << lane
+	return m
+}
+
+// divergent returns the mask of lanes whose value in w differs from
+// lane 0's value.
+func divergent(w logic.Word) uint64 {
+	switch w.Get(0) {
+	case logic.One:
+		return ^w.Ones
+	case logic.Zero:
+		return ^w.Zeros
+	default:
+		return w.Ones | w.Zeros
+	}
+}
+
+// SetInjections installs the per-lane fault set, replacing any previous
+// one. Lanes losing their injection keep their machine (their state may
+// have diverged); lanes gaining one are activated.
+func (l *laneSeq) SetInjections(injs []sim.LaneInject) {
+	for lane := range l.injs {
+		if l.injs[lane] != nil {
+			if m := l.machines[lane]; m != nil {
+				m.setInjection(nil)
+			}
+			l.injs[lane] = nil
+		}
+	}
+	for i := range injs {
+		li := injs[i]
+		if l.injs[li.Lane] != nil {
+			panic("engine: scalar evaluator supports one injection per lane")
+		}
+		inj := li.Inject
+		l.injs[li.Lane] = &inj
+		m := l.machines[li.Lane]
+		if m == nil {
+			m = l.activate(li.Lane)
+		}
+		m.setInjection(&inj)
+	}
+}
+
+// ResetX sets every lane's flip-flop state to X. All-X states coincide
+// again, so machines that existed only for input/state divergence are
+// released back to mirror status; injection-carrying lanes keep theirs.
+func (l *laneSeq) ResetX() {
+	l.ref.setState(l.allX)
+	for lane := range l.machines {
+		if l.machines[lane] == nil {
+			continue
+		}
+		if l.injs[lane] == nil {
+			l.machines[lane] = nil
+			l.active &^= uint64(1) << uint(lane)
+			continue
+		}
+		l.machines[lane].setState(l.allX)
+	}
+}
+
+// SetStateWord overwrites one flip-flop's packed state, activating any
+// lane whose value diverges from lane 0's.
+func (l *laneSeq) SetStateWord(ffIndex int, w logic.Word) {
+	v0 := w.Get(0)
+	st := l.ref.state()
+	st[ffIndex] = v0
+	l.ref.setState(st)
+	for div := divergent(w) &^ l.active; div != 0; div &= div - 1 {
+		l.activate(uint(bits.TrailingZeros64(div)))
+	}
+	for act := l.active; act != 0; act &= act - 1 {
+		lane := uint(bits.TrailingZeros64(act))
+		m := l.machines[lane]
+		st := m.state()
+		st[ffIndex] = w.Get(lane)
+		m.setState(st)
+	}
+}
+
+// Cycle clocks every lane: the reference machine runs lane 0's input
+// values, each diverged lane runs its own, and mirror lanes copy the
+// reference outputs.
+func (l *laneSeq) Cycle(pi []logic.Word, po []logic.Word) []logic.Word {
+	// Lanes whose inputs diverge from lane 0 this cycle get machines
+	// (seeded from the reference state) before anything is clocked.
+	for _, w := range pi {
+		for div := divergent(w) &^ l.active; div != 0; div &= div - 1 {
+			l.activate(uint(bits.TrailingZeros64(div)))
+		}
+	}
+	for i, w := range pi {
+		l.piRef[i] = w.Get(0)
+	}
+	l.poRef = l.ref.cycle(l.piRef, l.poRef)
+	if cap(po) < len(l.c.Outputs) {
+		po = make([]logic.Word, len(l.c.Outputs))
+	}
+	po = po[:len(l.c.Outputs)]
+	for o, v := range l.poRef {
+		po[o] = logic.WordAll(v)
+	}
+	for act := l.active; act != 0; act &= act - 1 {
+		lane := uint(bits.TrailingZeros64(act))
+		for i, w := range pi {
+			l.piLn[i] = w.Get(lane)
+		}
+		l.poLn = l.machines[lane].cycle(l.piLn, l.poLn)
+		for o, v := range l.poLn {
+			po[o] = po[o].Set(lane, v)
+		}
+	}
+	return po
+}
+
+// laneComb adapts the scalar combinational evaluator to the packed
+// CombEvaluator contract: one full scalar evaluation per lane, reading
+// the lane's values out of the shared word slice and writing the full
+// signal space back. It is the reference backend for equivalence tests
+// and explicit ablation; every lane carries its own pattern here (the
+// screen packs 64 distinct patterns per word), so there is no mirror
+// shortcut.
+type laneComb struct {
+	e     *sim.Comb
+	words []logic.Word
+	injs  [64]*sim.Inject
+}
+
+func newLaneComb(c *netlist.Circuit) *laneComb {
+	return &laneComb{e: sim.NewComb(c), words: make([]logic.Word, len(c.Signals))}
+}
+
+// SetInjections installs the per-lane fault set (at most one per lane,
+// as with laneSeq).
+func (l *laneComb) SetInjections(injs []sim.LaneInject) {
+	l.injs = [64]*sim.Inject{}
+	for i := range injs {
+		li := injs[i]
+		if l.injs[li.Lane] != nil {
+			panic("engine: scalar evaluator supports one injection per lane")
+		}
+		inj := li.Inject
+		l.injs[li.Lane] = &inj
+	}
+}
+
+// Words returns the shared per-signal word slice (indexed by SignalID).
+func (l *laneComb) Words() []logic.Word { return l.words }
+
+// ClearX resets every signal word to all-lanes-X.
+func (l *laneComb) ClearX() { clear(l.words) }
+
+// Eval evaluates all 64 lanes, one scalar pass each.
+func (l *laneComb) Eval() {
+	for lane := uint(0); lane < 64; lane++ {
+		for i := range l.words {
+			l.e.Vals[i] = l.words[i].Get(lane)
+		}
+		l.e.Eval(l.injs[lane])
+		for i := range l.words {
+			l.words[i] = l.words[i].Set(lane, l.e.Vals[i])
+		}
+	}
+}

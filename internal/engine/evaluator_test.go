@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// randWord fills all 64 lanes with values drawn from {0,1,X}; lane 0
+// stays binary (the fault-free reference convention) and X shows up
+// rarely so the three-valued corners get exercised without washing the
+// whole trace out.
+func randWord(rng *rand.Rand) logic.Word {
+	w := logic.WordAll(logic.V(rng.Intn(2)))
+	for lane := uint(1); lane < 64; lane++ {
+		v := logic.V(rng.Intn(2))
+		if rng.Intn(16) == 0 {
+			v = logic.X
+		}
+		w = w.Set(lane, v)
+	}
+	return w
+}
+
+func laneInjections(faults []fault.Fault, n int) []sim.LaneInject {
+	injs := make([]sim.LaneInject, 0, n)
+	for k := 0; k < n && k < len(faults); k++ {
+		injs = append(injs, sim.LaneInject{Inject: faults[k].Inject(), Lane: uint(k + 1)})
+	}
+	return injs
+}
+
+// TestSeqBackendEquivalence drives every sequential backend through the
+// unified Evaluator contract — injections, X-resets, packed state
+// presets, divergent per-lane inputs — and demands bit-identical output
+// words against the compiled reference.
+func TestSeqBackendEquivalence(t *testing.T) {
+	c := gen.Generate(gen.Profile{Name: "eqs", PIs: 5, POs: 4, FFs: 12, Gates: 150}, 7)
+	arts := New().For(c)
+	faults := arts.CollapsedFaults()
+
+	backends := []Backend{Compiled, Packed, Scalar, Event}
+	evals := make([]Evaluator, len(backends))
+	for i, b := range backends {
+		evals[i] = NewSeqEvaluator(b, arts, nil)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	pi := make([]logic.Word, len(c.Inputs))
+	pos := make([][]logic.Word, len(backends))
+	for round := 0; round < 3; round++ {
+		injs := laneInjections(faults[round*20:], 15)
+		for _, e := range evals {
+			e.SetInjections(injs)
+			e.ResetX()
+		}
+		// Preset a few flip-flops with divergent per-lane values.
+		for ff := 0; ff < len(c.FFs) && ff < 4; ff++ {
+			w := randWord(rng)
+			for _, e := range evals {
+				e.SetStateWord(ff, w)
+			}
+		}
+		for cyc := 0; cyc < 24; cyc++ {
+			for i := range pi {
+				pi[i] = randWord(rng)
+			}
+			for ei, e := range evals {
+				pos[ei] = e.Cycle(pi, pos[ei])
+			}
+			for ei := 1; ei < len(backends); ei++ {
+				for o := range pos[0] {
+					for lane := uint(0); lane < 64; lane++ {
+						want := pos[0][o].Get(lane)
+						got := pos[ei][o].Get(lane)
+						if got != want {
+							t.Fatalf("round %d cycle %d: backend %v output %d lane %d = %v, compiled says %v",
+								round, cyc, backends[ei], o, lane, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCombBackendEquivalence does the same for the combinational
+// contract over the scan circuit's comb model.
+func TestCombBackendEquivalence(t *testing.T) {
+	c := gen.Generate(gen.Profile{Name: "eqc", PIs: 5, POs: 4, FFs: 10, Gates: 120}, 9)
+	cm, err := atpg.BuildCombModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts := New().For(cm.C)
+	faults := fault.Collapsed(cm.C)
+
+	backends := []Backend{Compiled, Packed, Scalar}
+	evals := make([]CombEvaluator, len(backends))
+	for i, b := range backends {
+		evals[i] = NewCombEvaluator(b, arts, nil)
+	}
+
+	rng := rand.New(rand.NewSource(13))
+	for round := 0; round < 3; round++ {
+		injs := laneInjections(faults[round*10:], 20)
+		for _, e := range evals {
+			e.SetInjections(injs)
+			e.ClearX()
+		}
+		words := make([]logic.Word, len(cm.C.Inputs))
+		for i := range words {
+			words[i] = randWord(rng)
+		}
+		for _, e := range evals {
+			w := e.Words()
+			for i, in := range cm.C.Inputs {
+				w[in] = words[i]
+			}
+			e.Eval()
+		}
+		for ei := 1; ei < len(backends); ei++ {
+			ref, got := evals[0].Words(), evals[ei].Words()
+			for _, out := range cm.C.Outputs {
+				for lane := uint(0); lane < 64; lane++ {
+					if got[out].Get(lane) != ref[out].Get(lane) {
+						t.Fatalf("round %d: backend %v output %s lane %d = %v, compiled says %v",
+							round, backends[ei], cm.C.NameOf(out), lane,
+							got[out].Get(lane), ref[out].Get(lane))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLaneSeqMirrorRelease pins the mirror-lane bookkeeping: after
+// ResetX only injection-carrying lanes keep private machines.
+func TestLaneSeqMirrorRelease(t *testing.T) {
+	c := gen.Generate(gen.Profile{Name: "mirror", PIs: 4, POs: 3, FFs: 8, Gates: 80}, 3)
+	l := newLaneSeq(c, func() laneMachine { return &seqMachine{s: sim.NewSeq(c)} })
+	faults := fault.Collapsed(c)
+	l.SetInjections(laneInjections(faults, 2))
+	// Divergent inputs activate extra lanes.
+	pi := make([]logic.Word, len(c.Inputs))
+	for i := range pi {
+		pi[i] = logic.WordAll(logic.Zero).Set(40, logic.One)
+	}
+	l.Cycle(pi, nil)
+	if l.machines[40] == nil {
+		t.Fatal("divergent lane 40 has no private machine")
+	}
+	l.ResetX()
+	if l.machines[40] != nil {
+		t.Error("ResetX kept the machine of a lane without injection")
+	}
+	if l.machines[1] == nil || l.machines[2] == nil {
+		t.Error("ResetX dropped an injection-carrying lane's machine")
+	}
+}
+
+func TestLaneSeqOneInjectionPerLane(t *testing.T) {
+	c := gen.Generate(gen.Profile{Name: "dup", PIs: 4, POs: 3, FFs: 6, Gates: 60}, 5)
+	l := newLaneSeq(c, func() laneMachine { return &seqMachine{s: sim.NewSeq(c)} })
+	faults := fault.Collapsed(c)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate-lane injection did not panic")
+		}
+	}()
+	l.SetInjections([]sim.LaneInject{
+		{Inject: faults[0].Inject(), Lane: 5},
+		{Inject: faults[1].Inject(), Lane: 5},
+	})
+}
+
+// TestDivergent pins the lane-divergence bit function against the naive
+// per-lane comparison.
+func TestDivergent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		var w logic.Word
+		vals := make([]logic.V, 64)
+		for lane := uint(0); lane < 64; lane++ {
+			v := logic.V(rng.Intn(3)) // 0, 1, X
+			if v > logic.One {
+				v = logic.X
+			}
+			vals[lane] = v
+			w = w.Set(lane, v)
+		}
+		got := divergent(w)
+		for lane := uint(0); lane < 64; lane++ {
+			want := vals[lane] != vals[0]
+			if (got>>lane)&1 == 1 != want {
+				t.Fatalf("divergent lane %d: bit=%v want %v (v0=%v v=%v)",
+					lane, (got>>lane)&1 == 1, want, vals[0], vals[lane])
+			}
+		}
+	}
+}

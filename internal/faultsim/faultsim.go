@@ -9,8 +9,10 @@
 package faultsim
 
 import (
+	"context"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -38,12 +40,32 @@ type Options struct {
 	Workers int
 	// MapEval selects the map-based reference evaluator instead of the
 	// compiled one (ablation; slower).
+	//
+	// Deprecated: set Eval to engine.Packed instead. MapEval is kept as
+	// a synonym and only consulted while Eval is engine.Auto.
 	MapEval bool
+	// Eval selects the simulation backend. engine.Auto (the zero value)
+	// picks per run: the compiled evaluator normally, the event-driven
+	// scalar path for near-empty batches on large circuits.
+	Eval engine.Backend
+	// Cache supplies the shared circuit-artifact cache the compiled
+	// program is drawn from. Nil selects engine.Default().
+	Cache *engine.Cache
 	// Obs, when non-nil, receives run metrics: faultsim.* counters
 	// (runs by evaluator kind, batches, executed cycles, detections,
 	// early exits) and per-worker utilization under the "faultsim"
 	// pool. A nil collector costs one pointer test per batch.
 	Obs *obs.Collector
+}
+
+// backend resolves the configured evaluator backend for circuit c given
+// the run shape, honouring the deprecated MapEval switch.
+func (o Options) backend(c *netlist.Circuit, lanes, cycles int) engine.Backend {
+	b := o.Eval
+	if b == engine.Auto && o.MapEval {
+		b = engine.Packed
+	}
+	return b.ResolveSeq(c, engine.Hint{Lanes: lanes, Cycles: cycles})
 }
 
 // Result reports, for each fault (by index into the input fault slice),
@@ -90,28 +112,33 @@ func (r *Result) Profile(bounds []int) []int {
 	return out
 }
 
-// packedSeq is the lane-parallel sequential simulator contract both the
-// map-based reference (sim.PackedSeq) and the compiled backend
-// (sim.CompiledSeq) satisfy.
-type packedSeq interface {
-	SetInjections([]sim.LaneInject)
-	ResetX()
-	SetStateWord(int, logic.Word)
-	Cycle([]logic.Word, []logic.Word) []logic.Word
-}
-
 // Run simulates seq against every fault using the packed simulator, 63
 // faulty machines at a time with the fault-free machine in lane 0.
 // Batches are sharded across opts.Workers goroutines; each worker owns
 // a private simulator and writes detections only into its batch's slice
 // range, so the result is identical at any worker count.
 func Run(c *netlist.Circuit, seq Sequence, faults []fault.Fault, opts Options) *Result {
+	res, _ := RunCtx(nil, c, seq, faults, opts)
+	return res
+}
+
+// RunCtx is Run with cooperative cancellation: workers stop claiming
+// fault batches once ctx is cancelled (an in-flight batch finishes — at
+// most one sequence application per worker runs after the cancel), all
+// workers are joined, and the context error is returned alongside the
+// partial result. Detections recorded before the cancel are valid; the
+// remaining faults simply stay undetected in the result. A nil context
+// behaves like context.Background.
+func RunCtx(ctx context.Context, c *netlist.Circuit, seq Sequence, faults []fault.Fault, opts Options) (*Result, error) {
 	res := &Result{DetectedAt: make([]int, len(faults))}
 	for i := range res.DetectedAt {
 		res.DetectedAt[i] = -1
 	}
 	if len(seq) == 0 || len(faults) == 0 {
-		return res
+		if ctx != nil {
+			return res, ctx.Err()
+		}
+		return res, nil
 	}
 
 	// Broadcast the stimulus to packed words once; every worker reads it.
@@ -130,25 +157,30 @@ func Run(c *netlist.Circuit, seq Sequence, faults []fault.Fault, opts Options) *
 		workers = len(batches)
 	}
 	col := opts.Obs
+	lanes := len(faults)
+	if lanes > 63 {
+		lanes = 63
+	}
+	backend := opts.backend(c, lanes, len(seq))
 	if col.Enabled() {
 		col.Counter("faultsim.runs").Inc()
-		if opts.MapEval {
-			col.Counter("faultsim.eval.map").Inc()
-		} else {
-			col.Counter("faultsim.eval.compiled").Inc()
+		name := backend.String()
+		if backend == engine.Packed {
+			name = "map" // historical counter name for the map-based evaluator
 		}
+		col.Counter("faultsim.eval." + name).Inc()
 		col.Counter("faultsim.faults").Add(int64(len(faults)))
 		col.Counter("faultsim.batches").Add(int64(len(batches)))
 	}
 	cycleCtr := col.Counter("faultsim.cycles")
 	earlyCtr := col.Counter("faultsim.early_exits")
-	var prog *sim.Program
-	if !opts.MapEval {
-		prog = sim.CompileObs(c, col) // shared, immutable
+	arts := engine.Resolve(opts.Cache).For(c)
+	if backend == engine.Compiled {
+		arts.Program(col) // materialize (and account) the shared program up front
 	}
 
 	type wstate struct {
-		ps   packedSeq
+		ps   engine.Evaluator
 		poW  []logic.Word
 		injs []sim.LaneInject
 	}
@@ -157,11 +189,7 @@ func Run(c *netlist.Circuit, seq Sequence, faults []fault.Fault, opts Options) *
 		st := states[worker]
 		if st == nil {
 			st = &wstate{injs: make([]sim.LaneInject, 0, 63)}
-			if opts.MapEval {
-				st.ps = sim.NewPackedSeq(c)
-			} else {
-				st.ps = sim.NewCompiledSeqFrom(prog)
-			}
+			st.ps = engine.NewSeqEvaluator(backend, arts, col)
 			states[worker] = st
 		}
 		base, n := batches[bi].Lo, batches[bi].Len()
@@ -199,15 +227,17 @@ func Run(c *netlist.Circuit, seq Sequence, faults []fault.Fault, opts Options) *
 		}
 		cycleCtr.Add(int64(ran))
 	}
+	var err error
 	if col.Enabled() {
 		t0 := time.Now()
-		stats := par.DoTimed(workers, len(batches), body)
+		var stats []par.WorkerStat
+		stats, err = par.DoTimedCtx(ctx, workers, len(batches), body)
 		col.RecordPool("faultsim", time.Since(t0), stats)
 		col.Counter("faultsim.detected").Add(int64(res.NumDetected()))
 	} else {
-		par.Do(workers, len(batches), body)
+		err = par.DoCtx(ctx, workers, len(batches), body)
 	}
-	return res
+	return res, err
 }
 
 func noteDetections(res *Result, base, n int, newly uint64, cyc int) uint64 {

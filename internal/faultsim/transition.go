@@ -1,6 +1,8 @@
 package faultsim
 
 import (
+	"context"
+
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/par"
@@ -133,10 +135,22 @@ func (m *transitionMachine) cycle(pi []logic.V, po []logic.V) []logic.V {
 // fault owning its machine and its result slot (identical output at
 // any worker count).
 func RunTransition(c *netlist.Circuit, seq Sequence, faults []TransitionFault, opts Options) *Result {
+	res, _ := RunTransitionCtx(nil, c, seq, faults, opts)
+	return res
+}
+
+// RunTransitionCtx is RunTransition with the cancellation semantics of
+// RunCtx: faults not yet simulated when ctx fires stay at -1 in the
+// partial result, every worker is joined, and the context error is
+// returned. Fault slots are pre-marked undetected before the workers
+// start so a cancelled run never leaves zero-valued (cycle-0) entries.
+func RunTransitionCtx(ctx context.Context, c *netlist.Circuit, seq Sequence, faults []TransitionFault, opts Options) (*Result, error) {
 	res := &Result{DetectedAt: make([]int, len(faults))}
+	for i := range res.DetectedAt {
+		res.DetectedAt[i] = -1
+	}
 	good := goodTrace(c, seq, opts)
-	par.Do(par.Workers(opts.Workers), len(faults), func(_, fi int) {
-		res.DetectedAt[fi] = -1
+	err := par.DoCtx(ctx, par.Workers(opts.Workers), len(faults), func(_, fi int) {
 		m := newTransitionMachine(c, faults[fi])
 		if opts.InitState != nil {
 			copy(m.state, opts.InitState)
@@ -154,7 +168,7 @@ func RunTransition(c *netlist.Circuit, seq Sequence, faults []TransitionFault, o
 			}
 		}
 	})
-	return res
+	return res, err
 }
 
 // ChainTransitionFaults enumerates both transition faults on every

@@ -34,6 +34,12 @@ var opNames = [...]string{
 	OpConst1: "CONST1",
 }
 
+// Valid reports whether op is one of the defined gate operators. Every
+// evaluator in the tree assumes valid operators on its hot path; the
+// compile-time check in sim.CompileChecked uses this to reject a
+// malformed circuit up front instead of panicking mid-evaluation.
+func (op Op) Valid() bool { return int(op) < len(opNames) }
+
 // String returns the .bench-style name of the operator.
 func (op Op) String() string {
 	if int(op) < len(opNames) {

@@ -12,6 +12,7 @@ package netlist
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/logic"
 )
@@ -69,6 +70,13 @@ type Circuit struct {
 
 	byName    map[string]SignalID
 	finalized bool
+
+	// Lazily memoized StructuralHash. Atomic because concurrent readers
+	// of a finalized (immutable) circuit — e.g. engine-cache lookups from
+	// parallel workers — may race to fill the memo; they all compute the
+	// same value, and the valid flag is published only after the hash.
+	structHash  atomic.Uint64
+	structValid atomic.Bool
 }
 
 // New returns an empty circuit with the given name.
@@ -87,6 +95,7 @@ func (c *Circuit) addSignal(s Signal) (SignalID, error) {
 	c.Signals = append(c.Signals, s)
 	c.byName[s.Name] = id
 	c.finalized = false
+	c.structValid.Store(false)
 	return id, nil
 }
 
@@ -142,6 +151,7 @@ func (c *Circuit) SetFFInput(ff, d SignalID) error {
 	}
 	c.Signals[ff].Fanin[0] = d
 	c.finalized = false
+	c.structValid.Store(false)
 	return nil
 }
 
@@ -152,6 +162,7 @@ func (c *Circuit) MarkOutput(s SignalID) error {
 	}
 	c.Outputs = append(c.Outputs, s)
 	c.finalized = false
+	c.structValid.Store(false)
 	return nil
 }
 
@@ -287,6 +298,48 @@ func (c *Circuit) Finalize() error {
 
 // Finalized reports whether Finalize has run since the last mutation.
 func (c *Circuit) Finalized() bool { return c.finalized }
+
+// StructuralHash returns an FNV-64a digest of the circuit structure:
+// every signal's kind, operator and fanin IDs plus the primary-output
+// list. Names do not participate — two circuits with identical IDs,
+// drivers and outputs hash equal even if their nets are named
+// differently, and every derived artifact (levelization, compiled
+// programs, fault lists, ATPG models) depends only on that structure.
+//
+// The hash is computed lazily and cached; any mutation (adding a
+// signal, connecting a flip-flop, marking an output) invalidates the
+// cached value, so the engine-layer artifact cache keyed by this hash
+// never serves artifacts of a stale structure.
+func (c *Circuit) StructuralHash() uint64 {
+	if c.structValid.Load() {
+		return c.structHash.Load()
+	}
+	const (
+		offset64 = 1469598103934665603
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	mix(uint64(len(c.Signals)))
+	for i := range c.Signals {
+		s := &c.Signals[i]
+		mix(uint64(s.Kind)<<8 | uint64(s.Op))
+		mix(uint64(len(s.Fanin)))
+		for _, f := range s.Fanin {
+			mix(uint64(uint32(f)) + 1)
+		}
+	}
+	mix(uint64(len(c.Outputs)))
+	for _, o := range c.Outputs {
+		mix(uint64(uint32(o)) + 1)
+	}
+	c.structHash.Store(h)
+	c.structValid.Store(true)
+	return h
+}
 
 // MustFinalize is Finalize that panics on error; for tests and generators
 // building known-good structures.

@@ -14,6 +14,7 @@
 package par
 
 import (
+	"context"
 	"math/bits"
 	"runtime"
 	"sync"
@@ -43,6 +44,25 @@ func Workers(n int) int {
 // chunk that index denotes); under that discipline the result is
 // independent of worker count and scheduling.
 func Do(workers, n int, fn func(worker, index int)) {
+	doCtx(nil, workers, n, fn)
+}
+
+// DoCtx is Do with cooperative cancellation: every worker checks the
+// context before claiming the next index and stops claiming once it is
+// cancelled. Indices already claimed run to completion (an in-flight
+// fault batch finishes; nothing is interrupted mid-write), every worker
+// goroutine is joined before DoCtx returns — cancellation never leaks a
+// goroutine — and the context error (if any) is returned. A nil context
+// behaves like context.Background.
+func DoCtx(ctx context.Context, workers, n int, fn func(worker, index int)) error {
+	doCtx(ctx, workers, n, fn)
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+func doCtx(ctx context.Context, workers, n int, fn func(worker, index int)) {
 	if n <= 0 {
 		return
 	}
@@ -52,6 +72,9 @@ func Do(workers, n int, fn func(worker, index int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
 			fn(0, i)
 		}
 		return
@@ -63,6 +86,9 @@ func Do(workers, n int, fn func(worker, index int)) {
 		go func(worker int) {
 			defer wg.Done()
 			for {
+				if ctx != nil && ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -88,8 +114,21 @@ type WorkerStat = obs.WorkerStat
 // the only extra cost is two monotonic clock reads per worker, so it is
 // safe to substitute for Do whenever a collector is enabled.
 func DoTimed(workers, n int, fn func(worker, index int)) []WorkerStat {
+	stats, _ := DoTimedCtx(nil, workers, n, fn)
+	return stats
+}
+
+// DoTimedCtx is DoTimed with the cancellation semantics of DoCtx: the
+// per-worker stats cover whatever work ran before the context fired.
+func DoTimedCtx(ctx context.Context, workers, n int, fn func(worker, index int)) ([]WorkerStat, error) {
+	ctxErr := func() error {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
+	}
 	if n <= 0 {
-		return nil
+		return nil, ctxErr()
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -98,11 +137,16 @@ func DoTimed(workers, n int, fn func(worker, index int)) []WorkerStat {
 	stats := make([]WorkerStat, workers)
 	if workers <= 1 {
 		t0 := time.Now()
+		items := int64(0)
 		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				break
+			}
 			fn(0, i)
+			items++
 		}
-		stats[0] = WorkerStat{Busy: time.Since(t0), Items: int64(n)}
-		return stats
+		stats[0] = WorkerStat{Busy: time.Since(t0), Items: items}
+		return stats, ctxErr()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -113,6 +157,9 @@ func DoTimed(workers, n int, fn func(worker, index int)) []WorkerStat {
 			t0 := time.Now()
 			items := int64(0)
 			for {
+				if ctx != nil && ctx.Err() != nil {
+					break
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					break
@@ -124,7 +171,7 @@ func DoTimed(workers, n int, fn func(worker, index int)) []WorkerStat {
 		}(w)
 	}
 	wg.Wait()
-	return stats
+	return stats, ctxErr()
 }
 
 // Range is a half-open index interval [Lo, Hi).

@@ -19,6 +19,7 @@
 package seqatpg
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/atpg"
@@ -242,21 +243,29 @@ type Result struct {
 
 // Generate runs PODEM on the unrolled model and translates the result.
 func (m *Model) Generate(f fault.Fault, backtrackLimit int) Result {
+	res, _ := m.GenerateCtx(nil, f, backtrackLimit)
+	return res
+}
+
+// GenerateCtx is Generate with cooperative cancellation, checked at the
+// underlying engine's backtrack boundaries: once ctx fires the search
+// stops with an Aborted result and the context error.
+func (m *Model) GenerateCtx(ctx context.Context, f fault.Fault, backtrackLimit int) (Result, error) {
 	injs := m.injections(f)
 	if len(injs) == 0 {
 		// The fault has no site in this model (e.g. a D-pin branch of a
 		// flip-flop declared controllable): no verdict.
 		m.noSiteCtr.Inc()
-		return Result{Status: atpg.Aborted}
+		return Result{Status: atpg.Aborted}, nil
 	}
-	res := m.eng.GenerateMulti(injs, backtrackLimit)
+	res, err := m.eng.GenerateMultiCtx(ctx, injs, backtrackLimit)
 	out := Result{Status: res.Status, Backtracks: res.Backtracks}
-	if res.Status != atpg.Found {
-		return out
+	if err != nil || res.Status != atpg.Found {
+		return out, err
 	}
 	out.Sequence, out.Conflicts = m.translate(res.Assignment)
 	m.conflictCtr.Add(int64(out.Conflicts))
-	return out
+	return out, nil
 }
 
 // translate converts a per-frame model assignment into a real scan-mode

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// TestCompileCheckedRejectsUnknownOp pins the compile-time opcode
+// validation: a gate whose operator is outside the logic.Op set fails at
+// CompileChecked (with the gate named in the error) instead of panicking
+// mid-evaluation, and the panicking Compile wrapper surfaces the same
+// error.
+func TestCompileCheckedRejectsUnknownOp(t *testing.T) {
+	c := netlist.New("badop")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	g, err := c.AddGate("g", logic.OpAnd, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkOutput(g); err != nil {
+		t.Fatal(err)
+	}
+	c.MustFinalize()
+
+	// Corrupt the operator the way only externally-constructed Signals
+	// could: the netlist builders never produce an invalid op.
+	c.Signals[g].Op = logic.Op(250)
+
+	if _, err := CompileChecked(c); err == nil {
+		t.Fatal("CompileChecked accepted an unknown op")
+	} else if !strings.Contains(err.Error(), `"g"`) {
+		t.Errorf("error does not name the offending gate: %v", err)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Compile did not panic on an unknown op")
+		}
+	}()
+	Compile(c)
+}
+
+// TestCompileCheckedValid is the complement: every defined operator
+// compiles cleanly.
+func TestCompileCheckedValid(t *testing.T) {
+	c := netlist.New("goodops")
+	a, _ := c.AddInput("a")
+	b, _ := c.AddInput("b")
+	for _, op := range []logic.Op{
+		logic.OpBuf, logic.OpNot, logic.OpAnd, logic.OpNand,
+		logic.OpOr, logic.OpNor, logic.OpXor, logic.OpXnor,
+	} {
+		fanin := []netlist.SignalID{a, b}
+		if op == logic.OpBuf || op == logic.OpNot {
+			fanin = fanin[:1]
+		}
+		g, err := c.AddGate("g_"+op.String(), op, fanin...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.MarkOutput(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.MustFinalize()
+	if _, err := CompileChecked(c); err != nil {
+		t.Fatalf("CompileChecked rejected a valid circuit: %v", err)
+	}
+}

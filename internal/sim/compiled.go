@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"repro/internal/logic"
 	"repro/internal/netlist"
 )
@@ -42,8 +44,31 @@ type Program struct {
 }
 
 // Compile levelizes c (using the topological order Finalize computed)
-// into a flat instruction stream.
+// into a flat instruction stream. It panics when the circuit carries an
+// unknown gate operator; circuits built through the netlist package
+// cannot (logic.ParseOp and the generators only produce valid ops), so
+// callers holding externally-constructed Signals should prefer
+// CompileChecked.
 func Compile(c *netlist.Circuit) *Program {
+	p, err := CompileChecked(c)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// CompileChecked is Compile with opcode validation: any gate whose
+// operator is outside the defined logic.Op set yields an error here, at
+// compile time, so the instruction-stream evaluators never meet an
+// unknown op mid-evaluation (the runtime panic in evalDirect is an
+// unreachable invariant, not an error path).
+func CompileChecked(c *netlist.Circuit) (*Program, error) {
+	for _, g := range c.Order {
+		if op := c.Signals[g].Op; !op.Valid() {
+			return nil, fmt.Errorf("sim: compile %s: gate %q has unknown op %v",
+				c.Name, c.Signals[g].Name, op)
+		}
+	}
 	p := &Program{
 		C:      c,
 		code:   make([]instr, 0, len(c.Order)),
@@ -63,7 +88,7 @@ func Compile(c *netlist.Circuit) *Program {
 	for id := range c.Signals {
 		p.isGate[id] = c.Signals[id].Kind == netlist.KindGate
 	}
-	return p
+	return p, nil
 }
 
 // patch is the merged effect of every stem injection on one signal (or
@@ -210,6 +235,8 @@ func (e *CompiledComb) Eval() {
 
 // evalDirect evaluates op over the fanin signals without copying the
 // input words — the hot path for the (overwhelming) injection-free case.
+// The trailing panic is an unreachable invariant: CompileChecked rejects
+// unknown operators before any instruction is emitted.
 func evalDirect(op logic.Op, vals []logic.Word, in []netlist.SignalID) logic.Word {
 	switch op {
 	case logic.OpBuf:
