@@ -3,17 +3,19 @@ package fsct
 // Observability overhead guard. The obs layer's contract is that
 // DISABLED instrumentation (the nil collector, the library default) is
 // free on the hot paths: the compiled-evaluator screening and fault
-// simulation engines pay only nil-receiver checks at batch granularity.
-// The acceptance bound for this repo is <2% on the PR-1 compiled
-// evaluator path; compare the off/on pairs below with benchstat:
+// simulation engines pay only nil-receiver checks at batch granularity,
+// and an enabled collector WITHOUT a journal pays no flight-recorder
+// cost either (the recorder handle is resolved once per pool, not per
+// item). The acceptance bound for this repo is <2% on the PR-1 compiled
+// evaluator path; compare the off/on/journal tiers with benchstat:
 //
 //	go test -bench 'ObsOverhead' -count 10 > obs.txt
-//	benchstat obs.txt   # off vs on, per engine
+//	benchstat obs.txt   # off vs on vs journal, per engine
 //
-// The "on" variants additionally quantify what an enabled collector
-// costs (they are allowed to be slower; they exist so a regression in
-// the disabled path can't hide behind a cheap enabled path or vice
-// versa).
+// The "on" and "journal" variants additionally quantify what enabled
+// instrumentation costs (they are allowed to be slower; they exist so
+// a regression in the disabled path can't hide behind a cheap enabled
+// path or vice versa).
 
 import (
 	"testing"
@@ -21,6 +23,14 @@ import (
 	"repro/internal/fault"
 	"repro/internal/faultsim"
 )
+
+// journalCollector is an enabled collector with a flight recorder
+// attached — the fully instrumented tier the CLIs run under -tracefile.
+func journalCollector() *Collector {
+	col := NewCollector()
+	col.SetJournal(NewJournal(0))
+	return col
+}
 
 // BenchmarkObsOverheadScreen measures the screening engine with
 // instrumentation off (nil collector — the default) and on, at the
@@ -39,6 +49,12 @@ func BenchmarkObsOverheadScreen(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ScreenFaultsOpt(d, faults, ScreenOptions{Workers: 1, Obs: NewCollector()})
+		}
+	})
+	b.Run("journal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ScreenFaultsOpt(d, faults, ScreenOptions{Workers: 1, Obs: journalCollector()})
 		}
 	})
 }
@@ -60,6 +76,44 @@ func BenchmarkObsOverheadFaultSim(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			faultsim.Run(d.C, seq, faults, faultsim.Options{Workers: 1, Obs: NewCollector()})
+		}
+	})
+	b.Run("journal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			faultsim.Run(d.C, seq, faults, faultsim.Options{Workers: 1, Obs: journalCollector()})
+		}
+	})
+}
+
+// BenchmarkObsOverheadFlow measures the whole three-step flow at the
+// three instrumentation tiers — the journal tier is what every event
+// producer (phases, pools, screening, ATPG, fault sim, cache) costs
+// together, end to end.
+func BenchmarkObsOverheadFlow(b *testing.B) {
+	d := benchDesign(b, "s9234", 0)
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunFlow(d, FlowParams{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunFlow(d, FlowParams{Workers: 1, Obs: NewCollector()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("journal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunFlow(d, FlowParams{Workers: 1, Obs: journalCollector()}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The comparison works on flattened benchmark files: every numeric leaf
+// of the JSON document becomes a dotted key ("flow.s9234.flow_cached.
+// ns_per_op"), array elements are labeled by their "circuit" or "name"
+// field when they have one (their index otherwise), and only leaves
+// whose final path segment has a threshold are compared — structural
+// numbers like gate counts and scale ride along in the files but are
+// not performance metrics.
+
+// DefaultThresholds is the allowed relative increase per metric before
+// a delta counts as a regression. Wall time is the noisiest (CI
+// machines vary), allocation counts the most deterministic.
+var DefaultThresholds = map[string]float64{
+	"ns_per_op":     0.25,
+	"bytes_per_op":  0.10,
+	"allocs_per_op": 0.05,
+}
+
+// Delta is one compared metric leaf.
+type Delta struct {
+	Key      string  // flattened path
+	Old, New float64 // baseline and candidate values
+	Ratio    float64 // (New-Old)/Old; +0.10 = 10% worse
+	Allowed  float64 // threshold for this metric
+}
+
+// Regressed reports whether the delta exceeds its allowance.
+func (d Delta) Regressed() bool { return d.Ratio > d.Allowed }
+
+// Result is a full baseline/candidate comparison.
+type Result struct {
+	Deltas  []Delta  // every compared leaf, sorted by key
+	Missing []string // metric leaves only in the baseline
+	Added   []string // metric leaves only in the candidate
+}
+
+// Regressions returns the deltas that exceed their allowance.
+func (r *Result) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regressed() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Flatten reduces a decoded JSON document to its numeric leaves keyed
+// by dotted path.
+func Flatten(doc any) map[string]float64 {
+	out := map[string]float64{}
+	flatten("", doc, out)
+	return out
+}
+
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, val := range x {
+			flatten(joinKey(prefix, k), val, out)
+		}
+	case []any:
+		for i, val := range x {
+			key := strconv.Itoa(i)
+			if m, ok := val.(map[string]any); ok {
+				if name, ok := m["circuit"].(string); ok {
+					key = name
+				} else if name, ok := m["name"].(string); ok {
+					key = name
+				}
+			}
+			flatten(joinKey(prefix, key), val, out)
+		}
+	case float64:
+		out[prefix] = x
+	}
+}
+
+func joinKey(prefix, k string) string {
+	if prefix == "" {
+		return k
+	}
+	return prefix + "." + k
+}
+
+// metricOf returns the final path segment — the metric name the
+// thresholds are keyed by.
+func metricOf(key string) string {
+	if i := strings.LastIndexByte(key, '.'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// Compare matches the metric leaves of two flattened documents against
+// the per-metric thresholds. Leaves without a threshold entry are
+// ignored; leaves present on only one side are reported, not failed —
+// adding a benchmark must not read as a regression.
+func Compare(oldM, newM map[string]float64, thresholds map[string]float64) *Result {
+	res := &Result{}
+	for key, ov := range oldM {
+		allowed, isMetric := thresholds[metricOf(key)]
+		if !isMetric {
+			continue
+		}
+		nv, ok := newM[key]
+		if !ok {
+			res.Missing = append(res.Missing, key)
+			continue
+		}
+		ratio := 0.0
+		if ov != 0 {
+			ratio = (nv - ov) / ov
+		} else if nv != 0 {
+			ratio = 1 // from zero to anything: flag it
+		}
+		res.Deltas = append(res.Deltas, Delta{Key: key, Old: ov, New: nv, Ratio: ratio, Allowed: allowed})
+	}
+	for key := range newM {
+		if _, isMetric := thresholds[metricOf(key)]; !isMetric {
+			continue
+		}
+		if _, ok := oldM[key]; !ok {
+			res.Added = append(res.Added, key)
+		}
+	}
+	sort.Slice(res.Deltas, func(i, j int) bool { return res.Deltas[i].Key < res.Deltas[j].Key })
+	sort.Strings(res.Missing)
+	sort.Strings(res.Added)
+	return res
+}
+
+// Diff decodes and compares two benchmark JSON documents.
+func Diff(oldDoc, newDoc []byte, thresholds map[string]float64) (*Result, error) {
+	var ov, nv any
+	if err := json.Unmarshal(oldDoc, &ov); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(newDoc, &nv); err != nil {
+		return nil, fmt.Errorf("candidate: %w", err)
+	}
+	return Compare(Flatten(ov), Flatten(nv), thresholds), nil
+}
+
+// Report renders the comparison: regressions always, every delta with
+// verbose, and the one-line summary. It returns the number of
+// regressions.
+func Report(b *strings.Builder, res *Result, verbose bool) int {
+	improved := 0
+	for _, d := range res.Deltas {
+		if d.Ratio < 0 {
+			improved++
+		}
+		if d.Regressed() || verbose {
+			status := "ok"
+			if d.Regressed() {
+				status = "REGRESSION"
+			}
+			fmt.Fprintf(b, "  %-52s %14.0f -> %-14.0f %+6.1f%%  (allowed %+.1f%%)  %s\n",
+				d.Key, d.Old, d.New, 100*d.Ratio, 100*d.Allowed, status)
+		}
+	}
+	for _, k := range res.Missing {
+		fmt.Fprintf(b, "  %-52s only in baseline\n", k)
+	}
+	for _, k := range res.Added {
+		fmt.Fprintf(b, "  %-52s only in candidate\n", k)
+	}
+	regressed := len(res.Regressions())
+	fmt.Fprintf(b, "%d metrics compared: %d regressed, %d improved, %d missing, %d added\n",
+		len(res.Deltas), regressed, improved, len(res.Missing), len(res.Added))
+	return regressed
+}

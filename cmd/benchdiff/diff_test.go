@@ -1,0 +1,144 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const baseline = `{
+  "note": "text leaves are ignored",
+  "go_version": "go1.24.0",
+  "scale": 0.04,
+  "flow": [
+    {"circuit": "s9234", "build": {"ns_per_op": 1000000, "bytes_per_op": 200000, "allocs_per_op": 1500}},
+    {"circuit": "s38584", "build": {"ns_per_op": 30000000, "bytes_per_op": 1000000, "allocs_per_op": 9000}}
+  ],
+  "backends": {
+    "compiled": {"ns_per_op": 60000000, "bytes_per_op": 240000, "allocs_per_op": 2000}
+  },
+  "flow_cache_speedup": 1.10
+}`
+
+// perturb returns the baseline with one literal value substituted.
+func perturb(t *testing.T, old, new string) string {
+	t.Helper()
+	if !strings.Contains(baseline, old) {
+		t.Fatalf("baseline does not contain %q", old)
+	}
+	return strings.Replace(baseline, old, new, 1)
+}
+
+func TestFlattenLabelsArraysByCircuit(t *testing.T) {
+	res, err := Diff([]byte(baseline), []byte(baseline), DefaultThresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, d := range res.Deltas {
+		keys[d.Key] = true
+	}
+	for _, want := range []string{
+		"flow.s9234.build.ns_per_op",
+		"flow.s38584.build.allocs_per_op",
+		"backends.compiled.bytes_per_op",
+	} {
+		if !keys[want] {
+			t.Errorf("flattened keys missing %s (have %v)", want, keys)
+		}
+	}
+	// 2 circuits x 3 metrics + 1 backend x 3 metrics; scale and
+	// flow_cache_speedup are not metric leaves.
+	if len(res.Deltas) != 9 {
+		t.Errorf("compared %d metrics, want 9", len(res.Deltas))
+	}
+	if keys["scale"] || keys["flow_cache_speedup"] {
+		t.Error("non-metric numeric leaves must not be compared")
+	}
+}
+
+func TestIdenticalFilesHaveNoRegressions(t *testing.T) {
+	res, err := Diff([]byte(baseline), []byte(baseline), DefaultThresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.Regressions()); n != 0 {
+		t.Errorf("identical files produced %d regressions", n)
+	}
+}
+
+// TestInjectedRegressionFails is the acceptance gate: a candidate with
+// one metric pushed past its threshold must come back regressed (the
+// CLI then exits nonzero unless -warn).
+func TestInjectedRegressionFails(t *testing.T) {
+	// allocs threshold is 5%; +100% is an unambiguous regression.
+	cand := perturb(t, `"allocs_per_op": 1500`, `"allocs_per_op": 3000`)
+	res, err := Diff([]byte(baseline), []byte(cand), DefaultThresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := res.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly one", regs)
+	}
+	if regs[0].Key != "flow.s9234.build.allocs_per_op" {
+		t.Errorf("regressed key = %s", regs[0].Key)
+	}
+	var b strings.Builder
+	if n := Report(&b, res, false); n != 1 {
+		t.Errorf("Report returned %d, want 1", n)
+	}
+	if !strings.Contains(b.String(), "REGRESSION") {
+		t.Errorf("report does not flag the regression:\n%s", b.String())
+	}
+}
+
+func TestWithinThresholdPasses(t *testing.T) {
+	// ns threshold is 25%; +10% must pass.
+	cand := perturb(t, `"ns_per_op": 1000000`, `"ns_per_op": 1100000`)
+	res, err := Diff([]byte(baseline), []byte(cand), DefaultThresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.Regressions()); n != 0 {
+		t.Errorf("+10%% ns_per_op regressed (%d), threshold is 25%%", n)
+	}
+}
+
+func TestImprovementIsNotARegression(t *testing.T) {
+	cand := perturb(t, `"bytes_per_op": 1000000`, `"bytes_per_op": 400000`)
+	res, err := Diff([]byte(baseline), []byte(cand), DefaultThresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.Regressions()); n != 0 {
+		t.Errorf("a 60%% improvement counted as regression (%d)", n)
+	}
+}
+
+func TestMissingAndAddedAreReportedNotFailed(t *testing.T) {
+	cand := perturb(t, `"compiled"`, `"packed"`)
+	res, err := Diff([]byte(baseline), []byte(cand), DefaultThresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Missing) != 3 || len(res.Added) != 3 {
+		t.Fatalf("missing=%v added=%v, want 3 each", res.Missing, res.Added)
+	}
+	if n := len(res.Regressions()); n != 0 {
+		t.Errorf("renamed section counted as %d regressions", n)
+	}
+	var b strings.Builder
+	Report(&b, res, false)
+	if !strings.Contains(b.String(), "only in baseline") || !strings.Contains(b.String(), "only in candidate") {
+		t.Errorf("report does not surface missing/added keys:\n%s", b.String())
+	}
+}
+
+func TestDiffRejectsMalformedJSON(t *testing.T) {
+	if _, err := Diff([]byte("{"), []byte(baseline), DefaultThresholds); err == nil {
+		t.Error("malformed baseline accepted")
+	}
+	if _, err := Diff([]byte(baseline), []byte("}"), DefaultThresholds); err == nil {
+		t.Error("malformed candidate accepted")
+	}
+}

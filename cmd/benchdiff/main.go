@@ -1,0 +1,70 @@
+// Command benchdiff compares two benchmark JSON files (BENCH_*.json,
+// written by the FSCT_EMIT_BENCH test emitters) and fails when the
+// candidate regresses past per-metric thresholds. CI runs it warn-only
+// against the committed baselines so drift is visible on every PR
+// without flaking the build on machine noise; run it strict locally
+// when hunting a regression.
+//
+// Usage:
+//
+//	benchdiff [-warn] [-v] [-ns 0.25] [-bytes 0.10] [-allocs 0.05] old.json new.json
+//
+// Metric leaves are matched by their flattened JSON path; ns_per_op,
+// bytes_per_op and allocs_per_op are compared against their own
+// thresholds (a relative allowed increase), every other number is
+// ignored. A metric present on only one side is reported but never
+// fails the diff. Exit status: 0 clean (or -warn), 1 regression, 2
+// usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		warn    = flag.Bool("warn", false, "report regressions but exit 0 (CI advisory mode)")
+		verbose = flag.Bool("v", false, "print every compared metric, not just regressions")
+		ns      = flag.Float64("ns", DefaultThresholds["ns_per_op"], "allowed relative ns_per_op increase")
+		bytesT  = flag.Float64("bytes", DefaultThresholds["bytes_per_op"], "allowed relative bytes_per_op increase")
+		allocs  = flag.Float64("allocs", DefaultThresholds["allocs_per_op"], "allowed relative allocs_per_op increase")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] old.json new.json")
+		os.Exit(2)
+	}
+	oldDoc, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	newDoc, err := os.ReadFile(flag.Arg(1))
+	if err != nil {
+		fail(err)
+	}
+	res, err := Diff(oldDoc, newDoc, map[string]float64{
+		"ns_per_op": *ns, "bytes_per_op": *bytesT, "allocs_per_op": *allocs,
+	})
+	if err != nil {
+		fail(err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchdiff: %s -> %s\n", flag.Arg(0), flag.Arg(1))
+	regressed := Report(&b, res, *verbose)
+	fmt.Print(b.String())
+	if regressed > 0 {
+		if *warn {
+			fmt.Println("(warn mode: regressions reported, exiting 0)")
+			return
+		}
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(2)
+}

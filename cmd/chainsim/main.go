@@ -9,6 +9,15 @@
 //
 //	chainsim [-profile s27|s1423|…] [-scale 0.1] [-chains N] [-seed 1] [-list]
 //	         [-eval auto|compiled|packed|scalar|event]
+//	         [-metrics] [-trace] [-tracefile run.json] [-progress] [-debug addr]
+//
+// The observability flags are the shared surface (see
+// cmd/internal/obsflags): -metrics appends a metrics summary (screening
+// and simulation counters, pool utilization), -trace streams phase
+// annotations to stderr, -tracefile exports the flight-recorder
+// timeline as a Chrome trace-event file, -progress renders live
+// progress on stderr, and -debug addr serves /debug/pprof and
+// /debug/vars.
 //
 // SIGINT cancels the screening/simulation cooperatively and the process
 // exits non-zero.
@@ -23,7 +32,22 @@ import (
 	"os/signal"
 
 	"repro"
+	"repro/cmd/internal/obsflags"
 )
+
+// sess is the observability session; every exit goes through exit so
+// Close runs (os.Exit skips defers and -tracefile is written on Close).
+var sess *obsflags.Session
+
+func exit(code int) {
+	if sess != nil {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "chainsim: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
 
 func main() {
 	var (
@@ -35,8 +59,16 @@ func main() {
 		workers = flag.Int("workers", 0, "fault-axis worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 		eval    = flag.String("eval", "auto", "evaluator backend: auto, compiled, packed, scalar, event")
 		mapEval = flag.Bool("mapeval", false, "deprecated: same as -eval packed")
+		oflags  = obsflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
+
+	var err error
+	if sess, err = oflags.Open(); err != nil {
+		fail(err)
+	}
+	defer sess.Close()
+	col := sess.Collector()
 
 	backend, err := fsct.ParseEvalBackend(*eval)
 	if err != nil {
@@ -70,7 +102,7 @@ func main() {
 
 	faults := fsct.CollapsedFaults(d.C)
 	screened, err := fsct.ScreenFaultsCtx(ctx, d, faults,
-		fsct.ScreenOptions{Workers: *workers, Eval: backend, MapEval: *mapEval})
+		fsct.ScreenOptions{Workers: *workers, Eval: backend, MapEval: *mapEval, Obs: col})
 	if err != nil {
 		fail(err)
 	}
@@ -90,7 +122,7 @@ func main() {
 	fmt.Printf("alternating shift test: %d cycles over %d chain(s), longest %d\n",
 		len(alt), len(d.Chains), d.MaxChainLen())
 
-	simOpts := fsct.SimOptions{Workers: *workers, Eval: backend, MapEval: *mapEval}
+	simOpts := fsct.SimOptions{Workers: *workers, Eval: backend, MapEval: *mapEval, Obs: col}
 	easyRes, err := fsct.SimulateFaultsCtx(ctx, d.C, alt, easy, simOpts)
 	if err != nil {
 		fail(err)
@@ -127,6 +159,10 @@ func main() {
 		fmt.Printf("\nrun the full flow (cmd/fsctest) to see them detected by\n")
 		fmt.Printf("combinational ATPG + sequential fault simulation.\n")
 	}
+	if oflags.Metrics {
+		fmt.Print(fsct.FormatMetrics(col.Snapshot()))
+	}
+	exit(0)
 }
 
 func fail(err error) {
@@ -135,5 +171,5 @@ func fail(err error) {
 	} else {
 		fmt.Fprintf(os.Stderr, "chainsim: %v\n", err)
 	}
-	os.Exit(1)
+	exit(1)
 }

@@ -8,6 +8,15 @@
 //
 //	diagnose -profile s3330 -scale 0.1 -chains 2 -inject 7
 //	diagnose -profile s9234 -scale 0.05 -stats
+//	diagnose -profile s3330 -scale 0.1 -stats -metrics -tracefile dict.json
+//
+// The observability flags are the shared surface (see
+// cmd/internal/obsflags): -metrics appends a metrics summary (the
+// "dictionary" phase, screening counters, pool utilization), -trace
+// streams phase annotations to stderr, -tracefile exports the
+// flight-recorder timeline as a Chrome trace-event file, -progress
+// renders live progress on stderr, and -debug addr serves /debug/pprof
+// and /debug/vars.
 //
 // SIGINT cancels screening, dictionary building, and the -stats sweep
 // cooperatively; the process exits non-zero.
@@ -22,9 +31,24 @@ import (
 	"os/signal"
 
 	"repro"
+	"repro/cmd/internal/obsflags"
 	"repro/internal/diagnose"
 	"repro/internal/fault"
 )
+
+// sess is the observability session; every exit goes through exit so
+// Close runs (os.Exit skips defers and -tracefile is written on Close).
+var sess *obsflags.Session
+
+func exit(code int) {
+	if sess != nil {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "diagnose: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
 
 func main() {
 	var (
@@ -35,8 +59,25 @@ func main() {
 		inject  = flag.Int("inject", 0, "index of the hidden fault among chain-affecting candidates")
 		stats   = flag.Bool("stats", false, "diagnose every candidate and report resolution statistics")
 		workers = flag.Int("workers", 0, "fault-axis worker goroutines for screening and dictionary building (0 = GOMAXPROCS)")
+		oflags  = obsflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
+
+	var err error
+	if sess, err = oflags.Open(); err != nil {
+		fail(err)
+	}
+	defer sess.Close()
+	col := sess.Collector()
+
+	// done finishes a successful run: the metrics summary prints after
+	// the diagnosis output so the tables stay the headline.
+	done := func() {
+		if oflags.Metrics {
+			fmt.Print(fsct.FormatMetrics(col.Snapshot()))
+		}
+		exit(0)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -62,7 +103,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	screened, err := fsct.ScreenFaultsCtx(ctx, d, fsct.CollapsedFaults(d.C), fsct.ScreenOptions{Workers: *workers})
+	screened, err := fsct.ScreenFaultsCtx(ctx, d, fsct.CollapsedFaults(d.C), fsct.ScreenOptions{Workers: *workers, Obs: col})
 	if err != nil {
 		fail(err)
 	}
@@ -73,7 +114,7 @@ func main() {
 		}
 	}
 	fmt.Printf("circuit %s: dictionary over %d chain-affecting faults\n", d.C.Name, len(affecting))
-	dict, err := fsct.BuildDictionaryCtx(ctx, d, affecting, uint64(*seed), *workers)
+	dict, err := fsct.BuildDictionaryObs(ctx, d, affecting, uint64(*seed), *workers, col)
 	if err != nil {
 		fail(err)
 	}
@@ -105,7 +146,7 @@ func main() {
 		if diagnosable > 0 {
 			fmt.Printf("mean candidates per diagnosis: %.2f\n", float64(totalMatches)/float64(diagnosable))
 		}
-		return
+		done()
 	}
 
 	if *inject < 0 || *inject >= len(affecting) {
@@ -117,7 +158,7 @@ func main() {
 	if sig == dict.GoodSignature() {
 		fmt.Println("device matches the fault-free signature on the diagnostic set;")
 		fmt.Println("the defect needs the full ATPG flow to even show (see cmd/fsctest)")
-		return
+		done()
 	}
 	fmt.Printf("observed signature %016x\n", uint64(sig))
 	for _, m := range dict.Match(sig) {
@@ -131,6 +172,7 @@ func main() {
 		fmt.Printf("  suspect region: chain %d segments %d..%d (%v)\n",
 			sus.Chain, sus.LoSeg, sus.HiSeg, sus.Category)
 	}
+	done()
 }
 
 func fail(err error) {
@@ -139,5 +181,5 @@ func fail(err error) {
 	} else {
 		fmt.Fprintf(os.Stderr, "diagnose: %v\n", err)
 	}
-	os.Exit(1)
+	exit(1)
 }

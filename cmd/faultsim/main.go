@@ -8,9 +8,18 @@
 //	faultsim -profile s9234 -scale 0.1 -random 2000 -profileplot
 //	faultsim -profile s5378 -scale 0.1 -random 500 -metrics [-trace]
 //	faultsim -profile s1423 -random 500 -eval packed
+//	faultsim -profile s9234 -random 1000 -tracefile run.json -progress
+//
+// The observability flags are the shared surface (see
+// cmd/internal/obsflags): -metrics prints a metrics summary, -trace
+// streams phase annotations to stderr, -tracefile exports the
+// flight-recorder timeline as a Chrome trace-event file, -progress
+// renders live progress on stderr, and -debug addr serves /debug/pprof
+// and /debug/vars.
 //
 // SIGINT cancels the run at the next fault batch; the partial coverage
-// is printed and the process exits non-zero.
+// is printed (and the partial timeline exported) and the process exits
+// non-zero.
 package main
 
 import (
@@ -22,10 +31,26 @@ import (
 	"os/signal"
 
 	"repro"
+	"repro/cmd/internal/obsflags"
 	"repro/internal/fault"
 	"repro/internal/faultsim"
 	"repro/internal/logic"
 )
+
+// sess is the observability session; exit routes every termination
+// through its Close so -tracefile is written even on failure paths
+// (os.Exit skips defers).
+var sess *obsflags.Session
+
+func exit(code int) {
+	if sess != nil {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
 
 func main() {
 	var (
@@ -41,10 +66,15 @@ func main() {
 		workers     = flag.Int("workers", 0, "fault-axis worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 		eval        = flag.String("eval", "auto", "evaluator backend: auto, compiled, packed, scalar, event")
 		mapEval     = flag.Bool("mapeval", false, "deprecated: same as -eval packed")
-		metrics     = flag.Bool("metrics", false, "print a metrics summary (counters, pool utilization) after the run")
-		trace       = flag.Bool("trace", false, "stream trace annotations to stderr (implies instrumentation)")
+		oflags      = obsflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
+
+	var err error
+	if sess, err = oflags.Open(); err != nil {
+		fail(err)
+	}
+	defer sess.Close()
 
 	backend, err := fsct.ParseEvalBackend(*eval)
 	if err != nil {
@@ -134,13 +164,7 @@ func main() {
 	fmt.Printf("circuit %s: %d gates, %d FFs; %d faults; %d cycles\n",
 		c.Name, st.Gates, st.FFs, len(faults), len(seq))
 
-	var col *fsct.Collector
-	if *metrics || *trace {
-		col = fsct.NewCollector()
-		if *trace {
-			col.SetTrace(os.Stderr)
-		}
-	}
+	col := sess.Collector()
 	res, rerr := faultsim.RunCtx(ctx, c, seq, faults,
 		faultsim.Options{Workers: *workers, Eval: backend, MapEval: *mapEval, Obs: col})
 	interrupted := errors.Is(rerr, context.Canceled)
@@ -154,7 +178,7 @@ func main() {
 	}
 	fmt.Printf("detected %d / %d faults (%.2f%% coverage)%s\n",
 		det, len(faults), 100*float64(det)/float64(len(faults)), note)
-	if *metrics {
+	if oflags.Metrics {
 		fmt.Print(fsct.FormatMetrics(col.Snapshot()))
 	}
 
@@ -177,8 +201,9 @@ func main() {
 		}
 	}
 	if interrupted {
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }
 
 func bars(n int) string {
@@ -191,5 +216,5 @@ func bars(n int) string {
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
-	os.Exit(1)
+	exit(1)
 }

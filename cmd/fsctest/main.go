@@ -8,18 +8,29 @@
 //	fsctest [-scale 0.1] [-circuits s1423,s5378] [-chains N] [-seed 1]
 //	        [-table all|1|2|3] [-fig5 s38584] [-v]
 //	        [-eval auto|compiled|packed|scalar|event]
-//	        [-metrics] [-trace] [-debug addr]
+//	        [-metrics] [-trace] [-tracefile run.json] [-progress]
+//	        [-debug addr] [-why fault]
 //
 // SIGINT (ctrl-C) cancels the run cooperatively: completed circuits and
-// the partial report of the interrupted one are still printed, and the
-// process exits non-zero.
+// the partial report of the interrupted one are still printed, the
+// flight-recorder timeline collected so far is still exported to
+// -tracefile, and the process exits non-zero.
 //
 // With -metrics each run is instrumented and the output switches to a
 // JSON array of per-circuit reports, each embedding its metrics
 // snapshot (phase wall times, fault-category counters, ATPG and
 // fault-simulation statistics, worker-pool utilization); -trace
-// additionally streams phase annotations to stderr, and -debug
-// addr serves /debug/pprof and /debug/vars while running.
+// additionally streams phase annotations to stderr, -tracefile writes
+// the run's flight-recorder timeline as a Chrome trace-event file,
+// -progress renders live per-phase progress on stderr, and -debug addr
+// serves /debug/pprof and /debug/vars while running.
+//
+// -why <fault> replays the flight recorder after each run and explains
+// what the flow decided about the named fault (match by the Describe
+// rendering, e.g. "G10 s-a-1", or by fault-list index): its screening
+// category with the implicating net and chain locations, every ATPG
+// attempt, and the detecting cycle. With -metrics the explanation
+// embeds in the JSON report's provenance section instead.
 //
 // Absolute numbers differ from the paper (synthetic circuits, different
 // ATPG engines, modern hardware); the shapes are the reproduction target.
@@ -33,9 +44,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 
 	"repro"
+	"repro/cmd/internal/obsflags"
 )
 
 func main() {
@@ -49,16 +62,19 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-circuit reports while running")
 		workers  = flag.Int("workers", 0, "fault-axis worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 		eval     = flag.String("eval", "auto", "evaluator backend: auto, compiled, packed, scalar, event")
-		metrics  = flag.Bool("metrics", false, "instrument the runs and emit JSON reports with metrics instead of tables")
-		trace    = flag.Bool("trace", false, "stream phase/step trace annotations to stderr (implies instrumentation)")
-		debug    = flag.String("debug", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+		why      = flag.String("why", "", "explain one fault from the flight recorder (Describe string or fault index)")
+		oflags   = obsflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
 
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "fsctest: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
 	backend, err := fsct.ParseEvalBackend(*eval)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "fsctest: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 
 	// SIGINT cancels the flow mid-step; whatever completed is still
@@ -66,11 +82,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if *debug != "" {
-		if err := fsct.ServeDebug(*debug); err != nil {
-			fmt.Fprintf(os.Stderr, "fsctest: -debug: %v\n", err)
-			os.Exit(1)
-		}
+	sess, err := oflags.Open()
+	if err != nil {
+		fail("%v", err)
+	}
+	defer sess.Close()
+	if *why != "" {
+		sess.EnsureRecorder() // provenance replays the journal
 	}
 
 	want := map[string]bool{}
@@ -80,28 +98,53 @@ func main() {
 		}
 	}
 
-	instrument := *metrics || *trace
+	// exit closes the session (flushing -tracefile — os.Exit skips the
+	// deferred Close) before terminating.
+	exit := func(code int) {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "fsctest: %v\n", err)
+			code = 1
+		}
+		os.Exit(code)
+	}
+
 	interrupted := false
 	var reports []*fsct.Report
 	for _, p := range fsct.Suite() {
 		if len(want) > 0 && !want[p.Name] {
 			continue
 		}
-		var col *fsct.Collector
-		if instrument {
-			col = fsct.NewCollector()
-			if *trace {
-				col.SetTrace(os.Stderr)
-				col.Tracef("run %s (scale %g, seed %d)", p.Name, *scale, *seed)
-			}
-			fsct.PublishMetrics(col)
+		col := sess.Collector()
+		if oflags.Trace {
+			col.Tracef("run %s (scale %g, seed %d)", p.Name, *scale, *seed)
 		}
 		exp := fsct.Experiment{
 			Profile: p, Scale: *scale, Chains: *chains, Seed: *seed,
 			Flow: fsct.FlowParams{Workers: *workers, Obs: col, Eval: backend},
 		}
-		rep, _, err := exp.RunCtx(ctx)
-		if errors.Is(err, context.Canceled) {
+		// The journal is shared across circuits; remember where this
+		// circuit's events start so -why replays only its own slice
+		// (fault keys are circuit-local signal IDs).
+		mark := sess.Recorder().Len()
+		rep, d, err := exp.RunCtx(ctx)
+		canceled := errors.Is(err, context.Canceled)
+		if err != nil && !canceled {
+			fmt.Fprintf(os.Stderr, "fsctest: %s: %v\n", p.Name, err)
+			exit(1)
+		}
+		if rep != nil && *why != "" && d != nil {
+			events := sess.Recorder().Snapshot()
+			if mark <= len(events) {
+				events = events[mark:]
+			}
+			prov, werr := explain(d, events, *why)
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "fsctest: %s: -why: %v\n", p.Name, werr)
+				exit(1)
+			}
+			rep.Provenance = append(rep.Provenance, prov)
+		}
+		if canceled {
 			// Keep the partial report; the tables below cover what ran.
 			fmt.Fprintf(os.Stderr, "fsctest: %s: interrupted, reporting partial results\n", p.Name)
 			interrupted = true
@@ -109,10 +152,6 @@ func main() {
 				reports = append(reports, rep)
 			}
 			break
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fsctest: %s: %v\n", p.Name, err)
-			os.Exit(1)
 		}
 		reports = append(reports, rep)
 		if *verbose {
@@ -124,20 +163,27 @@ func main() {
 	}
 	if len(reports) == 0 {
 		fmt.Fprintln(os.Stderr, "fsctest: no circuits selected")
-		os.Exit(1)
+		exit(1)
 	}
 
-	if *metrics {
+	if oflags.Metrics {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reports); err != nil {
-			fmt.Fprintf(os.Stderr, "fsctest: %v\n", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 		if interrupted {
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
+	}
+
+	if *why != "" {
+		for _, r := range reports {
+			for _, prov := range r.Provenance {
+				fmt.Printf("%s: %s", r.Circuit, prov.Format())
+			}
+		}
 	}
 
 	switch *table {
@@ -157,7 +203,7 @@ func main() {
 		fmt.Print(fsct.Figure5(pickFig5(reports, *fig5)))
 	default:
 		fmt.Fprintf(os.Stderr, "fsctest: unknown -table %q\n", *table)
-		os.Exit(1)
+		exit(1)
 	}
 	if *fig5 != "" && *table != "all" {
 		fmt.Println()
@@ -165,8 +211,28 @@ func main() {
 	}
 	if interrupted {
 		fmt.Println("\n(interrupted — tables cover the circuits that completed, plus one partial run)")
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
+}
+
+// explain resolves the -why selector — a fault-list index or the exact
+// Describe rendering (e.g. "G10 s-a-1") — against the design's
+// collapsed fault list and replays the journal for it.
+func explain(d *fsct.Design, events []fsct.JournalEvent, sel string) (*fsct.Provenance, error) {
+	faults := fsct.CollapsedFaults(d.C)
+	if idx, err := strconv.Atoi(sel); err == nil {
+		if idx < 0 || idx >= len(faults) {
+			return nil, fmt.Errorf("fault index %d out of range [0,%d)", idx, len(faults))
+		}
+		return fsct.ExplainFault(d, events, faults[idx]), nil
+	}
+	for _, f := range faults {
+		if f.Describe(d.C) == sel {
+			return fsct.ExplainFault(d, events, f), nil
+		}
+	}
+	return nil, fmt.Errorf("no fault %q in the collapsed fault list (try an index < %d)", sel, len(faults))
 }
 
 // pickFig5 selects the named circuit's report, defaulting to the one

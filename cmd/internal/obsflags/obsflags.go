@@ -1,0 +1,168 @@
+// Package obsflags gives every CLI in this repository the same
+// observability flag surface and lifecycle:
+//
+//	-metrics    instrument the run, emit a metrics snapshot
+//	-trace      stream phase annotations to stderr
+//	-tracefile  export the run's flight-recorder timeline as a Chrome
+//	            trace-event JSON file (chrome://tracing, Perfetto)
+//	-progress   live per-phase progress on stderr (TTY-aware)
+//	-debug      /debug/pprof + /debug/vars HTTP server
+//
+// A command calls Register before flag.Parse, Open after it, hands
+// Session.Collector() to whatever it runs, and calls Session.Close
+// before every exit — including error and SIGINT paths, because
+// os.Exit skips deferred calls and the trace file is written on Close.
+package obsflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+
+	"repro/internal/journal"
+	"repro/internal/obs"
+)
+
+// Flags holds the shared observability flag values.
+type Flags struct {
+	Metrics   bool
+	Trace     bool
+	TraceFile string
+	Progress  bool
+	Debug     string
+}
+
+// Register installs the shared flags on fs (flag.CommandLine in the
+// CLIs) and returns the value struct to read after parsing.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.BoolVar(&f.Metrics, "metrics", false, "instrument the run and report metrics")
+	fs.BoolVar(&f.Trace, "trace", false, "stream phase trace annotations to stderr")
+	fs.StringVar(&f.TraceFile, "tracefile", "", "write a Chrome trace-event timeline (chrome://tracing, Perfetto) to this `file`")
+	fs.BoolVar(&f.Progress, "progress", false, "render live per-phase progress on stderr")
+	fs.StringVar(&f.Debug, "debug", "", "serve /debug/pprof and /debug/vars on this `address` (e.g. localhost:6060)")
+	return f
+}
+
+// Active reports whether any flag asks for instrumentation — commands
+// use it to decide between the nil (free) collector and a real one.
+func (f *Flags) Active() bool {
+	return f.Metrics || f.Trace || f.TraceFile != "" || f.Progress || f.Debug != ""
+}
+
+// Session is the process-wide observability state behind the flags:
+// one flight recorder shared by every collector the command creates
+// (per-circuit collectors merge into one timeline), the progress
+// renderer subscribed to it, and the debug server.
+type Session struct {
+	flags    *Flags
+	recorder *journal.Recorder
+	progress *journal.Progress
+	server   *http.Server
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Open starts the session's sinks: the journal recorder (when
+// -tracefile or -progress need the event stream), the progress
+// renderer, and the debug server. The zero-flag session is valid and
+// free.
+func (f *Flags) Open() (*Session, error) {
+	s := &Session{flags: f}
+	if f.TraceFile != "" || f.Progress {
+		s.EnsureRecorder()
+	}
+	if f.Progress {
+		s.progress = journal.NewProgress(os.Stderr, stderrIsTTY())
+		s.recorder.SetObserver(s.progress.Observe)
+	}
+	if f.Debug != "" {
+		srv, err := obs.ServeDebug(f.Debug)
+		if err != nil {
+			return nil, err
+		}
+		s.server = srv
+	}
+	return s, nil
+}
+
+// EnsureRecorder attaches a flight recorder even when no flag asked
+// for one (fsctest -why needs the event stream regardless of
+// -tracefile), and returns it.
+func (s *Session) EnsureRecorder() *journal.Recorder {
+	if s.recorder == nil {
+		s.recorder = journal.New(0)
+	}
+	return s.recorder
+}
+
+// Recorder returns the session's journal recorder; nil (a valid no-op
+// sink) when no sink needed one.
+func (s *Session) Recorder() *journal.Recorder { return s.recorder }
+
+// Collector returns a fresh enabled collector wired to the session's
+// sinks — stderr tracing per -trace, the shared journal — and
+// publishes it for /debug/vars. It returns nil (the disabled
+// collector) when no instrumentation was requested, so callers can
+// pass the result straight into option structs.
+func (s *Session) Collector() *obs.Collector {
+	if !s.flags.Active() && s.recorder == nil {
+		return nil
+	}
+	col := obs.New()
+	if s.flags.Trace {
+		col.SetTrace(os.Stderr)
+	}
+	col.SetJournal(s.recorder)
+	obs.Publish(col)
+	return col
+}
+
+// Close flushes the session's sinks: the live progress line is
+// terminated and the journal is exported to -tracefile (also on
+// interrupted runs — the partial timeline is exactly what a SIGINT
+// investigation wants). Safe to call more than once; every exit path
+// must reach it because os.Exit skips defers.
+func (s *Session) Close() error {
+	s.closeOnce.Do(func() {
+		s.progress.Flush()
+		if s.flags.TraceFile != "" && s.recorder != nil {
+			s.closeErr = s.writeTrace()
+		}
+		if s.server != nil {
+			_ = s.server.Close()
+		}
+	})
+	return s.closeErr
+}
+
+func (s *Session) writeTrace() error {
+	w, err := os.Create(s.flags.TraceFile)
+	if err != nil {
+		return fmt.Errorf("tracefile: %w", err)
+	}
+	err = journal.WriteTrace(w, s.recorder.Snapshot(), s.recorder.Dropped())
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("tracefile: %w", err)
+	}
+	return nil
+}
+
+// WriteTraceTo exports the current journal snapshot to w (tests).
+func (s *Session) WriteTraceTo(w io.Writer) error {
+	return journal.WriteTrace(w, s.recorder.Snapshot(), s.recorder.Dropped())
+}
+
+// stderrIsTTY reports whether stderr is a character device, selecting
+// in-place progress rewriting over plain log lines.
+func stderrIsTTY() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}

@@ -5,16 +5,28 @@
 // Usage:
 //
 //	mktables full_run.txt big3_run.txt
+//	mktables -metrics full_run.txt
+//
+// The observability flags are the shared surface (see
+// cmd/internal/obsflags). The tables stay on stdout; -metrics prints
+// the parse/render phase timings to stderr, -trace streams phase
+// annotations, -tracefile exports the timeline as a Chrome trace-event
+// file, -progress renders live progress, -debug addr serves
+// /debug/pprof and /debug/vars.
 package main
 
 import (
 	"bufio"
 	"context"
+	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"regexp"
 	"strconv"
+
+	"repro"
+	"repro/cmd/internal/obsflags"
 )
 
 type row struct {
@@ -38,21 +50,47 @@ var (
 
 func atoi(s string) int { n, _ := strconv.Atoi(s); return n }
 
+// sess is the observability session; every exit goes through exit so
+// Close runs (os.Exit skips defers and -tracefile is written on Close).
+var sess *obsflags.Session
+
+func exit(code int) {
+	if sess != nil {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "mktables: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
 func main() {
+	oflags := obsflags.Register(flag.CommandLine)
+	flag.Parse()
+
+	var err error
+	if sess, err = oflags.Open(); err != nil {
+		fmt.Fprintf(os.Stderr, "mktables: %v\n", err)
+		exit(1)
+	}
+	defer sess.Close()
+	col := sess.Collector()
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	parse := col.Phase("parse")
 	var rows []*row
 	var cur *row
-	for _, f := range os.Args[1:] {
+	for _, f := range flag.Args() {
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "mktables: interrupted")
-			os.Exit(1)
+			exit(1)
 		}
 		fh, err := os.Open(f)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mktables: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		sc := bufio.NewScanner(fh)
 		for sc.Scan() {
@@ -73,10 +111,14 @@ func main() {
 		}
 		if err := sc.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "mktables: %s: %v\n", f, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fh.Close()
 	}
+	parse.End()
+	col.Counter("mktables.rows").Add(int64(len(rows)))
+
+	render := col.Phase("render")
 	tg, tf, tfl, tc, te, th := 0, 0, 0, 0, 0, 0
 	var a, b, cx, d2, e2, f2, tv int
 	fmt.Printf("TABLE1\n%-10s %8s %6s %8s %7s\n", "name", "#gates", "#FFs", "#faults", "#chains")
@@ -115,4 +157,10 @@ func main() {
 	fmt.Printf("\nHeadline: undetected = %d = %.4f%% of all faults = %.4f%% of chain-affecting faults\n",
 		und, 100*float64(und)/float64(tfl), 100*float64(und)/float64(te+th))
 	fmt.Printf("(paper: 0.006%% of all faults, 0.022%% of chain-affecting faults)\n")
+	render.End()
+	if oflags.Metrics {
+		// stderr: stdout is the tables artifact pasted into EXPERIMENTS.md.
+		fmt.Fprint(os.Stderr, fsct.FormatMetrics(col.Snapshot()))
+	}
+	exit(0)
 }

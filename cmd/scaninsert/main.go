@@ -7,6 +7,14 @@
 //
 //	scaninsert -in circuit.bench [-chains 2] [-seed 1] [-out scan.bench] [-detail]
 //	scaninsert -profile s5378 [-scale 0.1] ...
+//	scaninsert -profile s5378 -scale 0.1 -screen -metrics -tracefile screen.json
+//
+// The observability flags are the shared surface (see
+// cmd/internal/obsflags): -metrics appends a metrics summary after
+// -screen, -trace streams phase annotations to stderr, -tracefile
+// exports the flight-recorder timeline as a Chrome trace-event file,
+// -progress renders live progress, -debug addr serves /debug/pprof and
+// /debug/vars.
 //
 // SIGINT cancels -screen cooperatively; the process exits non-zero.
 package main
@@ -20,7 +28,22 @@ import (
 	"os/signal"
 
 	"repro"
+	"repro/cmd/internal/obsflags"
 )
+
+// sess is the observability session; every exit goes through exit so
+// Close runs (os.Exit skips defers and -tracefile is written on Close).
+var sess *obsflags.Session
+
+func exit(code int) {
+	if sess != nil {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "scaninsert: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
 
 func main() {
 	var (
@@ -33,10 +56,15 @@ func main() {
 		detail  = flag.Bool("detail", false, "print every segment")
 		screen  = flag.Bool("screen", false, "also screen the collapsed fault list (easy/hard split)")
 		workers = flag.Int("workers", 0, "fault-axis worker goroutines for -screen (0 = GOMAXPROCS)")
-		metrics = flag.Bool("metrics", false, "print a metrics summary after -screen (screening counters, pool utilization)")
-		trace   = flag.Bool("trace", false, "stream trace annotations to stderr during -screen")
+		oflags  = obsflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
+
+	var serr error
+	if sess, serr = oflags.Open(); serr != nil {
+		fail(serr)
+	}
+	defer sess.Close()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -101,13 +129,7 @@ func main() {
 		ourCost, convCost, 100*float64(ourCost)/float64(convCost))
 
 	if *screen {
-		var col *fsct.Collector
-		if *metrics || *trace {
-			col = fsct.NewCollector()
-			if *trace {
-				col.SetTrace(os.Stderr)
-			}
-		}
+		col := sess.Collector()
 		faults := fsct.CollapsedFaults(d.C)
 		easy, hard := 0, 0
 		screened, serr := fsct.ScreenFaultsCtx(ctx, d, faults, fsct.ScreenOptions{Workers: *workers, Obs: col})
@@ -124,7 +146,7 @@ func main() {
 		}
 		fmt.Printf("screening: %d faults, %d easy, %d hard (%.1f%% affect the chain)\n",
 			len(faults), easy, hard, 100*float64(easy+hard)/float64(len(faults)))
-		if *metrics {
+		if oflags.Metrics {
 			fmt.Print(fsct.FormatMetrics(col.Snapshot()))
 		}
 	}
@@ -162,6 +184,7 @@ func main() {
 		f.Close()
 		fmt.Printf("\nscan-mode circuit written to %s\n", *out)
 	}
+	exit(0)
 }
 
 func fail(err error) {
@@ -170,5 +193,5 @@ func fail(err error) {
 	} else {
 		fmt.Fprintf(os.Stderr, "scaninsert: %v\n", err)
 	}
-	os.Exit(1)
+	exit(1)
 }

@@ -7,6 +7,14 @@
 //
 //	testability -profile s9234 -scale 0.1 [-scan] [-top 15]
 //	testability -in circuit.bench
+//	testability -profile s38584 -scan -metrics -trace
+//
+// The observability flags are the shared surface (see
+// cmd/internal/obsflags): -metrics appends per-phase wall times
+// (generate, insert, scoap), -trace streams the phase annotations to
+// stderr, -tracefile exports the timeline as a Chrome trace-event
+// file, -progress renders live progress, -debug addr serves
+// /debug/pprof and /debug/vars.
 //
 // Unlike the fault-driven commands there is no -workers flag here:
 // SCOAP analysis is one levelized forward pass (controllability) and
@@ -22,9 +30,24 @@ import (
 	"os"
 
 	"repro"
+	"repro/cmd/internal/obsflags"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 )
+
+// sess is the observability session; every exit goes through exit so
+// Close runs (os.Exit skips defers and -tracefile is written on Close).
+var sess *obsflags.Session
+
+func exit(code int) {
+	if sess != nil {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "testability: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
 
 func main() {
 	var (
@@ -34,11 +57,20 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generation seed")
 		scanned = flag.Bool("scan", false, "analyze the scan-mode model after TPI (pins applied)")
 		top     = flag.Int("top", 12, "how many hardest nets to list")
+		oflags  = obsflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
 
+	var serr error
+	if sess, serr = oflags.Open(); serr != nil {
+		fail(serr)
+	}
+	defer sess.Close()
+	col := sess.Collector()
+
 	var c *fsct.Circuit
 	var err error
+	load := col.Phase("load")
 	switch {
 	case *in != "":
 		f, ferr := os.Open(*in)
@@ -64,15 +96,18 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	load.End()
 
 	fixed := map[netlist.SignalID]logic.V{}
 	if *scanned {
+		insert := col.Phase("insert")
 		d, err := fsct.InsertScan(c, fsct.ScanOptions{
 			NumChains: fsct.DefaultChains(len(c.FFs)), Seed: *seed,
 		})
 		if err != nil {
 			fail(err)
 		}
+		insert.End()
 		c = d.C
 		for k, v := range d.Assignments {
 			fixed[k] = v
@@ -80,10 +115,12 @@ func main() {
 		fmt.Printf("analyzing scan-mode model (%d pinned inputs)\n", len(fixed))
 	}
 
+	scoap := col.Phase("scoap")
 	ta, mc, err := fsct.AnalyzeTestability(c, fixed)
 	if err != nil {
 		fail(err)
 	}
+	scoap.End()
 
 	// Distribution of per-gate combined costs.
 	const inf = int64(1) << 40
@@ -131,6 +168,10 @@ func main() {
 		fmt.Printf("  %-16s CC0=%-8s CC1=%-8s CO=%s\n", mc.NameOf(id),
 			fmtCost(ta.CC0[id]), fmtCost(ta.CC1[id]), fmtCost(ta.CO[id]))
 	}
+	if oflags.Metrics {
+		fmt.Print(fsct.FormatMetrics(col.Snapshot()))
+	}
+	exit(0)
 }
 
 func min64(a, b int64) int64 {
@@ -149,5 +190,5 @@ func fmtCost(v int64) string {
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "testability: %v\n", err)
-	os.Exit(1)
+	exit(1)
 }

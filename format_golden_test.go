@@ -53,8 +53,14 @@ func TestFormatMetricsGolden(t *testing.T) {
 			"screen.faults":       200,
 			"atpg.comb.generated": 40,
 		},
+		// The histogram is the snapshot of observations {1, 1, 2, 6}:
+		// Snapshot fills the quantile fields from the buckets.
 		Histograms: map[string]obs.HistogramMetric{
-			"atpg.comb.backtracks": {Count: 4, Sum: 10, Max: 6},
+			"atpg.comb.backtracks": {
+				Count: 4, Sum: 10, Max: 6,
+				P50: 1, P95: 6, P99: 6,
+				Buckets: []obs.HistogramBucket{{Le: 1, Count: 2}, {Le: 3, Count: 1}, {Le: 7, Count: 1}},
+			},
 		},
 		Pools: map[string]obs.PoolMetric{
 			"faultsim": {
@@ -73,7 +79,7 @@ func TestFormatMetricsGolden(t *testing.T) {
     atpg.comb.generated                        40
     screen.faults                             200
   histograms:
-    atpg.comb.backtracks             count=4 sum=10 max=6 mean=2.5
+    atpg.comb.backtracks             count=4 sum=10 max=6 mean=2.5 p50=1 p95=6 p99=6
   pools:
     faultsim         util= 85.0%  calls=3  workers=1  wall=4ms
       worker 0  busy=3.4ms      items=12

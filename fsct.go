@@ -272,6 +272,17 @@ func BuildDictionaryCtx(ctx context.Context, d *Design, faults []Fault, seed uin
 	return diagnose.BuildOptCtx(ctx, d, faults, diagnose.DefaultSequences(d, seed), workers)
 }
 
+// BuildDictionaryObs is BuildDictionaryCtx instrumented through col:
+// the build runs under a "dictionary" phase, its worker pool reports
+// utilization as the "diagnose" pool, and with a journal attached both
+// emit flight-recorder events. A nil collector makes it identical to
+// BuildDictionaryCtx.
+func BuildDictionaryObs(ctx context.Context, d *Design, faults []Fault, seed uint64, workers int, col *Collector) (*Dictionary, error) {
+	sp := col.Phase("dictionary")
+	defer sp.End()
+	return diagnose.BuildObsCtx(ctx, d, faults, diagnose.DefaultSequences(d, seed), workers, col)
+}
+
 // ChainNets returns every on-path net of the design's chains.
 func ChainNets(d *Design) []SignalID { return core.ChainNets(d) }
 

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"runtime"
 	"sync"
@@ -12,6 +14,8 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/faultsim"
+	"repro/internal/journal"
+	"repro/internal/obs"
 )
 
 // countCtx is a context that reports itself cancelled after its Err
@@ -170,6 +174,58 @@ func TestTransitionCtxCancel(t *testing.T) {
 	if det != 0 || len(undet) != total {
 		t.Errorf("cancelled transition run claims %d detections (total %d, undet %d)",
 			det, total, len(undet))
+	}
+}
+
+// TestCancelJournalFlush is the flight recorder's interruption
+// contract: however deep a run is cancelled (this sweeps the budget
+// across mid-screen, mid-fault-sim and mid-ATPG boundaries, like
+// TestRunCtxCancelMidFlow), every phase opened in the journal must be
+// closed — the flow ends its span on each error return — and the
+// snapshot collected so far must export as a loadable Chrome trace.
+// This is exactly what the CLIs rely on when SIGINT interrupts a run
+// with -tracefile set.
+func TestCancelJournalFlush(t *testing.T) {
+	d := genDesign(t, 300, 24, 2, 8)
+	for _, budget := range []int64{1, 3, 10, 40, 150} {
+		col := obs.New()
+		rec := journal.New(0)
+		col.SetJournal(rec)
+		_, err := RunCtx(newCountCtx(budget), d, Params{Workers: 2, Obs: col})
+		if err == nil {
+			continue // budget outlasted the flow's checkpoints
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("budget %d: err = %v, want context.Canceled", budget, err)
+		}
+		events := rec.Snapshot()
+		open := map[string]int{}
+		for _, e := range events {
+			switch e.Kind {
+			case journal.KindPhaseBegin:
+				open[e.Arg]++
+			case journal.KindPhaseEnd:
+				open[e.Arg]--
+			}
+		}
+		for name, n := range open {
+			if n != 0 {
+				t.Errorf("budget %d: phase %q left %d span(s) open after cancel", budget, name, n)
+			}
+		}
+		var buf bytes.Buffer
+		if err := journal.WriteTrace(&buf, events, rec.Dropped()); err != nil {
+			t.Fatalf("budget %d: WriteTrace: %v", budget, err)
+		}
+		var doc struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("budget %d: trace of interrupted run is not valid JSON: %v", budget, err)
+		}
+		if len(doc.TraceEvents) == 0 {
+			t.Errorf("budget %d: interrupted trace carries no events", budget)
+		}
 	}
 }
 

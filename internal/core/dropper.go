@@ -44,7 +44,7 @@ type combDropper struct {
 func newCombDropper(d *scan.Design, cm *atpg.CombModel, hard []Screened, workers int, backend engine.Backend, cache *engine.Cache, col *obs.Collector) *combDropper {
 	workers = par.Workers(workers)
 	backend = backend.ResolveComb()
-	arts := engine.Resolve(cache).For(cm.C)
+	arts := engine.Resolve(cache).ForObs(cm.C, col)
 	if backend == engine.Compiled {
 		arts.Program(col) // materialize (and account) the shared program up front
 	}

@@ -163,6 +163,10 @@ type Report struct {
 	// Metrics is the observability snapshot for this run; nil unless
 	// Params.Obs was set.
 	Metrics *obs.Metrics `json:"Metrics,omitempty"`
+
+	// Provenance holds journal-replay explanations for the faults the
+	// caller asked about (fsctest -why); nil otherwise.
+	Provenance []*Provenance `json:"provenance,omitempty"`
 }
 
 // Undetected returns the final number of undetected chain-affecting
@@ -219,7 +223,7 @@ func RunCtx(ctx context.Context, d *scan.Design, p Params) (*Report, error) {
 		return rep, nil
 	}
 
-	arts := engine.Resolve(p.Engine).For(d.C)
+	arts := engine.Resolve(p.Engine).ForObs(d.C, p.Obs)
 	faults := arts.CollapsedFaults()
 	rep.Faults = len(faults)
 
@@ -397,7 +401,7 @@ func runStep2(ctx context.Context, d *scan.Design, hard []Screened, p Params, re
 	if len(hard) == 0 {
 		return nil, nil
 	}
-	arts := engine.Resolve(p.Engine).For(d.C)
+	arts := engine.Resolve(p.Engine).ForObs(d.C, p.Obs)
 	cm, err := arts.CombModel()
 	if err != nil {
 		return nil, err
@@ -423,16 +427,19 @@ func runStep2(ctx context.Context, d *scan.Design, hard []Screened, p Params, re
 	// the same point: the early vectors carry almost all detections).
 	dropper := newCombDropper(d, cm, hard, p.Workers, p.Eval, p.Engine, p.Obs)
 
+	rec := p.Obs.Journal()
 	redundant := make([]bool, len(hard))
 	var vectors []scan.Vector
 	for i := range hard {
 		if !p.NoCompaction && dropper.covered.Get(i) {
 			continue
 		}
+		done := timeATPG(rec, "atpg.comb", hard[i].Fault)
 		res, gerr := eng.GenerateCtx(ctx, cm.MapFault(hard[i].Fault), p.CombBacktracks)
 		if gerr != nil {
 			return nil, gerr
 		}
+		done(res.Status, res.Backtracks)
 		switch res.Status {
 		case atpg.Found:
 			v := scan.Vector{

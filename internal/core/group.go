@@ -237,6 +237,7 @@ func runStep3(ctx context.Context, d *scan.Design, remaining []Screened, p Param
 	if len(remaining) == 0 {
 		return nil
 	}
+	rec := p.Obs.Journal()
 	models := planGroups(d, remaining, p)
 	rep.COCircuits = len(models)
 
@@ -251,7 +252,7 @@ func runStep3(ctx context.Context, d *scan.Design, remaining []Screened, p Param
 	var combEng *atpg.Engine
 	var cm *atpg.CombModel
 	if !d.Partial() {
-		arts := engine.Resolve(p.Engine).For(d.C)
+		arts := engine.Resolve(p.Engine).ForObs(d.C, p.Obs)
 		var err error
 		cm, err = arts.CombModel()
 		if err != nil {
@@ -281,10 +282,12 @@ func runStep3(ctx context.Context, d *scan.Design, remaining []Screened, p Param
 			if status[s.Fault] != 0 {
 				continue
 			}
+			done := timeATPG(rec, "atpg.seq", s.Fault)
 			res, err := tm.GenerateCtx(ctx, s.Fault, p.SeqBacktracks)
 			if err != nil {
 				return err
 			}
+			done(res.Status, res.Backtracks)
 			switch res.Status {
 			case atpg.Found:
 				fr, err := faultsim.RunCtx(ctx, d.C, faultsim.Sequence(res.Sequence),
@@ -314,11 +317,13 @@ func runStep3(ctx context.Context, d *scan.Design, remaining []Screened, p Param
 		var cres atpg.Result
 		cres.Status = atpg.Aborted
 		if combEng != nil {
+			done := timeATPG(rec, "atpg.final", s.Fault)
 			var err error
 			cres, err = combEng.GenerateCtx(ctx, cm.MapFault(s.Fault), p.FinalBacktracks)
 			if err != nil {
 				return err
 			}
+			done(cres.Status, cres.Backtracks)
 		}
 		switch cres.Status {
 		case atpg.Redundant:
@@ -375,10 +380,12 @@ func runStep3(ctx context.Context, d *scan.Design, remaining []Screened, p Param
 			return err
 		}
 		tm.Instrument(p.Obs, "atpg.seq")
+		done := timeATPG(rec, "atpg.seq", s.Fault)
 		res, err := tm.GenerateCtx(ctx, s.Fault, p.FinalBacktracks)
 		if err != nil {
 			return err
 		}
+		done(res.Status, res.Backtracks)
 		if res.Status == atpg.Found {
 			fsr, err := faultsim.RunCtx(ctx, d.C, faultsim.Sequence(res.Sequence),
 				[]fault.Fault{s.Fault}, faultsim.Options{Eval: p.Eval, Cache: p.Engine, Obs: p.Obs})

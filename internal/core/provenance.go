@@ -1,0 +1,180 @@
+package core
+
+// Fault provenance: replay the flight-recorder journal of a run and
+// explain what the flow decided about one fault and why — its screening
+// category with the implicating net and chain interval, every ATPG
+// attempt made on it, and (if detected) the detecting cycle and the
+// phase it fell in. This is the "-why <fault>" answer of fsctest and
+// the `provenance` section of the JSON report.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/atpg"
+	"repro/internal/fault"
+	"repro/internal/journal"
+	"repro/internal/netlist"
+)
+
+// Provenance is the journal-derived explanation for one fault.
+type Provenance struct {
+	Fault    string `json:"fault"`
+	Category string `json:"category"`
+
+	// Evidence lists the screening verdicts: each entry is one chain
+	// location the fault touches, with the net whose faulty value
+	// implicated it.
+	Evidence []ProvenanceEvidence `json:"evidence,omitempty"`
+
+	// Attempts lists every ATPG run targeted at the fault, in order.
+	Attempts []ProvenanceAttempt `json:"atpg,omitempty"`
+
+	// DetectedCycle is the first detecting cycle of the earliest
+	// detection event, or -1 if the journal holds none.
+	DetectedCycle int `json:"detected_cycle"`
+	// DetectPhase names the flow phase whose interval contains the
+	// detection ("" when undetected or unattributable).
+	DetectPhase string `json:"detect_phase,omitempty"`
+
+	// Events counts the journal events that mention the fault.
+	Events int `json:"events"`
+}
+
+// ProvenanceEvidence is one screening verdict location.
+type ProvenanceEvidence struct {
+	Category string `json:"category"`
+	Chain    int    `json:"chain"`
+	Seg      int    `json:"seg"`
+	Net      string `json:"net"`
+}
+
+// ProvenanceAttempt is one ATPG run targeted at the fault.
+type ProvenanceAttempt struct {
+	Engine     string `json:"engine"` // counter prefix: atpg.comb / atpg.seq / atpg.final
+	Status     string `json:"status"`
+	Backtracks int    `json:"backtracks"`
+}
+
+// BuildProvenance replays a journal snapshot and assembles the
+// provenance of fault f in circuit c. It always returns a value; an
+// empty journal (or one that never mentions f) yields Events == 0 with
+// category "unaffecting" — with no classification event the screening
+// default stands.
+func BuildProvenance(c *netlist.Circuit, events []journal.Event, f fault.Fault) *Provenance {
+	key := int64(journalKey(f))
+	p := &Provenance{
+		Fault:         f.Describe(c),
+		Category:      Cat3.String(),
+		DetectedCycle: -1,
+	}
+
+	// Closed phase intervals, for attributing instants to phases.
+	type interval struct {
+		name     string
+		from, to int64
+	}
+	var phases []interval
+	for _, e := range events {
+		if e.Kind == journal.KindPhaseEnd {
+			phases = append(phases, interval{e.Arg, e.TNS, e.TNS + e.DurNS})
+		}
+	}
+	phaseAt := func(tns int64) string {
+		// Innermost match wins: phases do not nest in this flow, but a
+		// later (tighter) interval is the better attribution either way.
+		name := ""
+		for _, iv := range phases {
+			if tns >= iv.from && tns <= iv.to {
+				name = iv.name
+			}
+		}
+		return name
+	}
+
+	cat := Cat3
+	for _, e := range events {
+		if e.A != key {
+			continue
+		}
+		switch e.Kind {
+		case journal.KindClassify:
+			p.Events++
+			if ec := Category(e.B); ec > cat {
+				cat = ec
+			}
+			chain, seg := journal.UnpackLoc(e.C)
+			p.Evidence = append(p.Evidence, ProvenanceEvidence{
+				Category: Category(e.B).String(),
+				Chain:    chain,
+				Seg:      seg,
+				Net:      c.NameOf(netlist.SignalID(e.D)),
+			})
+		case journal.KindATPG:
+			p.Events++
+			p.Attempts = append(p.Attempts, ProvenanceAttempt{
+				Engine:     e.Arg,
+				Status:     atpg.Status(e.B).String(),
+				Backtracks: int(e.C),
+			})
+		case journal.KindDetect:
+			p.Events++
+			if p.DetectedCycle < 0 || int(e.B) < p.DetectedCycle {
+				p.DetectedCycle = int(e.B)
+				p.DetectPhase = phaseAt(e.TNS)
+			}
+		}
+	}
+	p.Category = cat.String()
+
+	// Deduplicate evidence (the same location/net pair recurs when
+	// several path nets of one segment implicate the fault).
+	sort.SliceStable(p.Evidence, func(a, b int) bool {
+		x, y := p.Evidence[a], p.Evidence[b]
+		if x.Chain != y.Chain {
+			return x.Chain < y.Chain
+		}
+		if x.Seg != y.Seg {
+			return x.Seg < y.Seg
+		}
+		return x.Net < y.Net
+	})
+	dst := p.Evidence[:0]
+	for i, ev := range p.Evidence {
+		if i == 0 || ev != p.Evidence[i-1] {
+			dst = append(dst, ev)
+		}
+	}
+	p.Evidence = dst
+	return p
+}
+
+// Format renders the provenance for terminals. The output carries no
+// timestamps or durations, so it is stable across runs and pinned by a
+// golden test.
+func (p *Provenance) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault %s\n", p.Fault)
+	if p.Events == 0 {
+		b.WriteString("  no journal events: fault never implicated (run with a journal enabled?)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  category: %s\n", p.Category)
+	for _, ev := range p.Evidence {
+		fmt.Fprintf(&b, "    chain %d seg %d via net %s (%s)\n", ev.Chain, ev.Seg, ev.Net, ev.Category)
+	}
+	for _, at := range p.Attempts {
+		fmt.Fprintf(&b, "  %s: %s (%d backtracks)\n", at.Engine, at.Status, at.Backtracks)
+	}
+	if p.DetectedCycle >= 0 {
+		if p.DetectPhase != "" {
+			fmt.Fprintf(&b, "  detected: cycle %d (%s)\n", p.DetectedCycle, p.DetectPhase)
+		} else {
+			fmt.Fprintf(&b, "  detected: cycle %d\n", p.DetectedCycle)
+		}
+	} else {
+		b.WriteString("  detected: never\n")
+	}
+	return b.String()
+}

@@ -10,10 +10,10 @@ package core
 import (
 	"context"
 	"sort"
-	"time"
 
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/journal"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/obs"
@@ -191,8 +191,9 @@ func ScreenOptCtx(ctx context.Context, d *scan.Design, faults []fault.Fault, opt
 		workers = len(batches)
 	}
 	col := opts.Obs
+	rec := col.Journal()
 	backend := opts.backend()
-	arts := engine.Resolve(opts.Cache).For(c)
+	arts := engine.Resolve(opts.Cache).ForObs(c, col)
 	if backend == engine.Compiled {
 		arts.Program(col) // materialize (and account) the shared program up front
 	}
@@ -223,7 +224,10 @@ func ScreenOptCtx(ctx context.Context, d *scan.Design, faults []fault.Fault, opt
 		eval.Eval()
 
 		laneMask := (uint64(1)<<uint(n+1) - 1) &^ 1
-		addLoc := func(lanes uint64, loc Location, cat Category) {
+		// net is the implicating net — the on-path or side-input signal
+		// whose faulty value triggered the verdict; it flows into the
+		// journal so provenance can name the evidence.
+		addLoc := func(lanes uint64, loc Location, cat Category, net netlist.SignalID) {
 			for k := 0; k < n; k++ {
 				if lanes&(uint64(1)<<uint(k+1)) == 0 {
 					continue
@@ -233,13 +237,18 @@ func ScreenOptCtx(ctx context.Context, d *scan.Design, faults []fault.Fault, opt
 					s.Cat = cat
 				}
 				s.Locs = append(s.Locs, loc)
+				if rec.Enabled() {
+					ev := journal.Classify(journalKey(faults[base+k]), int(cat), loc.Chain, loc.Seg, int64(net))
+					ev.Worker = int32(worker)
+					rec.Emit(ev)
+				}
 			}
 		}
 		// On-path nets pinned definite -> category 1.
 		for _, sn := range segs {
 			for _, p := range sn.path {
 				if lanes := vals[p].Known() & laneMask; lanes != 0 {
-					addLoc(lanes, sn.loc, Cat1)
+					addLoc(lanes, sn.loc, Cat1, p)
 				}
 			}
 			for _, sd := range sn.sides {
@@ -247,14 +256,14 @@ func ScreenOptCtx(ctx context.Context, d *scan.Design, faults []fault.Fault, opt
 				// Good value is definite (design invariant); a lane gone
 				// X is category 2; a lane flipped shows up on-path.
 				if lanes := ^w.Known() & laneMask; lanes != 0 {
-					addLoc(lanes, sn.loc, Cat2)
+					addLoc(lanes, sn.loc, Cat2, sd)
 				}
 			}
 		}
 		// Flip-flop Q stems pinned definite -> category 1 at the next link.
 		for _, q := range qs {
 			if lanes := vals[q.net].Known() & laneMask; lanes != 0 {
-				addLoc(lanes, q.loc, Cat1)
+				addLoc(lanes, q.loc, Cat1, q.net)
 			}
 		}
 	}
@@ -262,10 +271,7 @@ func ScreenOptCtx(ctx context.Context, d *scan.Design, faults []fault.Fault, opt
 	if col.Enabled() {
 		col.Counter("screen.faults").Add(int64(len(faults)))
 		col.Counter("screen.batches").Add(int64(len(batches)))
-		t0 := time.Now()
-		var stats []par.WorkerStat
-		stats, err = par.DoTimedCtx(ctx, workers, len(batches), body)
-		col.RecordPool("screen", time.Since(t0), stats)
+		err = par.DoPoolCtx(ctx, workers, len(batches), "screen", col, body)
 	} else {
 		err = par.DoCtx(ctx, workers, len(batches), body)
 	}
@@ -279,6 +285,11 @@ func ScreenOptCtx(ctx context.Context, d *scan.Design, faults []fault.Fault, opt
 					out[i].Cat = Cat1
 				}
 				out[i].Locs = append(out[i].Locs, loc)
+				if rec.Enabled() {
+					ev := journal.Classify(journalKey(f), int(Cat1), loc.Chain, loc.Seg, int64(f.Gate))
+					ev.Worker = -1 // serial post-pass, flow thread
+					rec.Emit(ev)
+				}
 			}
 		}
 	}

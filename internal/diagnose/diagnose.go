@@ -20,6 +20,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/scan"
 	"repro/internal/sim"
@@ -92,6 +93,15 @@ func BuildOpt(d *scan.Design, faults []fault.Fault, seqs [][][]logic.V, workers 
 // artifact cache, so building a dictionary for a circuit the flow
 // already ran on costs no recompilation.
 func BuildOptCtx(ctx context.Context, d *scan.Design, faults []fault.Fault, seqs [][][]logic.V, workers int) (*Dictionary, error) {
+	return BuildObsCtx(ctx, d, faults, seqs, workers, nil)
+}
+
+// BuildObsCtx is BuildOptCtx with observability: when col is non-nil
+// the build's worker pool reports utilization (and, with a journal
+// attached, per-batch flight-recorder events) under the "diagnose"
+// pool, and the artifact-cache probe is accounted. A nil collector
+// makes it exactly BuildOptCtx.
+func BuildObsCtx(ctx context.Context, d *scan.Design, faults []fault.Fault, seqs [][][]logic.V, workers int, col *obs.Collector) (*Dictionary, error) {
 	dict := &Dictionary{
 		Design: d,
 		Faults: faults,
@@ -114,7 +124,7 @@ func BuildOptCtx(ctx context.Context, d *scan.Design, faults []fault.Fault, seqs
 		}
 	}
 
-	prog := engine.Default().For(d.C).Program(nil)
+	prog := engine.Default().ForObs(d.C, col).Program(col)
 	batches := par.Chunks(len(faults), 63)
 	workers = par.Workers(workers)
 	if workers > len(batches) {
@@ -156,14 +166,19 @@ func BuildOptCtx(ctx context.Context, d *scan.Design, faults []fault.Fault, seqs
 			err = ctx.Err()
 		}
 	} else {
-		err = par.DoCtx(ctx, workers, len(batches), func(worker, bi int) {
+		body := func(worker, bi int) {
 			st := states[worker]
 			if st == nil {
 				st = &wstate{ps: sim.NewCompiledSeqFrom(prog), injs: make([]sim.LaneInject, 0, 63)}
 				states[worker] = st
 			}
 			runBatch(st, batches[bi].Lo, batches[bi].Len(), bi == 0)
-		})
+		}
+		if col.Enabled() {
+			err = par.DoPoolCtx(ctx, workers, len(batches), "diagnose", col, body)
+		} else {
+			err = par.DoCtx(ctx, workers, len(batches), body)
+		}
 	}
 	for i := range faults {
 		s := Signature(hashers[i].sum())

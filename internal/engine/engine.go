@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/atpg"
 	"repro/internal/fault"
+	"repro/internal/journal"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/obs"
@@ -81,15 +82,39 @@ func Resolve(c *Cache) *Cache {
 // no longer matches the key it was stored under), the stale entry is
 // replaced rather than served.
 func (ca *Cache) For(c *netlist.Circuit) *Artifacts {
+	a, _ := ca.lookup(c)
+	return a
+}
+
+// ForObs is For plus probe observability: the outcome is counted under
+// engine.cache.hits / engine.cache.misses on col and mirrored as a
+// cache event into col's journal when a flight recorder is attached.
+// With col == nil it is exactly For.
+func (ca *Cache) ForObs(c *netlist.Circuit, col *obs.Collector) *Artifacts {
+	a, hit := ca.lookup(c)
+	if col.Enabled() {
+		if hit {
+			col.Counter("engine.cache.hits").Inc()
+		} else {
+			col.Counter("engine.cache.misses").Inc()
+		}
+		col.Journal().Emit(journal.Cache("artifacts", hit))
+	}
+	return a
+}
+
+// lookup resolves c's artifact entry and reports whether it was served
+// from cache (bypass caches always rebuild, so they always miss).
+func (ca *Cache) lookup(c *netlist.Circuit) (*Artifacts, bool) {
 	if ca.bypass {
-		return newArtifacts(c)
+		return newArtifacts(c), false
 	}
 	h := c.StructuralHash()
 	ca.mu.Lock()
 	defer ca.mu.Unlock()
 	if a, ok := ca.entries[h]; ok {
 		if a.c == c || a.c.StructuralHash() == h {
-			return a
+			return a, true
 		}
 		// The cached circuit mutated after being cached; its artifacts
 		// no longer describe the structure hashed under this key.
@@ -105,7 +130,7 @@ func (ca *Cache) For(c *netlist.Circuit) *Artifacts {
 			delete(ca.entries, old)
 		}
 	}
-	return a
+	return a, false
 }
 
 // Len reports the number of cached circuit entries (for tests).

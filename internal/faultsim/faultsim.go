@@ -10,10 +10,10 @@ package faultsim
 
 import (
 	"context"
-	"time"
 
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/journal"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/obs"
@@ -174,7 +174,8 @@ func RunCtx(ctx context.Context, c *netlist.Circuit, seq Sequence, faults []faul
 	}
 	cycleCtr := col.Counter("faultsim.cycles")
 	earlyCtr := col.Counter("faultsim.early_exits")
-	arts := engine.Resolve(opts.Cache).For(c)
+	rec := col.Journal()
+	arts := engine.Resolve(opts.Cache).ForObs(c, col)
 	if backend == engine.Compiled {
 		arts.Program(col) // materialize (and account) the shared program up front
 	}
@@ -215,9 +216,9 @@ func RunCtx(ctx context.Context, c *netlist.Circuit, seq Sequence, faults []faul
 			for _, w := range st.poW {
 				switch w.Get(0) {
 				case logic.One:
-					detected |= noteDetections(res, base, n, w.Zeros&allMask&^detected, cyc)
+					detected |= noteDetections(res, rec, faults, worker, base, n, w.Zeros&allMask&^detected, cyc)
 				case logic.Zero:
-					detected |= noteDetections(res, base, n, w.Ones&allMask&^detected, cyc)
+					detected |= noteDetections(res, rec, faults, worker, base, n, w.Ones&allMask&^detected, cyc)
 				}
 			}
 			if opts.StopWhenAllDetected && detected == allMask {
@@ -229,10 +230,7 @@ func RunCtx(ctx context.Context, c *netlist.Circuit, seq Sequence, faults []faul
 	}
 	var err error
 	if col.Enabled() {
-		t0 := time.Now()
-		var stats []par.WorkerStat
-		stats, err = par.DoTimedCtx(ctx, workers, len(batches), body)
-		col.RecordPool("faultsim", time.Since(t0), stats)
+		err = par.DoPoolCtx(ctx, workers, len(batches), "faultsim", col, body)
 		col.Counter("faultsim.detected").Add(int64(res.NumDetected()))
 	} else {
 		err = par.DoCtx(ctx, workers, len(batches), body)
@@ -240,13 +238,23 @@ func RunCtx(ctx context.Context, c *netlist.Circuit, seq Sequence, faults []faul
 	return res, err
 }
 
-func noteDetections(res *Result, base, n int, newly uint64, cyc int) uint64 {
+// noteDetections records the first-detection cycle for every fault whose
+// lane bit is set in newly, mirroring each into the flight recorder (rec
+// nil when no journal is attached — the common case costs one nil test
+// per newly-detected fault).
+func noteDetections(res *Result, rec *journal.Recorder, faults []fault.Fault, worker, base, n int, newly uint64, cyc int) uint64 {
 	if newly == 0 {
 		return 0
 	}
 	for k := 0; k < n; k++ {
 		if newly&(uint64(1)<<uint(k+1)) != 0 {
 			res.DetectedAt[base+k] = cyc
+			if rec.Enabled() {
+				f := faults[base+k]
+				ev := journal.Detect(journal.NewFaultKey(int(f.Signal), int(f.Gate), f.Pin, uint8(f.Stuck)), cyc)
+				ev.Worker = int32(worker)
+				rec.Emit(ev)
+			}
 		}
 	}
 	return newly

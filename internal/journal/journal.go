@@ -1,0 +1,310 @@
+// Package journal is the flow's flight recorder: a bounded, concurrency-
+// safe buffer of structured events that the phases, worker pools,
+// screening engine, ATPG engines, fault simulator and artifact cache
+// emit into while a run executes. Where the metrics layer (internal/obs)
+// answers "how much", the journal answers "when and why": every event is
+// stamped against one run origin, so consumers can reconstruct the full
+// timeline of a run after the fact.
+//
+// Three consumers sit on top of the recorder:
+//
+//   - WriteTrace exports the event buffer in the Chrome trace-event
+//     format, so phase and per-worker timelines open directly in
+//     chrome://tracing or Perfetto;
+//   - Progress subscribes to events live and renders a throttled
+//     rate/ETA line per phase on a terminal;
+//   - provenance replay (internal/core) scans the buffer to explain a
+//     single fault's classification, ATPG attempts and detection.
+//
+// The recorder follows the same cost discipline as internal/obs: a nil
+// *Recorder is the disabled recorder — Emit on it returns immediately —
+// and hot paths resolve the recorder once, outside their loops, so the
+// disabled cost is one nil check per batch-level event site. The buffer
+// is bounded: events past the capacity are counted (Dropped) rather
+// than stored, so a runaway emitter can cost memory at most once.
+package journal
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates the event payload.
+type Kind uint8
+
+// Event kinds. The payload fields A-D are kind-specific; Arg carries
+// the event's name (phase, pool, engine prefix) and should be an
+// interned/constant string so emission does not allocate.
+const (
+	// KindNote is a freeform annotation; Arg is the text.
+	KindNote Kind = iota
+	// KindPhaseBegin marks a phase opening; Arg is the phase name.
+	KindPhaseBegin
+	// KindPhaseEnd marks a phase closing; Arg is the phase name, DurNS
+	// the phase wall time (TNS is the phase start, like all span events).
+	KindPhaseEnd
+	// KindBatch is one completed worker-pool work item: Arg the pool
+	// name, Worker the dense worker ID, A the item index, B the total
+	// item count of the pool invocation, DurNS the item's wall time.
+	KindBatch
+	// KindClassify is one screening verdict contribution: A the fault
+	// key, B the category (1 or 2), C the packed chain/segment location
+	// (LocChainSeg), D the implicating net (on-path net pinned definite
+	// for category 1, side input gone X for category 2).
+	KindClassify
+	// KindATPG is one completed test-generation attempt: Arg the engine
+	// prefix (atpg.comb, atpg.seq, atpg.final), A the fault key (or -1
+	// when the attempt has no single original-fault identity), B the
+	// result status (atpg.Status numeric value), C the backtrack count,
+	// DurNS the attempt's wall time.
+	KindATPG
+	// KindDetect is one fault detection during fault simulation: A the
+	// fault key, B the detecting cycle within the simulated sequence.
+	KindDetect
+	// KindCache is one artifact-cache lookup: Arg the cache name, A 1
+	// for a hit and 0 for a miss.
+	KindCache
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNote:
+		return "note"
+	case KindPhaseBegin:
+		return "phase_begin"
+	case KindPhaseEnd:
+		return "phase_end"
+	case KindBatch:
+		return "batch"
+	case KindClassify:
+		return "classify"
+	case KindATPG:
+		return "atpg"
+	case KindDetect:
+		return "detect"
+	case KindCache:
+		return "cache"
+	}
+	return "unknown"
+}
+
+// Event is one journal entry. TNS is the event's start offset from the
+// recorder origin in nanoseconds (Emit stamps it); DurNS is the span
+// length for span-like events and zero for instants. A-D carry the
+// kind-specific payload.
+type Event struct {
+	TNS    int64
+	DurNS  int64
+	A      int64
+	B      int64
+	C      int64
+	D      int64
+	Kind   Kind
+	Worker int32
+	Arg    string
+}
+
+// DefaultCapacity bounds a recorder constructed with capacity <= 0:
+// 64Ki events (~4 MiB). Large flows overflow the tail counters into
+// Dropped rather than growing without bound.
+const DefaultCapacity = 1 << 16
+
+// Recorder is a bounded event buffer with one monotonic origin. The
+// zero value is not used: New returns an enabled recorder, and a nil
+// *Recorder is the disabled one (Emit and the accessors are no-ops).
+// Emit is safe for concurrent use.
+type Recorder struct {
+	start time.Time
+
+	mu      sync.Mutex
+	events  []Event
+	dropped int64
+
+	observer atomic.Pointer[func(Event)]
+}
+
+// New returns an enabled recorder whose clock starts now. capacity <= 0
+// selects DefaultCapacity.
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{start: time.Now(), events: make([]Event, 0, capacity)}
+}
+
+// Enabled reports whether the recorder actually records (false for the
+// nil recorder).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Emit records one event, stamping its TNS so that TNS is the event's
+// start: the current offset minus the event's DurNS. Events beyond the
+// capacity increment Dropped instead of being stored; the observer (if
+// any) still sees them. No-op on the nil recorder.
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	e.TNS = time.Since(r.start).Nanoseconds() - e.DurNS
+	r.mu.Lock()
+	if len(r.events) < cap(r.events) {
+		r.events = append(r.events, e)
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+	if fn := r.observer.Load(); fn != nil {
+		(*fn)(e)
+	}
+}
+
+// SetObserver installs fn to be called synchronously on every Emit
+// (after the event is recorded), replacing any previous observer. Pass
+// nil to detach. The observer must be fast and must not call back into
+// the recorder. No-op on the nil recorder.
+func (r *Recorder) SetObserver(fn func(Event)) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		r.observer.Store(nil)
+		return
+	}
+	r.observer.Store(&fn)
+}
+
+// Snapshot returns a copy of the recorded events in emission order.
+// Returns nil on the nil recorder.
+func (r *Recorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Len returns the number of stored events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Dropped returns how many events overflowed the capacity.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Capacity returns the recorder's fixed event capacity (0 for nil).
+func (r *Recorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return cap(r.events)
+}
+
+// Elapsed returns the offset from the recorder origin to now.
+func (r *Recorder) Elapsed() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.start)
+}
+
+// ---- Event constructors ----
+//
+// These keep the payload packing in one place; emitters call
+// rec.Emit(journal.Batch(...)) style.
+
+// Note builds a freeform annotation event.
+func Note(text string) Event { return Event{Kind: KindNote, Arg: text} }
+
+// PhaseBegin builds a phase-open event.
+func PhaseBegin(name string) Event { return Event{Kind: KindPhaseBegin, Arg: name} }
+
+// PhaseEnd builds a phase-close event spanning dur.
+func PhaseEnd(name string, dur time.Duration) Event {
+	return Event{Kind: KindPhaseEnd, Arg: name, DurNS: dur.Nanoseconds()}
+}
+
+// Batch builds a worker-pool item event: item index of total, run by
+// worker, taking dur.
+func Batch(pool string, worker, index, total int, dur time.Duration) Event {
+	return Event{Kind: KindBatch, Arg: pool, Worker: int32(worker),
+		A: int64(index), B: int64(total), DurNS: dur.Nanoseconds()}
+}
+
+// Classify builds a screening-verdict event for the fault key: category
+// cat at chain/seg, implicated by net.
+func Classify(fk FaultKey, cat int, chain, seg int, net int64) Event {
+	return Event{Kind: KindClassify, A: int64(fk), B: int64(cat),
+		C: LocChainSeg(chain, seg), D: net}
+}
+
+// ATPG builds a test-generation-attempt event under the engine prefix:
+// status and backtracks for the fault key (pass FaultKey(-1) when the
+// attempt has no original-fault identity), spanning dur.
+func ATPG(prefix string, fk FaultKey, status, backtracks int, dur time.Duration) Event {
+	return Event{Kind: KindATPG, Arg: prefix, A: int64(fk), B: int64(status),
+		C: int64(backtracks), DurNS: dur.Nanoseconds()}
+}
+
+// Detect builds a fault-detection event: fault key detected at cycle.
+func Detect(fk FaultKey, cycle int) Event {
+	return Event{Kind: KindDetect, A: int64(fk), B: int64(cycle)}
+}
+
+// Cache builds an artifact-cache lookup event.
+func Cache(name string, hit bool) Event {
+	a := int64(0)
+	if hit {
+		a = 1
+	}
+	return Event{Kind: KindCache, Arg: name, A: a}
+}
+
+// LocChainSeg packs a chain/segment location into one payload field
+// (chain in the high bits, segment in the low 24).
+func LocChainSeg(chain, seg int) int64 {
+	return int64(chain)<<24 | int64(seg&0xffffff)
+}
+
+// UnpackLoc reverses LocChainSeg.
+func UnpackLoc(v int64) (chain, seg int) {
+	return int(v >> 24), int(v & 0xffffff)
+}
+
+// FaultKey is a packed single-stuck-at fault identity, stable within one
+// circuit: the faulty signal, the consuming gate and pin for branch
+// faults, and the stuck value. It exists so journal events can name a
+// fault without depending on the fault package; the packing assumes
+// signal and gate IDs below 2^24 (16M signals — far above any circuit
+// this repo simulates).
+type FaultKey int64
+
+// NewFaultKey packs a fault identity. For stem faults pass gate = -1 and
+// pin = -1 (the encodings of netlist.None and the stem pin).
+func NewFaultKey(signal, gate, pin int, stuck uint8) FaultKey {
+	return FaultKey(int64(signal&0xffffff)<<34 |
+		int64((gate+1)&0xffffff)<<10 |
+		int64((pin+1)&0xff)<<2 |
+		int64(stuck&3))
+}
+
+// Unpack reverses NewFaultKey.
+func (fk FaultKey) Unpack() (signal, gate, pin int, stuck uint8) {
+	v := int64(fk)
+	return int(v >> 34 & 0xffffff),
+		int(v>>10&0xffffff) - 1,
+		int(v>>2&0xff) - 1,
+		uint8(v & 3)
+}

@@ -1,0 +1,92 @@
+package journal
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step per reading, making throttling
+// deterministic.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (f *fakeClock) now() time.Time {
+	f.t = f.t.Add(f.step)
+	return f.t
+}
+
+func TestProgressPlainLines(t *testing.T) {
+	var b strings.Builder
+	p := NewProgress(&b, false)
+	clk := &fakeClock{t: time.Unix(0, 0), step: 3 * time.Second} // always past minPeriod
+	p.now = clk.now
+
+	p.Observe(Event{Kind: KindPhaseBegin, Arg: "screen", TNS: 0})
+	p.Observe(Event{Kind: KindBatch, Arg: "screen", A: 0, B: 4, TNS: 0, DurNS: 1e6})
+	p.Observe(Event{Kind: KindBatch, Arg: "screen", A: 1, B: 4, TNS: 1e6, DurNS: 1e6})
+	p.Observe(Event{Kind: KindPhaseEnd, Arg: "screen", TNS: 0, DurNS: 4e6})
+	p.Flush()
+
+	out := b.String()
+	for _, want := range []string{
+		"screen: ...",
+		"2/4 batches 50%",
+		"/s",  // a rate is rendered
+		"ETA", // and an ETA while work remains
+		"screen: done in 4ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\r") {
+		t.Error("plain (non-tty) output uses carriage returns")
+	}
+}
+
+func TestProgressThrottles(t *testing.T) {
+	var b strings.Builder
+	p := NewProgress(&b, false) // minPeriod 2s off-tty
+	clk := &fakeClock{t: time.Unix(0, 0), step: time.Millisecond}
+	p.now = clk.now
+
+	p.Observe(Event{Kind: KindPhaseBegin, Arg: "p", TNS: 0})
+	for i := 0; i < 1000; i++ {
+		p.Observe(Event{Kind: KindBatch, Arg: "p", A: int64(i), B: 1000,
+			TNS: int64(i) * 1000, DurNS: 1000})
+	}
+	// 1000 batch events at 1ms apart never cross the 2s min period, so
+	// only the phase-begin line prints.
+	if lines := strings.Count(b.String(), "\n"); lines != 1 {
+		t.Errorf("throttled progress printed %d lines, want 1:\n%s", lines, b.String())
+	}
+}
+
+func TestProgressTTYRewritesInPlace(t *testing.T) {
+	var b strings.Builder
+	p := NewProgress(&b, true)
+	clk := &fakeClock{t: time.Unix(0, 0), step: time.Second}
+	p.now = clk.now
+
+	p.Observe(Event{Kind: KindPhaseBegin, Arg: "p", TNS: 0})
+	p.Observe(Event{Kind: KindBatch, Arg: "p", A: 0, B: 2, TNS: 0, DurNS: 1e6})
+	p.Observe(Event{Kind: KindPhaseEnd, Arg: "p", TNS: 0, DurNS: 2e6})
+	p.Flush()
+
+	out := b.String()
+	if !strings.Contains(out, "\r") {
+		t.Error("tty output never rewrites in place")
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("tty output not terminated by Flush/phase end")
+	}
+}
+
+func TestProgressNil(t *testing.T) {
+	var p *Progress
+	p.Observe(Event{Kind: KindBatch})
+	p.Flush() // must not panic
+}

@@ -1,0 +1,168 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// traceFile mirrors the Chrome trace-event JSON Object Format for
+// validation: a traceEvents array of maps plus displayTimeUnit.
+type traceFile struct {
+	TraceEvents     []map[string]any `json:"traceEvents"`
+	DisplayTimeUnit string           `json:"displayTimeUnit"`
+}
+
+// fixedEvents is a hand-stamped timeline (WriteTrace reads TNS/DurNS
+// from the events, so constructing them directly gives a deterministic
+// trace).
+func fixedEvents() []Event {
+	fk := NewFaultKey(42, -1, -1, 1)
+	return []Event{
+		{Kind: KindPhaseBegin, Arg: "screen", TNS: 1000},
+		{Kind: KindCache, Arg: "engine", A: 0, TNS: 1500},
+		{Kind: KindBatch, Arg: "screen", Worker: 0, A: 0, B: 2, TNS: 2000, DurNS: 500_000},
+		{Kind: KindBatch, Arg: "screen", Worker: 1, A: 1, B: 2, TNS: 2500, DurNS: 400_000},
+		{Kind: KindClassify, A: int64(fk), B: 2, C: LocChainSeg(0, 3), D: 7, Worker: 1, TNS: 300_000},
+		{Kind: KindPhaseEnd, Arg: "screen", TNS: 1000, DurNS: 600_000},
+		{Kind: KindATPG, Arg: "atpg.comb", A: int64(fk), B: 0, C: 12, TNS: 700_000, DurNS: 90_000},
+		{Kind: KindDetect, A: int64(fk), B: 17, Worker: 0, TNS: 900_000},
+		{Kind: KindPhaseBegin, Arg: "step2", TNS: 950_000}, // interrupted: never closed
+		{Kind: KindNote, Arg: "cancelled", TNS: 980_000},
+	}
+}
+
+// TestWriteTraceSchema validates the exported JSON against the Chrome
+// trace-event schema requirements: well-formed JSON, and for every
+// event the required keys (ph, pid, tid, name, ts) with ph from the
+// set the exporter uses, dur present exactly on complete events, and a
+// scope on instant events.
+func TestWriteTraceSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, fixedEvents(), 3); err != nil {
+		t.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	var phases, batches, instants int
+	for i, e := range tf.TraceEvents {
+		ph, _ := e["ph"].(string)
+		switch ph {
+		case "M", "X", "i":
+		default:
+			t.Fatalf("event %d: ph = %q not in {M,X,i}", i, ph)
+		}
+		for _, key := range []string{"pid", "tid", "name"} {
+			if _, ok := e[key]; !ok {
+				t.Fatalf("event %d (%v): missing %q", i, e, key)
+			}
+		}
+		if ph == "M" {
+			continue // metadata rows carry no timestamp
+		}
+		ts, ok := e["ts"].(float64)
+		if !ok || ts < 0 {
+			t.Fatalf("event %d: bad ts %v", i, e["ts"])
+		}
+		switch ph {
+		case "X":
+			if _, ok := e["dur"].(float64); !ok {
+				t.Fatalf("event %d: complete event without dur", i)
+			}
+			if e["cat"] == "phase" {
+				phases++
+			}
+			if e["cat"] == "pool" {
+				batches++
+			}
+		case "i":
+			if s, _ := e["s"].(string); s != "t" {
+				t.Fatalf("event %d: instant scope = %v", i, e["s"])
+			}
+			instants++
+		}
+	}
+	if phases != 1 {
+		t.Errorf("phase spans = %d, want 1 (only the closed phase)", phases)
+	}
+	if batches != 2 {
+		t.Errorf("batch spans = %d, want 2", batches)
+	}
+	// classify + detect + cache + note + unclosed-phase marker + dropped marker
+	if instants != 6 {
+		t.Errorf("instant events = %d, want 6", instants)
+	}
+	if !strings.Contains(buf.String(), "journal dropped 3 events") {
+		t.Error("dropped-events marker missing")
+	}
+}
+
+// TestWriteTraceGolden pins the exact serialization of a minimal fixed
+// timeline: the exporter's output is a parsing contract for scripts, so
+// format changes must be deliberate.
+func TestWriteTraceGolden(t *testing.T) {
+	events := []Event{
+		{Kind: KindPhaseBegin, Arg: "screen", TNS: 1000},
+		{Kind: KindBatch, Arg: "screen", Worker: 0, A: 0, B: 1, TNS: 2000, DurNS: 500_000},
+		{Kind: KindPhaseEnd, Arg: "screen", TNS: 1000, DurNS: 600_000},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, events, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[
+{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"fsct"}},
+{"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":"flow"}},
+{"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"worker 0"}},
+{"ph":"X","pid":1,"tid":1,"name":"screen","cat":"pool","ts":2.000,"dur":500.000,"args":{"index":0,"total":1}},
+{"ph":"X","pid":1,"tid":0,"name":"screen","cat":"phase","ts":1.000,"dur":600.000,"args":{}}
+],"displayTimeUnit":"ms"}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("trace golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteTraceEmpty: an empty journal still yields a valid trace.
+func TestWriteTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+}
+
+// TestWriteTraceLiveRecorder: a trace exported from a recorder fed the
+// normal way (Emit) is schema-valid too.
+func TestWriteTraceLiveRecorder(t *testing.T) {
+	r := New(64)
+	r.Emit(PhaseBegin("p"))
+	r.Emit(Batch("pool", 2, 0, 4, 100*time.Microsecond))
+	r.Emit(PhaseEnd("p", time.Millisecond))
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, r.Snapshot(), r.Dropped()); err != nil {
+		t.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("live trace invalid: %v", err)
+	}
+	// 3 metadata rows (process, flow thread, worker 2 thread) + 1 batch
+	// span + 1 phase span.
+	if len(tf.TraceEvents) != 5 {
+		t.Errorf("got %d rows, want 5", len(tf.TraceEvents))
+	}
+}

@@ -37,14 +37,18 @@ func Publish(c *Collector) {
 // the default mux: /debug/pprof/* from net/http/pprof and /debug/vars
 // from expvar, including the collector published with Publish. The
 // listen error is returned synchronously; serve errors after that are
-// ignored (the process is shutting down).
-func ServeDebug(addr string) error {
+// ignored (the process is shutting down). The returned server's Addr
+// holds the bound address (useful with addr ":0"), and Close/Shutdown
+// stops it — tests that spin up a debug surface can tear it down
+// instead of leaking the listener for the life of the process.
+func ServeDebug(addr string) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return fmt.Errorf("obs: debug server: %w", err)
+		return nil, fmt.Errorf("obs: debug server: %w", err)
 	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: http.DefaultServeMux}
 	go func() {
-		_ = http.Serve(ln, nil)
+		_ = srv.Serve(ln)
 	}()
-	return nil
+	return srv, nil
 }

@@ -1,9 +1,12 @@
 package obs
 
 // This file defines the frozen, JSON-ready snapshot types. They carry
-// no behaviour beyond encoding: a Metrics value is plain data that a
-// run report embeds (core.Report.Metrics), the CLIs emit with
-// -metrics, and ServeDebug exports over expvar.
+// no behaviour beyond encoding (and quantile estimation over the frozen
+// buckets): a Metrics value is plain data that a run report embeds
+// (core.Report.Metrics), the CLIs emit with -metrics, and ServeDebug
+// exports over expvar.
+
+import "math"
 
 // Metrics is a frozen snapshot of a Collector.
 type Metrics struct {
@@ -29,11 +32,16 @@ type PhaseMetric struct {
 }
 
 // HistogramMetric summarizes one histogram: observation count, sum and
-// maximum, plus the non-empty power-of-two buckets.
+// maximum, the non-empty power-of-two buckets, and the p50/p95/p99
+// quantiles estimated from them at snapshot time (see Quantile for the
+// estimation and its error bound).
 type HistogramMetric struct {
 	Count   int64             `json:"count"`
 	Sum     int64             `json:"sum"`
 	Max     int64             `json:"max"`
+	P50     int64             `json:"p50,omitempty"`
+	P95     int64             `json:"p95,omitempty"`
+	P99     int64             `json:"p99,omitempty"`
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
 }
 
@@ -42,6 +50,51 @@ type HistogramMetric struct {
 type HistogramBucket struct {
 	Le    int64 `json:"le"`
 	Count int64 `json:"count"`
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the recorded
+// distribution from the frozen buckets: the observation at rank
+// ceil(q*Count) is located by cumulative bucket count and linearly
+// interpolated across its bucket's value range, so the estimate is
+// exact at bucket boundaries and off by at most the bucket width
+// (power-of-two buckets: a factor of two) inside one. The top of the
+// distribution is clamped to the exact recorded Max. Returns 0 on an
+// empty histogram.
+func (h HistogramMetric) Quantile(q float64) int64 {
+	if h.Count <= 0 || len(h.Buckets) == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum, prevLe int64
+	for _, b := range h.Buckets {
+		// Bucket b covers [2^(k-1), 2^k-1] for Le = 2^k-1; the overflow
+		// bucket (Le -1) starts past the last finite boundary.
+		lo := (b.Le + 1) / 2
+		hi := b.Le
+		if b.Le == -1 {
+			lo = prevLe + 1
+			hi = h.Max
+		}
+		if hi > h.Max {
+			hi = h.Max
+		}
+		if lo > hi {
+			lo = hi
+		}
+		if rank <= cum+b.Count {
+			frac := float64(rank-cum) / float64(b.Count)
+			return lo + int64(frac*float64(hi-lo)+0.5)
+		}
+		cum += b.Count
+		prevLe = b.Le
+	}
+	return h.Max
 }
 
 // PoolMetric is the accumulated utilization of one worker pool across

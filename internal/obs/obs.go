@@ -36,6 +36,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/journal"
 )
 
 // Collector accumulates one run's metrics. The zero value is not used
@@ -46,6 +48,8 @@ type Collector struct {
 
 	traceMu sync.Mutex
 	trace   io.Writer
+
+	jr atomic.Pointer[journal.Recorder]
 
 	mu       sync.Mutex
 	counters map[string]*Counter
@@ -114,6 +118,33 @@ func (c *Collector) Tracef(format string, args ...any) {
 	c.traceMu.Unlock()
 }
 
+// SetJournal attaches a flight-recorder journal: phase spans recorded
+// through this collector are mirrored into it as events, and
+// instrumented layers reach it through Journal() for their own event
+// kinds (worker batches, classifications, detections, cache probes).
+// Pass nil to detach. No-op on the nil collector.
+//
+// Several collectors may share one recorder (the CLIs run one
+// collector per circuit but one journal per process): every event is
+// stamped against the recorder's own origin, so the merged timeline
+// stays consistent.
+func (c *Collector) SetJournal(r *journal.Recorder) {
+	if c == nil {
+		return
+	}
+	c.jr.Store(r)
+}
+
+// Journal returns the attached flight recorder. Nil — a valid no-op
+// sink — when none is attached or on the nil collector. Like Counter,
+// resolve it once outside hot loops.
+func (c *Collector) Journal() *journal.Recorder {
+	if c == nil {
+		return nil
+	}
+	return c.jr.Load()
+}
+
 // Counter returns the named counter, creating it on first use. Returns
 // nil (a valid sink) on the nil collector. Intended to be called once
 // per run per name, outside hot loops.
@@ -159,6 +190,7 @@ func (c *Collector) Phase(name string) *Span {
 	c.phases = append(c.phases, phase{name: name, start: time.Since(c.start), open: true})
 	c.mu.Unlock()
 	c.Tracef("phase %s: start", name)
+	c.Journal().Emit(journal.PhaseBegin(name))
 	return &Span{c: c, idx: idx, t0: time.Now()}
 }
 
@@ -187,7 +219,9 @@ func (s *Span) End() time.Duration {
 	s.c.phases[s.idx].wall = d
 	s.c.phases[s.idx].open = false
 	s.c.mu.Unlock()
-	s.c.Tracef("phase %s: end (%s)", s.c.phaseName(s.idx), d.Round(time.Microsecond))
+	name := s.c.phaseName(s.idx)
+	s.c.Tracef("phase %s: end (%s)", name, d.Round(time.Microsecond))
+	s.c.Journal().Emit(journal.PhaseEnd(name, d))
 	return d
 }
 
@@ -335,6 +369,9 @@ func (c *Collector) Snapshot() *Metrics {
 				}
 				hm.Buckets = append(hm.Buckets, HistogramBucket{Le: le, Count: n})
 			}
+			hm.P50 = hm.Quantile(0.50)
+			hm.P95 = hm.Quantile(0.95)
+			hm.P99 = hm.Quantile(0.99)
 			m.Histograms[name] = hm
 		}
 	}

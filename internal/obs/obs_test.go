@@ -2,6 +2,9 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -70,6 +73,53 @@ func TestCountersAndHistogram(t *testing.T) {
 	// 0 and the clamped -7 land in the v == 0 bucket (le 0).
 	if hm.Buckets[0].Le != 0 || hm.Buckets[0].Count != 2 {
 		t.Fatalf("zero bucket = %+v", hm.Buckets[0])
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	c := New()
+	h := c.Histogram("q")
+	// 100 observations 1..100: quantiles are known up to bucket
+	// resolution (power-of-two buckets interpolate within a factor of 2).
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	hm := c.Snapshot().Histograms["q"]
+	if hm.P50 <= 0 || hm.P95 <= 0 || hm.P99 <= 0 {
+		t.Fatalf("snapshot did not fill quantiles: %+v", hm)
+	}
+	if hm.P50 > hm.P95 || hm.P95 > hm.P99 {
+		t.Fatalf("quantiles not monotone: p50=%d p95=%d p99=%d", hm.P50, hm.P95, hm.P99)
+	}
+	// True p50 = 50; the containing bucket is [32,63].
+	if hm.P50 < 32 || hm.P50 > 63 {
+		t.Errorf("p50 = %d, want within its bucket [32,63]", hm.P50)
+	}
+	// True p99 = 99; the containing bucket [64,127] is clamped to Max.
+	if hm.P99 < 64 || hm.P99 > 100 {
+		t.Errorf("p99 = %d, want within [64,100]", hm.P99)
+	}
+	if got := hm.Quantile(1.0); got != 100 {
+		t.Errorf("Quantile(1.0) = %d, want the max 100", got)
+	}
+
+	// Exact cases: a single-value histogram hits that value at every q.
+	c2 := New()
+	c2.Histogram("one").Observe(7)
+	one := c2.Snapshot().Histograms["one"]
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 7 {
+			t.Errorf("single-value Quantile(%g) = %d, want 7", q, got)
+		}
+	}
+
+	// Degenerate inputs return 0 rather than panicking.
+	var empty HistogramMetric
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+	if got := one.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %d, want 0", got)
 	}
 }
 
@@ -192,7 +242,52 @@ func TestPublishAndServeDebug(t *testing.T) {
 	// Replacing and clearing must not panic (expvar re-publish guard).
 	Publish(New())
 	Publish(c)
-	if err := ServeDebug("127.0.0.1:0"); err != nil {
+	srv, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
 		t.Fatalf("ServeDebug: %v", err)
+	}
+	defer srv.Close()
+	if srv.Addr == "" || strings.HasSuffix(srv.Addr, ":0") {
+		t.Fatalf("server Addr %q does not carry the bound port", srv.Addr)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", srv.Addr))
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "fsct_metrics") {
+		t.Error("/debug/vars does not export the published collector")
+	}
+}
+
+// TestServeDebugClose: closing the returned server frees the listener,
+// so tests and long-lived processes can tear the debug surface down
+// instead of leaking it for the life of the process.
+func TestServeDebugClose(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+	addr := srv.Addr
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The port is free again: binding it anew must succeed. The release
+	// happens on the background Serve goroutine, so poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv2, err := ServeDebug(addr)
+		if err == nil {
+			srv2.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s after Close: %v", addr, err)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/obs"
 )
 
@@ -172,6 +173,32 @@ func DoTimedCtx(ctx context.Context, workers, n int, fn func(worker, index int))
 	}
 	wg.Wait()
 	return stats, ctxErr()
+}
+
+// DoPoolCtx is the fully observed pool: DoTimedCtx plus the pool
+// bookkeeping every instrumented call site repeats — the invocation's
+// wall time and per-worker stats are merged into col's named pool
+// metric, and when a flight recorder is attached (col.SetJournal) each
+// claimed index additionally becomes one journal batch-span event
+// carrying its worker, position and duration.
+//
+// With no recorder attached the per-index clock reads are skipped
+// entirely, so the overhead over DoTimedCtx is two time.Now calls per
+// invocation; with col == nil it degrades to plain DoCtx cost. The
+// distribution and determinism contract match Do.
+func DoPoolCtx(ctx context.Context, workers, n int, name string, col *obs.Collector, fn func(worker, index int)) error {
+	run := fn
+	if rec := col.Journal(); rec.Enabled() {
+		run = func(worker, index int) {
+			t0 := time.Now()
+			fn(worker, index)
+			rec.Emit(journal.Batch(name, worker, index, n, time.Since(t0)))
+		}
+	}
+	t0 := time.Now()
+	stats, err := DoTimedCtx(ctx, workers, n, run)
+	col.RecordPool(name, time.Since(t0), stats)
+	return err
 }
 
 // Range is a half-open index interval [Lo, Hi).

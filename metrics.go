@@ -2,10 +2,14 @@ package fsct
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/obs"
 )
 
@@ -39,8 +43,42 @@ func PublishMetrics(col *Collector) { obs.Publish(col) }
 // ServeDebug starts an HTTP server on addr exposing the standard
 // net/http/pprof profiles under /debug/pprof/ and expvar (including any
 // published collector) under /debug/vars. It returns once the listener
-// is bound; serving continues in the background.
-func ServeDebug(addr string) error { return obs.ServeDebug(addr) }
+// is bound; serving continues in the background. Close (or Shutdown)
+// the returned server to stop it; its Addr field carries the bound
+// address, so addr ":0" works for tests.
+func ServeDebug(addr string) (*http.Server, error) { return obs.ServeDebug(addr) }
+
+// Journal is the flow's flight recorder: a bounded in-memory event
+// buffer that phases, worker pools, screening, ATPG, fault simulation
+// and the artifact cache emit structured events into. Attach one to a
+// Collector with SetJournal; a nil *Journal is a valid no-op sink.
+type Journal = journal.Recorder
+
+// JournalEvent is one recorded flight-recorder event.
+type JournalEvent = journal.Event
+
+// NewJournal returns a flight recorder holding up to capacity events
+// (<= 0 selects the default, 65536). Overflow drops new events but
+// keeps counting them.
+func NewJournal(capacity int) *Journal { return journal.New(capacity) }
+
+// WriteJournalTrace serializes journal events (Journal.Snapshot) in
+// Chrome trace-event JSON format, loadable by chrome://tracing and
+// Perfetto. dropped (Journal.Dropped) is annotated in the timeline.
+func WriteJournalTrace(w io.Writer, events []JournalEvent, dropped int64) error {
+	return journal.WriteTrace(w, events, dropped)
+}
+
+// Provenance is the journal-derived explanation of what the flow
+// decided about one fault; see ExplainFault.
+type Provenance = core.Provenance
+
+// ExplainFault replays a journal snapshot and explains fault f: its
+// screening category with the implicating nets and chain locations,
+// every ATPG attempt targeted at it, and its detection, if any.
+func ExplainFault(d *Design, events []JournalEvent, f Fault) *Provenance {
+	return core.BuildProvenance(d.C, events, f)
+}
 
 // FormatMetrics renders a metrics snapshot as an indented text block:
 // per-phase wall times with their share of the total, sorted counters,
@@ -76,8 +114,8 @@ func FormatMetrics(m *Metrics) string {
 			if h.Count > 0 {
 				mean = float64(h.Sum) / float64(h.Count)
 			}
-			fmt.Fprintf(&b, "    %-32s count=%d sum=%d max=%d mean=%.1f\n",
-				name, h.Count, h.Sum, h.Max, mean)
+			fmt.Fprintf(&b, "    %-32s count=%d sum=%d max=%d mean=%.1f p50=%d p95=%d p99=%d\n",
+				name, h.Count, h.Sum, h.Max, mean, h.P50, h.P95, h.P99)
 		}
 	}
 	if len(m.Pools) > 0 {
