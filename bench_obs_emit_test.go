@@ -1,0 +1,132 @@
+package fsct
+
+// TestEmitObsBench writes BENCH_obs.json: the BenchmarkObsOverhead*
+// tiers (instrumentation off / on / journal) measured for screening,
+// fault simulation and the full flow, so the <2% disabled-overhead
+// contract has a committed trajectory cmd/benchdiff can gate (the CI
+// job runs it warn-only, like BENCH_baseline.json).
+//
+// It is opt-in — the measurement loop takes a while and pins the CPU —
+// so a plain `go test ./...` skips it:
+//
+//	FSCT_EMIT_BENCH=1 go test -run TestEmitObsBench .
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/faultsim"
+)
+
+// obsTiers is one engine measured at the three instrumentation tiers.
+type obsTiers struct {
+	Name    string       `json:"name"`
+	Circuit string       `json:"circuit"`
+	Off     benchMeasure `json:"off"`
+	On      benchMeasure `json:"on"`
+	Journal benchMeasure `json:"journal"`
+	// OnOverhead / JournalOverhead are the headline ratios vs the off
+	// tier (1.02 = 2% slower); the off tier is the one under the <2%
+	// contract, the enabled tiers quantify what instrumentation costs.
+	OnOverhead      float64 `json:"on_overhead"`
+	JournalOverhead float64 `json:"journal_overhead"`
+}
+
+func (o *obsTiers) ratios() {
+	if o.Off.NsPerOp > 0 {
+		o.OnOverhead = float64(o.On.NsPerOp) / float64(o.Off.NsPerOp)
+		o.JournalOverhead = float64(o.Journal.NsPerOp) / float64(o.Off.NsPerOp)
+	}
+}
+
+type obsBench struct {
+	Note       string     `json:"note"`
+	GoVersion  string     `json:"go_version"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Scale      float64    `json:"scale"`
+	Engines    []obsTiers `json:"engines"`
+}
+
+func TestEmitObsBench(t *testing.T) {
+	if os.Getenv("FSCT_EMIT_BENCH") == "" {
+		t.Skip("set FSCT_EMIT_BENCH=1 to measure and write BENCH_obs.json")
+	}
+	out := obsBench{
+		Note: "Observability overhead tiers at the bench scale, serial width. " +
+			"The off tier (nil collector) is the <2% contract; on/journal " +
+			"quantify enabled instrumentation and are allowed to be slower.",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      benchScale,
+	}
+
+	// Screening, mirroring BenchmarkObsOverheadScreen.
+	d := mustBenchDesign(t, "s38584")
+	faults := CollapsedFaults(d.C)
+	screen := obsTiers{Name: "screen", Circuit: "s38584"}
+	screen.Off = measure(func() {
+		ScreenFaultsOpt(d, faults, ScreenOptions{Workers: 1})
+	})
+	screen.On = measure(func() {
+		ScreenFaultsOpt(d, faults, ScreenOptions{Workers: 1, Obs: NewCollector()})
+	})
+	screen.Journal = measure(func() {
+		ScreenFaultsOpt(d, faults, ScreenOptions{Workers: 1, Obs: journalCollector()})
+	})
+	screen.ratios()
+	out.Engines = append(out.Engines, screen)
+
+	// Sequential fault simulation, mirroring BenchmarkObsOverheadFaultSim.
+	cf := fault.Collapsed(d.C)
+	seq := faultsim.Sequence(d.AlternatingSequence(8))
+	sim := obsTiers{Name: "faultsim", Circuit: "s38584"}
+	sim.Off = measure(func() {
+		faultsim.Run(d.C, seq, cf, faultsim.Options{Workers: 1})
+	})
+	sim.On = measure(func() {
+		faultsim.Run(d.C, seq, cf, faultsim.Options{Workers: 1, Obs: NewCollector()})
+	})
+	sim.Journal = measure(func() {
+		faultsim.Run(d.C, seq, cf, faultsim.Options{Workers: 1, Obs: journalCollector()})
+	})
+	sim.ratios()
+	out.Engines = append(out.Engines, sim)
+
+	// The whole three-step flow, mirroring BenchmarkObsOverheadFlow.
+	fd := mustBenchDesign(t, "s9234")
+	flow := obsTiers{Name: "flow", Circuit: "s9234"}
+	flow.Off = measure(func() {
+		if _, err := RunFlow(fd, FlowParams{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	flow.On = measure(func() {
+		if _, err := RunFlow(fd, FlowParams{Workers: 1, Obs: NewCollector()}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	flow.Journal = measure(func() {
+		if _, err := RunFlow(fd, FlowParams{Workers: 1, Obs: journalCollector()}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	flow.ratios()
+	out.Engines = append(out.Engines, flow)
+
+	f, err := os.Create("BENCH_obs.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range out.Engines {
+		t.Logf("%s (%s): on %.3fx, journal %.3fx vs off", e.Name, e.Circuit, e.OnOverhead, e.JournalOverhead)
+	}
+}

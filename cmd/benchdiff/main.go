@@ -9,12 +9,13 @@
 //
 //	benchdiff [-warn] [-v] [-ns 0.25] [-bytes 0.10] [-allocs 0.05] old.json new.json
 //
-// Metric leaves are matched by their flattened JSON path; ns_per_op,
-// bytes_per_op and allocs_per_op are compared against their own
-// thresholds (a relative allowed increase), every other number is
-// ignored. A metric present on only one side is reported but never
-// fails the diff. Exit status: 0 clean (or -warn), 1 regression, 2
-// usage or I/O error.
+// Metric leaves are matched by their flattened JSON path (see
+// internal/metriccmp, which also powers the cross-run ledger gate in
+// cmd/fsctstats); ns_per_op, bytes_per_op and allocs_per_op are
+// compared against their own thresholds (a relative allowed increase),
+// every other number is ignored. A metric present on only one side is
+// reported but never fails the diff. Exit status: 0 clean (or -warn),
+// 1 regression, 2 usage or I/O error.
 package main
 
 import (
@@ -22,15 +23,17 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"repro/internal/metriccmp"
 )
 
 func main() {
 	var (
 		warn    = flag.Bool("warn", false, "report regressions but exit 0 (CI advisory mode)")
 		verbose = flag.Bool("v", false, "print every compared metric, not just regressions")
-		ns      = flag.Float64("ns", DefaultThresholds["ns_per_op"], "allowed relative ns_per_op increase")
-		bytesT  = flag.Float64("bytes", DefaultThresholds["bytes_per_op"], "allowed relative bytes_per_op increase")
-		allocs  = flag.Float64("allocs", DefaultThresholds["allocs_per_op"], "allowed relative allocs_per_op increase")
+		ns      = flag.Float64("ns", metriccmp.BenchThresholds["ns_per_op"], "allowed relative ns_per_op increase")
+		bytesT  = flag.Float64("bytes", metriccmp.BenchThresholds["bytes_per_op"], "allowed relative bytes_per_op increase")
+		allocs  = flag.Float64("allocs", metriccmp.BenchThresholds["allocs_per_op"], "allowed relative allocs_per_op increase")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -45,7 +48,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	res, err := Diff(oldDoc, newDoc, map[string]float64{
+	res, err := metriccmp.Diff(oldDoc, newDoc, map[string]float64{
 		"ns_per_op": *ns, "bytes_per_op": *bytesT, "allocs_per_op": *allocs,
 	})
 	if err != nil {
@@ -53,7 +56,7 @@ func main() {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "benchdiff: %s -> %s\n", flag.Arg(0), flag.Arg(1))
-	regressed := Report(&b, res, *verbose)
+	regressed := metriccmp.Report(&b, res, *verbose)
 	fmt.Print(b.String())
 	if regressed > 0 {
 		if *warn {

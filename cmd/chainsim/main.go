@@ -41,6 +41,7 @@ var sess *obsflags.Session
 
 func exit(code int) {
 	if sess != nil {
+		sess.SetExit(code)
 		if err := sess.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "chainsim: %v\n", err)
 			code = 1
@@ -159,6 +160,17 @@ func main() {
 		fmt.Printf("\nrun the full flow (cmd/fsctest) to see them detected by\n")
 		fmt.Printf("combinational ATPG + sequential fault simulation.\n")
 	}
+	extras := map[string]float64{
+		"faults":      float64(len(faults)),
+		"screen.easy": float64(len(easy)),
+		"screen.hard": float64(len(hard)),
+		"escapes":     float64(len(hardRes.Undetected())),
+	}
+	if affecting := len(easy) + len(hard); affecting > 0 {
+		caught := easyRes.NumDetected() + hardRes.NumDetected()
+		extras["coverage"] = 100 * float64(caught) / float64(affecting)
+	}
+	sess.RecordRun(d.C.Name, d.C.StructuralHash(), col.Snapshot(), extras)
 	if oflags.Metrics {
 		fmt.Print(fsct.FormatMetrics(col.Snapshot()))
 	}

@@ -42,6 +42,7 @@ var sess *obsflags.Session
 
 func exit(code int) {
 	if sess != nil {
+		sess.SetExit(code)
 		if err := sess.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "diagnose: %v\n", err)
 			code = 1
@@ -70,9 +71,15 @@ func main() {
 	defer sess.Close()
 	col := sess.Collector()
 
-	// done finishes a successful run: the metrics summary prints after
-	// the diagnosis output so the tables stay the headline.
+	// done finishes a successful run: the ledger record is queued and the
+	// metrics summary prints after the diagnosis output so the tables
+	// stay the headline. design and extras fill in as the run progresses.
+	var design *fsct.Design
+	extras := map[string]float64{}
 	done := func() {
+		if design != nil {
+			sess.RecordRun(design.C.Name, design.C.StructuralHash(), col.Snapshot(), extras)
+		}
 		if oflags.Metrics {
 			fmt.Print(fsct.FormatMetrics(col.Snapshot()))
 		}
@@ -103,6 +110,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	design = d
 	screened, err := fsct.ScreenFaultsCtx(ctx, d, fsct.CollapsedFaults(d.C), fsct.ScreenOptions{Workers: *workers, Obs: col})
 	if err != nil {
 		fail(err)
@@ -141,6 +149,10 @@ func main() {
 			}
 		}
 		diagnosable := exact + ambiguous
+		extras["candidates"] = float64(len(affecting))
+		extras["diagnosable"] = float64(diagnosable)
+		extras["exact"] = float64(exact)
+		extras["silent"] = float64(silent)
 		fmt.Printf("diagnosable: %d (%.1f%%)  exact: %d  ambiguous: %d  silent: %d\n",
 			diagnosable, 100*float64(diagnosable)/float64(len(affecting)), exact, ambiguous, silent)
 		if diagnosable > 0 {

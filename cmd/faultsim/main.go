@@ -44,6 +44,7 @@ var sess *obsflags.Session
 
 func exit(code int) {
 	if sess != nil {
+		sess.SetExit(code)
 		if err := sess.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
 			code = 1
@@ -178,6 +179,14 @@ func main() {
 	}
 	fmt.Printf("detected %d / %d faults (%.2f%% coverage)%s\n",
 		det, len(faults), 100*float64(det)/float64(len(faults)), note)
+	extras := map[string]float64{
+		"faults":   float64(len(faults)),
+		"detected": float64(det),
+	}
+	if len(faults) > 0 {
+		extras["coverage"] = 100 * float64(det) / float64(len(faults))
+	}
+	sess.RecordRun(c.Name, c.StructuralHash(), col.Snapshot(), extras)
 	if oflags.Metrics {
 		fmt.Print(fsct.FormatMetrics(col.Snapshot()))
 	}

@@ -98,9 +98,10 @@ func main() {
 		}
 	}
 
-	// exit closes the session (flushing -tracefile — os.Exit skips the
-	// deferred Close) before terminating.
+	// exit closes the session (flushing -tracefile and the -ledger
+	// records — os.Exit skips the deferred Close) before terminating.
 	exit := func(code int) {
+		sess.SetExit(code)
 		if err := sess.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "fsctest: %v\n", err)
 			code = 1
@@ -131,6 +132,11 @@ func main() {
 		if err != nil && !canceled {
 			fmt.Fprintf(os.Stderr, "fsctest: %s: %v\n", p.Name, err)
 			exit(1)
+		}
+		if rep != nil {
+			// One ledger record per circuit; interrupted circuits land
+			// with whatever they completed.
+			sess.RecordRun(rep.Circuit, rep.StructuralHash, rep.Metrics, runExtras(rep))
 		}
 		if rep != nil && *why != "" && d != nil {
 			events := sess.Recorder().Snapshot()
@@ -214,6 +220,20 @@ func main() {
 		exit(1)
 	}
 	exit(0)
+}
+
+// runExtras distills a report's headline scalars for the run ledger:
+// fault totals and the chain-affecting fault coverage, the paper's
+// headline metric (fsctstats trends and drift-checks these keys).
+func runExtras(r *fsct.Report) map[string]float64 {
+	ex := map[string]float64{
+		"faults":     float64(r.Faults),
+		"undetected": float64(r.Undetected()),
+	}
+	if aff := r.Affecting(); aff > 0 {
+		ex["coverage"] = 100 * float64(aff-r.Undetected()) / float64(aff)
+	}
+	return ex
 }
 
 // explain resolves the -why selector — a fault-list index or the exact

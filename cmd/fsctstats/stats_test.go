@@ -1,0 +1,244 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ledger"
+)
+
+// rec builds a fsctest run record for circuit at minute min with the
+// given headline metrics.
+func rec(circuit string, min int, coverage float64, wallNS int64, hits, misses float64) ledger.Record {
+	return ledger.Record{
+		Schema:  ledger.Schema,
+		Time:    time.Date(2026, 8, 1, 12, min, 0, 0, time.UTC),
+		CLI:     "fsctest",
+		Circuit: circuit,
+		Hash:    ledger.HashString(0xfeed),
+		WallNS:  wallNS,
+		Metrics: map[string]float64{
+			"coverage":                     coverage,
+			"counters.engine.cache.hits":   hits,
+			"counters.engine.cache.misses": misses,
+		},
+	}
+}
+
+func TestValuesDerivesCacheHitRate(t *testing.T) {
+	v := values(rec("s27", 0, 99, 5e9, 9, 1))
+	if v[keyWall] != 5e9 {
+		t.Errorf("wall_ns = %g, want 5e9", v[keyWall])
+	}
+	if v[keyHitRate] != 0.9 {
+		t.Errorf("cache_hit_rate = %g, want 0.9", v[keyHitRate])
+	}
+	// No cache counters: no hit-rate key rather than a bogus zero.
+	if _, ok := values(ledger.Record{WallNS: 1})[keyHitRate]; ok {
+		t.Error("cache_hit_rate derived without cache counters")
+	}
+}
+
+// TestCheckTwoRunRoundTrip is the acceptance round-trip: two runs go
+// through the real Append/Read path; check exits zero when the second
+// run matches the first and non-zero when a metric drifted.
+func TestCheckTwoRunRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	if err := ledger.Append(path, rec("s9234", 0, 98.5, 10e9, 8, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 2, stable: same coverage, wall within the ±50% band.
+	if err := ledger.Append(path, rec("s9234", 1, 98.5, 11e9, 8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ledger.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	drifted, err := runCheck(&out, recs, checkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted {
+		t.Fatalf("stable pair flagged as drift:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "no drift") {
+		t.Errorf("ok summary missing:\n%s", out.String())
+	}
+
+	// Run 3, injected coverage drop: must be flagged and must name the
+	// metric. A drop is drift even though it is a "decrease".
+	if err := ledger.Append(path, rec("s9234", 2, 95.0, 11e9, 8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = ledger.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	drifted, err = runCheck(&out, recs, checkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !drifted {
+		t.Fatalf("injected coverage drop not flagged:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "DRIFT") || !strings.Contains(out.String(), "coverage") {
+		t.Errorf("drift report does not name the metric:\n%s", out.String())
+	}
+}
+
+// TestCheckRollingMedianAbsorbsOutlier: with a window of prior runs the
+// baseline is their median, so one historic outlier must not poison the
+// comparison.
+func TestCheckRollingMedianAbsorbsOutlier(t *testing.T) {
+	recs := []ledger.Record{
+		rec("s27", 0, 99, 10e9, 5, 5),
+		rec("s27", 1, 99, 90e9, 5, 5), // historic wall-time outlier
+		rec("s27", 2, 99, 10e9, 5, 5),
+		rec("s27", 3, 99, 11e9, 5, 5), // newest: near the median, fine
+	}
+	var out bytes.Buffer
+	drifted, err := runCheck(&out, recs, checkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted {
+		t.Fatalf("median baseline did not absorb the outlier:\n%s", out.String())
+	}
+}
+
+// TestCheckSeriesAreIndependent: drift is judged within a (CLI,
+// circuit) series; a single record of another circuit has no baseline
+// and must pass vacuously.
+func TestCheckSeriesAreIndependent(t *testing.T) {
+	recs := []ledger.Record{
+		rec("s27", 0, 99, 10e9, 5, 5),
+		rec("s27", 1, 99, 10e9, 5, 5),
+		rec("s1423", 2, 42, 500e9, 0, 10), // lone run, wildly different numbers
+	}
+	var out bytes.Buffer
+	drifted, err := runCheck(&out, recs, checkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted {
+		t.Fatalf("lone series produced drift:\n%s", out.String())
+	}
+}
+
+func TestCheckThresholdOverrideAndKeys(t *testing.T) {
+	recs := []ledger.Record{
+		rec("s27", 0, 100, 10e9, 5, 5),
+		rec("s27", 1, 80, 10e9, 5, 5), // -20% coverage
+	}
+	// Explicit generous threshold: the drop is inside ±30%.
+	var out bytes.Buffer
+	drifted, err := runCheck(&out, recs, checkOptions{Threshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted {
+		t.Fatalf("-threshold 0.3 did not widen the band:\n%s", out.String())
+	}
+	// Restricting -keys to wall_ns hides the coverage drop entirely.
+	out.Reset()
+	drifted, err = runCheck(&out, recs, checkOptions{Keys: []string{keyWall}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted {
+		t.Fatalf("coverage checked despite -keys wall_ns:\n%s", out.String())
+	}
+}
+
+func TestCheckJSONOutput(t *testing.T) {
+	recs := []ledger.Record{
+		rec("s27", 0, 100, 10e9, 5, 5),
+		rec("s27", 1, 50, 10e9, 5, 5),
+	}
+	var out bytes.Buffer
+	drifted, err := runCheck(&out, recs, checkOptions{JSON: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !drifted {
+		t.Fatal("halved coverage not flagged")
+	}
+	var doc struct {
+		Checked int     `json:"checked"`
+		Drifts  []drift `json:"drifts"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("check -json output not JSON: %v\n%s", err, out.String())
+	}
+	if doc.Checked != 1 || len(doc.Drifts) != 1 || doc.Drifts[0].Key != "coverage" {
+		t.Fatalf("unexpected JSON document: %+v", doc)
+	}
+}
+
+func TestListAndTrendRender(t *testing.T) {
+	recs := []ledger.Record{
+		rec("s27", 0, 99.5, 10e9, 5, 5),
+		rec("s27", 1, 99.5, 10e9, 5, 5),
+	}
+	recs[1].Hash = ledger.HashString(0xbeef) // structure changed between runs
+
+	var out bytes.Buffer
+	if err := runList(&out, recs, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "s27") || !strings.Contains(out.String(), "2 record(s)") {
+		t.Errorf("list output wrong:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := runTrend(&out, recs, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "fsctest s27:") {
+		t.Errorf("trend misses the series header:\n%s", got)
+	}
+	if !strings.Contains(got, "99.50%") || !strings.Contains(got, "50.0%") {
+		t.Errorf("trend misses coverage / cache-hit columns:\n%s", got)
+	}
+	if !strings.Contains(got, "structural hash changed") {
+		t.Errorf("trend does not call out the hash change:\n%s", got)
+	}
+
+	out.Reset()
+	if err := runTrend(&out, recs, true); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string][]trendRow
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("trend -json output not JSON: %v\n%s", err, out.String())
+	}
+	rows := doc["fsctest s27"]
+	if len(rows) != 2 || rows[0].Coverage == nil || *rows[0].Coverage != 99.5 || !rows[1].HashChange {
+		t.Fatalf("unexpected trend JSON: %+v", rows)
+	}
+}
+
+func TestParseKeys(t *testing.T) {
+	if got := parseKeys(""); got != nil {
+		t.Errorf("parseKeys(\"\") = %v", got)
+	}
+	got := parseKeys("coverage, wall_ns,,cache_hit_rate ")
+	want := []string{"coverage", "wall_ns", "cache_hit_rate"}
+	if len(got) != len(want) {
+		t.Fatalf("parseKeys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseKeys = %v, want %v", got, want)
+		}
+	}
+}

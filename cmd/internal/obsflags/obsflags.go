@@ -6,12 +6,16 @@
 //	-tracefile  export the run's flight-recorder timeline as a Chrome
 //	            trace-event JSON file (chrome://tracing, Perfetto)
 //	-progress   live per-phase progress on stderr (TTY-aware)
-//	-debug      /debug/pprof + /debug/vars HTTP server
+//	-debug      /debug/pprof + /debug/vars + /metrics HTTP server
+//	-ledger     append the run's records to a JSONL run ledger
 //
 // A command calls Register before flag.Parse, Open after it, hands
 // Session.Collector() to whatever it runs, and calls Session.Close
 // before every exit — including error and SIGINT paths, because
-// os.Exit skips deferred calls and the trace file is written on Close.
+// os.Exit skips deferred calls and both the trace file and the ledger
+// records are written on Close. Commands report per-circuit results
+// with RecordRun and their exit status with SetExit, so interrupted
+// runs land in the ledger with whatever they completed.
 package obsflags
 
 import (
@@ -20,9 +24,12 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/journal"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 )
 
@@ -33,35 +40,64 @@ type Flags struct {
 	TraceFile string
 	Progress  bool
 	Debug     string
+	Ledger    string
+
+	fs *flag.FlagSet // consulted at Open for the explicitly-set flags
 }
 
 // Register installs the shared flags on fs (flag.CommandLine in the
 // CLIs) and returns the value struct to read after parsing.
 func Register(fs *flag.FlagSet) *Flags {
-	f := &Flags{}
+	f := &Flags{fs: fs}
 	fs.BoolVar(&f.Metrics, "metrics", false, "instrument the run and report metrics")
 	fs.BoolVar(&f.Trace, "trace", false, "stream phase trace annotations to stderr")
 	fs.StringVar(&f.TraceFile, "tracefile", "", "write a Chrome trace-event timeline (chrome://tracing, Perfetto) to this `file`")
 	fs.BoolVar(&f.Progress, "progress", false, "render live per-phase progress on stderr")
-	fs.StringVar(&f.Debug, "debug", "", "serve /debug/pprof and /debug/vars on this `address` (e.g. localhost:6060)")
+	fs.StringVar(&f.Debug, "debug", "", "serve /debug/pprof, /debug/vars and /metrics on this `address` (e.g. localhost:6060)")
+	fs.StringVar(&f.Ledger, "ledger", "", "append this run's records to the JSONL run ledger at `file` (query with cmd/fsctstats)")
 	return f
 }
 
 // Active reports whether any flag asks for instrumentation — commands
 // use it to decide between the nil (free) collector and a real one.
+// -ledger counts: its records carry the metrics snapshot.
 func (f *Flags) Active() bool {
-	return f.Metrics || f.Trace || f.TraceFile != "" || f.Progress || f.Debug != ""
+	return f.Metrics || f.Trace || f.TraceFile != "" || f.Progress || f.Debug != "" || f.Ledger != ""
+}
+
+// setFlags collects the flags that were explicitly set on the command
+// line, for the ledger record's provenance.
+func (f *Flags) setFlags() map[string]string {
+	if f.fs == nil {
+		return nil
+	}
+	out := map[string]string{}
+	f.fs.Visit(func(fl *flag.Flag) {
+		out[fl.Name] = fl.Value.String()
+	})
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // Session is the process-wide observability state behind the flags:
 // one flight recorder shared by every collector the command creates
 // (per-circuit collectors merge into one timeline), the progress
-// renderer subscribed to it, and the debug server.
+// renderer subscribed to it, the debug server, and the pending ledger
+// records flushed on Close.
 type Session struct {
 	flags    *Flags
 	recorder *journal.Recorder
 	progress *journal.Progress
 	server   *http.Server
+
+	cli   string
+	start time.Time
+
+	mu   sync.Mutex
+	runs []ledger.Record
+	exit int
 
 	closeOnce sync.Once
 	closeErr  error
@@ -72,7 +108,7 @@ type Session struct {
 // renderer, and the debug server. The zero-flag session is valid and
 // free.
 func (f *Flags) Open() (*Session, error) {
-	s := &Session{flags: f}
+	s := &Session{flags: f, start: time.Now(), cli: filepath.Base(os.Args[0])}
 	if f.TraceFile != "" || f.Progress {
 		s.EnsureRecorder()
 	}
@@ -106,9 +142,9 @@ func (s *Session) Recorder() *journal.Recorder { return s.recorder }
 
 // Collector returns a fresh enabled collector wired to the session's
 // sinks — stderr tracing per -trace, the shared journal — and
-// publishes it for /debug/vars. It returns nil (the disabled
-// collector) when no instrumentation was requested, so callers can
-// pass the result straight into option structs.
+// publishes it for /debug/vars and /metrics. It returns nil (the
+// disabled collector) when no instrumentation was requested, so
+// callers can pass the result straight into option structs.
 func (s *Session) Collector() *obs.Collector {
 	if !s.flags.Active() && s.recorder == nil {
 		return nil
@@ -122,16 +158,56 @@ func (s *Session) Collector() *obs.Collector {
 	return col
 }
 
+// RecordRun queues one ledger record for the circuit just processed:
+// its name, structural hash (0 for none — the engine cache key, so
+// runs over structurally identical circuits compare across machines),
+// the metrics snapshot, and optional headline scalars ("coverage")
+// merged into the flattened metric map. No-op unless -ledger was set.
+// The record is completed (timestamp, CLI, flags, exit status, wall
+// time) and appended by Close.
+func (s *Session) RecordRun(circuit string, hash uint64, m *obs.Metrics, extra map[string]float64) {
+	if s.flags.Ledger == "" {
+		return
+	}
+	flat := ledger.FlattenMetrics(m)
+	if flat == nil && len(extra) > 0 {
+		flat = make(map[string]float64, len(extra))
+	}
+	for k, v := range extra {
+		flat[k] = v
+	}
+	rec := ledger.Record{Circuit: circuit, Metrics: flat}
+	if hash != 0 {
+		rec.Hash = ledger.HashString(hash)
+	}
+	s.mu.Lock()
+	s.runs = append(s.runs, rec)
+	s.mu.Unlock()
+}
+
+// SetExit declares the status the process is about to exit with, for
+// the ledger records Close flushes. Call it before Close on every exit
+// path (the CLIs route both through their exit helper).
+func (s *Session) SetExit(code int) {
+	s.mu.Lock()
+	s.exit = code
+	s.mu.Unlock()
+}
+
 // Close flushes the session's sinks: the live progress line is
-// terminated and the journal is exported to -tracefile (also on
-// interrupted runs — the partial timeline is exactly what a SIGINT
-// investigation wants). Safe to call more than once; every exit path
-// must reach it because os.Exit skips defers.
+// terminated, the journal is exported to -tracefile, and the pending
+// run records are appended to -ledger (also on interrupted runs — the
+// partial history is exactly what a SIGINT investigation wants). Safe
+// to call more than once; every exit path must reach it because
+// os.Exit skips defers.
 func (s *Session) Close() error {
 	s.closeOnce.Do(func() {
 		s.progress.Flush()
 		if s.flags.TraceFile != "" && s.recorder != nil {
 			s.closeErr = s.writeTrace()
+		}
+		if err := s.writeLedger(); err != nil && s.closeErr == nil {
+			s.closeErr = err
 		}
 		if s.server != nil {
 			_ = s.server.Close()
@@ -153,6 +229,34 @@ func (s *Session) writeTrace() error {
 		return fmt.Errorf("tracefile: %w", err)
 	}
 	return nil
+}
+
+// writeLedger completes the queued run records with the session-wide
+// fields and appends them. A run that recorded no circuit still leaves
+// one (circuit-less) record, so every -ledger invocation is in the
+// history — including ones that failed before any circuit completed.
+func (s *Session) writeLedger() error {
+	if s.flags.Ledger == "" {
+		return nil
+	}
+	s.mu.Lock()
+	recs := s.runs
+	if len(recs) == 0 {
+		recs = []ledger.Record{{}}
+	}
+	exit := s.exit
+	s.mu.Unlock()
+	flags := s.flags.setFlags()
+	wall := time.Since(s.start).Nanoseconds()
+	for i := range recs {
+		recs[i].Schema = ledger.Schema
+		recs[i].Time = s.start
+		recs[i].CLI = s.cli
+		recs[i].Flags = flags
+		recs[i].Exit = exit
+		recs[i].WallNS = wall
+	}
+	return ledger.Append(s.flags.Ledger, recs...)
 }
 
 // WriteTraceTo exports the current journal snapshot to w (tests).

@@ -1,0 +1,166 @@
+package obsflags
+
+import (
+	"flag"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ledger"
+	"repro/internal/obs"
+)
+
+// open builds a Session from an isolated FlagSet parsed with args.
+func open(t *testing.T, args ...string) *Session {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCloseTwiceNoRecorder pins the SIGINT double-close hazard: every
+// CLI closes the session both from its exit helper and from a deferred
+// call, usually with no recorder or sink attached at all. Both closes
+// must be safe no-ops returning the same (nil) error.
+func TestCloseTwiceNoRecorder(t *testing.T) {
+	s := open(t)
+	if s.Recorder() != nil {
+		t.Fatal("zero-flag session must not attach a recorder")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestCloseTwiceWithSinks: with a trace file configured, the second
+// Close must not rewrite the file or fail — and must report the first
+// Close's error state unchanged.
+func TestCloseTwiceWithSinks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	s := open(t, "-tracefile", path)
+	s.Collector().Phase("p").End()
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close after flush: %v", err)
+	}
+}
+
+// TestCloseReportsTraceError: a Close that cannot write its sinks must
+// say so — and keep saying so on the double-close path rather than
+// reporting success the second time.
+func TestCloseReportsTraceError(t *testing.T) {
+	s := open(t, "-tracefile", filepath.Join(t.TempDir(), "missing-dir", "trace.json"))
+	if err := s.Close(); err == nil {
+		t.Fatal("Close must surface the tracefile create error")
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("second Close must report the same failure, not success")
+	}
+}
+
+func TestLedgerFlagActivatesCollector(t *testing.T) {
+	s := open(t, "-ledger", filepath.Join(t.TempDir(), "runs.jsonl"))
+	if col := s.Collector(); !col.Enabled() {
+		t.Fatal("-ledger must yield an enabled collector (records carry metrics)")
+	}
+	var none Flags
+	if none.Active() {
+		t.Fatal("zero flags must stay inactive")
+	}
+}
+
+// TestLedgerFlushOnClose: RecordRun queues records, Close completes and
+// appends them exactly once (double Close must not duplicate), and the
+// exit status set before Close lands in every record.
+func TestLedgerFlushOnClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	s := open(t, "-ledger", path, "-metrics")
+	col := s.Collector()
+	col.Counter("screen.easy").Add(5)
+	s.RecordRun("s27", 0xabc, col.Snapshot(), map[string]float64{"coverage": 98.5})
+	s.RecordRun("s1423", 0xdef, col.Snapshot(), nil)
+	s.SetExit(1)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	recs, err := ledger.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("ledger holds %d records, want 2 (double Close must not re-append)", len(recs))
+	}
+	r := recs[0]
+	if r.Schema != ledger.Schema || r.Circuit != "s27" || r.Hash != ledger.HashString(0xabc) {
+		t.Fatalf("record identity wrong: %+v", r)
+	}
+	if r.CLI == "" || r.Time.IsZero() || r.WallNS <= 0 {
+		t.Fatalf("session fields not filled: %+v", r)
+	}
+	if r.Exit != 1 || recs[1].Exit != 1 {
+		t.Fatalf("exit status not stamped: %+v", recs)
+	}
+	if r.Metrics["counters.screen.easy"] != 5 || r.Metrics["coverage"] != 98.5 {
+		t.Fatalf("metrics/extras not flattened into the record: %v", r.Metrics)
+	}
+	if r.Flags["ledger"] != path || r.Flags["metrics"] != "true" {
+		t.Fatalf("explicitly-set flags not recorded: %v", r.Flags)
+	}
+}
+
+// TestLedgerBareRecordOnEmptyRun: a -ledger run that dies before any
+// circuit completes still appends one circuit-less record — the SIGINT
+// partial-run guarantee.
+func TestLedgerBareRecordOnEmptyRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	s := open(t, "-ledger", path)
+	s.SetExit(1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ledger.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Circuit != "" || recs[0].Exit != 1 {
+		t.Fatalf("bare run record wrong: %+v", recs)
+	}
+}
+
+// TestRecordRunWithoutLedgerIsFree: commands call RecordRun
+// unconditionally; without -ledger it must do nothing (and a nil
+// snapshot must not panic).
+func TestRecordRunWithoutLedgerIsFree(t *testing.T) {
+	s := open(t)
+	var nilSnap *obs.Metrics
+	s.RecordRun("s27", 1, nilSnap, nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, "-ledger", filepath.Join(t.TempDir(), "l.jsonl"))
+	s2.RecordRun("s27", 1, nil, nil) // no metrics at all: record survives
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ledger.Read(s2.flags.Ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Circuit != "s27" || recs[0].Metrics != nil {
+		t.Fatalf("metric-less record wrong: %+v", recs)
+	}
+}

@@ -56,6 +56,7 @@ var sess *obsflags.Session
 
 func exit(code int) {
 	if sess != nil {
+		sess.SetExit(code)
 		if err := sess.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "mktables: %v\n", err)
 			code = 1
@@ -158,6 +159,9 @@ func main() {
 		und, 100*float64(und)/float64(tfl), 100*float64(und)/float64(te+th))
 	fmt.Printf("(paper: 0.006%% of all faults, 0.022%% of chain-affecting faults)\n")
 	render.End()
+	// No circuit (the input is parsed logs), so the ledger record is
+	// keyed by CLI alone.
+	sess.RecordRun("", 0, col.Snapshot(), map[string]float64{"rows": float64(len(rows))})
 	if oflags.Metrics {
 		// stderr: stdout is the tables artifact pasted into EXPERIMENTS.md.
 		fmt.Fprint(os.Stderr, fsct.FormatMetrics(col.Snapshot()))

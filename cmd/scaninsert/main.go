@@ -37,6 +37,7 @@ var sess *obsflags.Session
 
 func exit(code int) {
 	if sess != nil {
+		sess.SetExit(code)
 		if err := sess.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "scaninsert: %v\n", err)
 			code = 1
@@ -128,8 +129,13 @@ func main() {
 	fmt.Printf("inserted-gate cost: %d vs %d for full MUX-scan (%.1f%%)\n",
 		ourCost, convCost, 100*float64(ourCost)/float64(convCost))
 
+	col := sess.Collector()
+	extras := map[string]float64{
+		"links.functional": float64(functional),
+		"links.inserted":   float64(inserted),
+		"test_points":      float64(len(d.TestPoints)),
+	}
 	if *screen {
-		col := sess.Collector()
 		faults := fsct.CollapsedFaults(d.C)
 		easy, hard := 0, 0
 		screened, serr := fsct.ScreenFaultsCtx(ctx, d, faults, fsct.ScreenOptions{Workers: *workers, Obs: col})
@@ -146,10 +152,14 @@ func main() {
 		}
 		fmt.Printf("screening: %d faults, %d easy, %d hard (%.1f%% affect the chain)\n",
 			len(faults), easy, hard, 100*float64(easy+hard)/float64(len(faults)))
+		extras["faults"] = float64(len(faults))
+		extras["screen.easy"] = float64(easy)
+		extras["screen.hard"] = float64(hard)
 		if oflags.Metrics {
 			fmt.Print(fsct.FormatMetrics(col.Snapshot()))
 		}
 	}
+	sess.RecordRun(d.C.Name, d.C.StructuralHash(), col.Snapshot(), extras)
 
 	if *detail {
 		for ci := range d.Chains {

@@ -41,6 +41,7 @@ var sess *obsflags.Session
 
 func exit(code int) {
 	if sess != nil {
+		sess.SetExit(code)
 		if err := sess.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "testability: %v\n", err)
 			code = 1
@@ -168,6 +169,11 @@ func main() {
 		fmt.Printf("  %-16s CC0=%-8s CC1=%-8s CO=%s\n", mc.NameOf(id),
 			fmtCost(ta.CC0[id]), fmtCost(ta.CC1[id]), fmtCost(ta.CO[id]))
 	}
+	sess.RecordRun(c.Name, c.StructuralHash(), col.Snapshot(), map[string]float64{
+		"gates":      float64(st.Gates),
+		"ffs":        float64(st.FFs),
+		"untestable": float64(counts[len(counts)-1]),
+	})
 	if oflags.Metrics {
 		fmt.Print(fsct.FormatMetrics(col.Snapshot()))
 	}

@@ -133,6 +133,12 @@ type Report struct {
 	Faults  int // total considered faults (collapsed, scan-mode circuit)
 	Chains  int
 
+	// StructuralHash is the scan-mode circuit's structural digest — the
+	// engine cache key — identifying the exact structure this report
+	// describes, so runs can be correlated across processes and
+	// machines (the run ledger stores it per record).
+	StructuralHash uint64 `json:"structural_hash,omitempty"`
+
 	// Screening (Table 2).
 	Easy      int // category 1
 	Hard      int // category 2 (f_hard)
@@ -207,10 +213,11 @@ func RunCtx(ctx context.Context, d *scan.Design, p Params) (*Report, error) {
 	p = p.withDefaults(d.MaxChainLen())
 	st := d.C.Stat()
 	rep := &Report{
-		Circuit: d.C.Name,
-		Gates:   st.Gates,
-		FFs:     st.FFs,
-		Chains:  len(d.Chains),
+		Circuit:        d.C.Name,
+		Gates:          st.Gates,
+		FFs:            st.FFs,
+		Chains:         len(d.Chains),
+		StructuralHash: d.C.StructuralHash(),
 	}
 	col := p.Obs
 	finish := func(err error) (*Report, error) {

@@ -1,0 +1,154 @@
+package ledger
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func testRecord(cli, circuit string, at time.Time) Record {
+	return Record{
+		Schema:  Schema,
+		Time:    at,
+		CLI:     cli,
+		Circuit: circuit,
+		Hash:    HashString(0xdeadbeef),
+		Flags:   map[string]string{"scale": "0.1"},
+		WallNS:  123456,
+		Metrics: map[string]float64{"counters.faultsim.detected": 42},
+	}
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	if err := Append(path, testRecord("fsctest", "s27", t0)); err != nil {
+		t.Fatal(err)
+	}
+	// Second append reopens the file — records must accumulate.
+	if err := Append(path,
+		testRecord("fsctest", "s1423", t0.Add(time.Minute)),
+		testRecord("faultsim", "s27", t0.Add(2*time.Minute))); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("read %d records, want 3", len(recs))
+	}
+	r := recs[0]
+	if r.Schema != Schema || r.CLI != "fsctest" || r.Circuit != "s27" {
+		t.Fatalf("first record corrupted: %+v", r)
+	}
+	if r.Hash != "00000000deadbeef" || r.Flags["scale"] != "0.1" {
+		t.Fatalf("hash/flags lost: %+v", r)
+	}
+	if r.Metrics["counters.faultsim.detected"] != 42 {
+		t.Fatalf("metrics lost: %+v", r.Metrics)
+	}
+	if !recs[2].Time.After(recs[0].Time) {
+		t.Fatal("append order not preserved")
+	}
+}
+
+// TestReadToleratesTornTail: a run killed mid-write leaves a partial
+// final line; Read must drop it and keep everything before it.
+func TestReadToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	if err := Append(path, testRecord("fsctest", "s27", time.Now())); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"schema":1,"cli":"faultsim","circ`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, err := Read(path)
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated: %v", err)
+	}
+	if len(recs) != 1 || recs[0].CLI != "fsctest" {
+		t.Fatalf("read %+v, want the one intact record", recs)
+	}
+}
+
+// TestReadRejectsMidFileCorruption: a bad line with valid records after
+// it is not a torn tail — it is corruption and must error.
+func TestReadRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	good := `{"schema":1,"cli":"fsctest"}`
+	content := good + "\n" + `{"schema":1,` + "\n" + good + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("mid-file corruption accepted (err=%v)", err)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	recs := []Record{
+		testRecord("fsctest", "s27", t0),
+		testRecord("fsctest", "s1423", t0.Add(time.Hour)),
+		testRecord("faultsim", "s27", t0.Add(2*time.Hour)),
+		testRecord("fsctest", "s27", t0.Add(3*time.Hour)),
+	}
+	if got := (Filter{Circuit: "s27"}).Apply(recs); len(got) != 3 {
+		t.Fatalf("circuit filter kept %d, want 3", len(got))
+	}
+	if got := (Filter{CLI: "faultsim"}).Apply(recs); len(got) != 1 || got[0].Circuit != "s27" {
+		t.Fatalf("cli filter = %+v", got)
+	}
+	if got := (Filter{Since: t0.Add(90 * time.Minute)}).Apply(recs); len(got) != 2 {
+		t.Fatalf("since filter kept %d, want 2", len(got))
+	}
+	got := (Filter{Circuit: "s27", Last: 2}).Apply(recs)
+	if len(got) != 2 || !got[1].Time.After(got[0].Time) || !got[0].Time.After(t0) {
+		t.Fatalf("last cut must keep the newest two in order: %+v", got)
+	}
+	if got := (Filter{}).Apply(recs); len(got) != 4 {
+		t.Fatal("zero filter must match everything")
+	}
+}
+
+// TestFlattenMetrics: the obs snapshot flattens to dotted numeric keys,
+// with phase array elements labeled by name.
+func TestFlattenMetrics(t *testing.T) {
+	col := obs.New()
+	col.Counter("engine.cache.hits").Add(7)
+	col.Histogram("atpg.backtracks").Observe(100)
+	col.Phase("screen").End()
+	flat := FlattenMetrics(col.Snapshot())
+	if flat["counters.engine.cache.hits"] != 7 {
+		t.Fatalf("counter key missing: %v", flat)
+	}
+	if flat["histograms.atpg.backtracks.count"] != 1 {
+		t.Fatalf("histogram count missing: %v", flat)
+	}
+	if _, ok := flat["phases.screen.wall_ns"]; !ok {
+		t.Fatalf("phase not labeled by name: %v", flat)
+	}
+	if FlattenMetrics(nil) != nil {
+		t.Fatal("nil snapshot must flatten to nil")
+	}
+}
+
+func TestAppendNothingIsNoop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	if err := Append(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("empty append must not create the file")
+	}
+}

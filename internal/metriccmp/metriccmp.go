@@ -1,25 +1,35 @@
-package main
+// Package metriccmp compares flattened numeric metric documents against
+// per-metric regression thresholds. It is the shared core of two
+// regression gates: cmd/benchdiff (benchmark baselines, BENCH_*.json)
+// and cmd/fsctstats check (cross-run drift against the run ledger).
+//
+// The comparison works on flattened documents: every numeric leaf of a
+// JSON document becomes a dotted key ("flow.s9234.flow_cached.
+// ns_per_op"), array elements are labeled by their "circuit" or "name"
+// field when they have one (their index otherwise), and only leaves
+// with a threshold are compared — structural numbers like gate counts
+// ride along in the files but are not performance metrics.
+//
+// Thresholds are matched per leaf: an exact full-key entry wins
+// ("metrics.counters.engine.cache.misses"), otherwise the final path
+// segment is tried ("ns_per_op"), so benchmark gates can key a whole
+// family of leaves by metric name while ledger gates pin individual
+// counters.
+package metriccmp
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
 )
 
-// The comparison works on flattened benchmark files: every numeric leaf
-// of the JSON document becomes a dotted key ("flow.s9234.flow_cached.
-// ns_per_op"), array elements are labeled by their "circuit" or "name"
-// field when they have one (their index otherwise), and only leaves
-// whose final path segment has a threshold are compared — structural
-// numbers like gate counts and scale ride along in the files but are
-// not performance metrics.
-
-// DefaultThresholds is the allowed relative increase per metric before
-// a delta counts as a regression. Wall time is the noisiest (CI
+// BenchThresholds is the allowed relative increase per benchmark metric
+// before a delta counts as a regression. Wall time is the noisiest (CI
 // machines vary), allocation counts the most deterministic.
-var DefaultThresholds = map[string]float64{
+var BenchThresholds = map[string]float64{
 	"ns_per_op":     0.25,
 	"bytes_per_op":  0.10,
 	"allocs_per_op": 0.05,
@@ -33,8 +43,14 @@ type Delta struct {
 	Allowed  float64 // threshold for this metric
 }
 
-// Regressed reports whether the delta exceeds its allowance.
+// Regressed reports whether the delta exceeds its allowance (increases
+// only; improvements never regress).
 func (d Delta) Regressed() bool { return d.Ratio > d.Allowed }
+
+// Drifted reports whether the delta moved beyond its allowance in
+// either direction — the cross-run notion of instability, where a
+// coverage drop is as suspicious as a runtime rise.
+func (d Delta) Drifted() bool { return d.Ratio > d.Allowed || d.Ratio < -d.Allowed }
 
 // Result is a full baseline/candidate comparison.
 type Result struct {
@@ -54,12 +70,39 @@ func (r *Result) Regressions() []Delta {
 	return out
 }
 
+// Drifts returns the deltas that moved beyond their allowance in either
+// direction.
+func (r *Result) Drifts() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Drifted() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // Flatten reduces a decoded JSON document to its numeric leaves keyed
 // by dotted path.
 func Flatten(doc any) map[string]float64 {
 	out := map[string]float64{}
 	flatten("", doc, out)
 	return out
+}
+
+// FlattenValue marshals v through JSON and flattens the result — the
+// one-step form for typed snapshot values (obs.Metrics, ledger
+// records).
+func FlattenValue(v any) (map[string]float64, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, err
+	}
+	return Flatten(doc), nil
 }
 
 func flatten(prefix string, v any, out map[string]float64) {
@@ -92,7 +135,7 @@ func joinKey(prefix, k string) string {
 	return prefix + "." + k
 }
 
-// metricOf returns the final path segment — the metric name the
+// metricOf returns the final path segment — the metric name family
 // thresholds are keyed by.
 func metricOf(key string) string {
 	if i := strings.LastIndexByte(key, '.'); i >= 0 {
@@ -101,14 +144,26 @@ func metricOf(key string) string {
 	return key
 }
 
+// ThresholdFor resolves the threshold governing a flattened key: an
+// exact full-key entry wins, then the final path segment. The second
+// return is false when neither matches (the leaf is not a metric).
+func ThresholdFor(key string, thresholds map[string]float64) (float64, bool) {
+	if t, ok := thresholds[key]; ok {
+		return t, true
+	}
+	t, ok := thresholds[metricOf(key)]
+	return t, ok
+}
+
 // Compare matches the metric leaves of two flattened documents against
-// the per-metric thresholds. Leaves without a threshold entry are
-// ignored; leaves present on only one side are reported, not failed —
-// adding a benchmark must not read as a regression.
+// the thresholds (see ThresholdFor for the key matching). Leaves
+// without a threshold are ignored; leaves present on only one side are
+// reported, not failed — adding a benchmark must not read as a
+// regression.
 func Compare(oldM, newM map[string]float64, thresholds map[string]float64) *Result {
 	res := &Result{}
 	for key, ov := range oldM {
-		allowed, isMetric := thresholds[metricOf(key)]
+		allowed, isMetric := ThresholdFor(key, thresholds)
 		if !isMetric {
 			continue
 		}
@@ -126,7 +181,7 @@ func Compare(oldM, newM map[string]float64, thresholds map[string]float64) *Resu
 		res.Deltas = append(res.Deltas, Delta{Key: key, Old: ov, New: nv, Ratio: ratio, Allowed: allowed})
 	}
 	for key := range newM {
-		if _, isMetric := thresholds[metricOf(key)]; !isMetric {
+		if _, isMetric := ThresholdFor(key, thresholds); !isMetric {
 			continue
 		}
 		if _, ok := oldM[key]; !ok {
@@ -154,7 +209,7 @@ func Diff(oldDoc, newDoc []byte, thresholds map[string]float64) (*Result, error)
 // Report renders the comparison: regressions always, every delta with
 // verbose, and the one-line summary. It returns the number of
 // regressions.
-func Report(b *strings.Builder, res *Result, verbose bool) int {
+func Report(w io.Writer, res *Result, verbose bool) int {
 	improved := 0
 	for _, d := range res.Deltas {
 		if d.Ratio < 0 {
@@ -165,18 +220,18 @@ func Report(b *strings.Builder, res *Result, verbose bool) int {
 			if d.Regressed() {
 				status = "REGRESSION"
 			}
-			fmt.Fprintf(b, "  %-52s %14.0f -> %-14.0f %+6.1f%%  (allowed %+.1f%%)  %s\n",
+			fmt.Fprintf(w, "  %-52s %14.0f -> %-14.0f %+6.1f%%  (allowed %+.1f%%)  %s\n",
 				d.Key, d.Old, d.New, 100*d.Ratio, 100*d.Allowed, status)
 		}
 	}
 	for _, k := range res.Missing {
-		fmt.Fprintf(b, "  %-52s only in baseline\n", k)
+		fmt.Fprintf(w, "  %-52s only in baseline\n", k)
 	}
 	for _, k := range res.Added {
-		fmt.Fprintf(b, "  %-52s only in candidate\n", k)
+		fmt.Fprintf(w, "  %-52s only in candidate\n", k)
 	}
 	regressed := len(res.Regressions())
-	fmt.Fprintf(b, "%d metrics compared: %d regressed, %d improved, %d missing, %d added\n",
+	fmt.Fprintf(w, "%d metrics compared: %d regressed, %d improved, %d missing, %d added\n",
 		len(res.Deltas), regressed, improved, len(res.Missing), len(res.Added))
 	return regressed
 }

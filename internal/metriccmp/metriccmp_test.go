@@ -1,4 +1,4 @@
-package main
+package metriccmp
 
 import (
 	"strings"
@@ -29,7 +29,7 @@ func perturb(t *testing.T, old, new string) string {
 }
 
 func TestFlattenLabelsArraysByCircuit(t *testing.T) {
-	res, err := Diff([]byte(baseline), []byte(baseline), DefaultThresholds)
+	res, err := Diff([]byte(baseline), []byte(baseline), BenchThresholds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestFlattenLabelsArraysByCircuit(t *testing.T) {
 }
 
 func TestIdenticalFilesHaveNoRegressions(t *testing.T) {
-	res, err := Diff([]byte(baseline), []byte(baseline), DefaultThresholds)
+	res, err := Diff([]byte(baseline), []byte(baseline), BenchThresholds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestIdenticalFilesHaveNoRegressions(t *testing.T) {
 func TestInjectedRegressionFails(t *testing.T) {
 	// allocs threshold is 5%; +100% is an unambiguous regression.
 	cand := perturb(t, `"allocs_per_op": 1500`, `"allocs_per_op": 3000`)
-	res, err := Diff([]byte(baseline), []byte(cand), DefaultThresholds)
+	res, err := Diff([]byte(baseline), []byte(cand), BenchThresholds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestInjectedRegressionFails(t *testing.T) {
 func TestWithinThresholdPasses(t *testing.T) {
 	// ns threshold is 25%; +10% must pass.
 	cand := perturb(t, `"ns_per_op": 1000000`, `"ns_per_op": 1100000`)
-	res, err := Diff([]byte(baseline), []byte(cand), DefaultThresholds)
+	res, err := Diff([]byte(baseline), []byte(cand), BenchThresholds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestWithinThresholdPasses(t *testing.T) {
 
 func TestImprovementIsNotARegression(t *testing.T) {
 	cand := perturb(t, `"bytes_per_op": 1000000`, `"bytes_per_op": 400000`)
-	res, err := Diff([]byte(baseline), []byte(cand), DefaultThresholds)
+	res, err := Diff([]byte(baseline), []byte(cand), BenchThresholds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestImprovementIsNotARegression(t *testing.T) {
 
 func TestMissingAndAddedAreReportedNotFailed(t *testing.T) {
 	cand := perturb(t, `"compiled"`, `"packed"`)
-	res, err := Diff([]byte(baseline), []byte(cand), DefaultThresholds)
+	res, err := Diff([]byte(baseline), []byte(cand), BenchThresholds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,10 +135,72 @@ func TestMissingAndAddedAreReportedNotFailed(t *testing.T) {
 }
 
 func TestDiffRejectsMalformedJSON(t *testing.T) {
-	if _, err := Diff([]byte("{"), []byte(baseline), DefaultThresholds); err == nil {
+	if _, err := Diff([]byte("{"), []byte(baseline), BenchThresholds); err == nil {
 		t.Error("malformed baseline accepted")
 	}
-	if _, err := Diff([]byte(baseline), []byte("}"), DefaultThresholds); err == nil {
+	if _, err := Diff([]byte(baseline), []byte("}"), BenchThresholds); err == nil {
 		t.Error("malformed candidate accepted")
+	}
+}
+
+// TestExactKeyThresholdWins pins the two-level threshold lookup the
+// ledger gate relies on: a full dotted key overrides the final-segment
+// family entry, and full keys match leaves the family map would skip.
+func TestExactKeyThresholdWins(t *testing.T) {
+	oldM := map[string]float64{
+		"a.ns_per_op":                  100,
+		"metrics.counters.cache.hits":  10,
+		"metrics.counters.cache.total": 50,
+	}
+	newM := map[string]float64{
+		"a.ns_per_op":                  160, // +60%
+		"metrics.counters.cache.hits":  11,  // +10%
+		"metrics.counters.cache.total": 80,  // +60%, no threshold
+	}
+	th := map[string]float64{
+		"ns_per_op":                   0.25,
+		"a.ns_per_op":                 1.0, // exact key loosens the family bound
+		"metrics.counters.cache.hits": 0.05,
+	}
+	res := Compare(oldM, newM, th)
+	if len(res.Deltas) != 2 {
+		t.Fatalf("compared %d leaves, want 2 (cache.total has no threshold): %+v", len(res.Deltas), res.Deltas)
+	}
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Key != "metrics.counters.cache.hits" {
+		t.Fatalf("regressions = %+v, want exactly cache.hits (exact-key 100%% allowance covers ns)", regs)
+	}
+}
+
+// TestDriftIsTwoSided: Drifted flags movement in either direction,
+// Regressed only increases.
+func TestDriftIsTwoSided(t *testing.T) {
+	oldM := map[string]float64{"run.coverage": 100}
+	newM := map[string]float64{"run.coverage": 60} // -40%
+	res := Compare(oldM, newM, map[string]float64{"coverage": 0.1})
+	if len(res.Regressions()) != 0 {
+		t.Error("a decrease must not be a regression")
+	}
+	drifts := res.Drifts()
+	if len(drifts) != 1 || drifts[0].Key != "run.coverage" {
+		t.Fatalf("drifts = %+v, want the coverage drop flagged", drifts)
+	}
+}
+
+func TestFlattenValue(t *testing.T) {
+	type inner struct {
+		Name string `json:"name"`
+		N    int64  `json:"n"`
+	}
+	doc := struct {
+		Wall  int64   `json:"wall_ns"`
+		Items []inner `json:"items"`
+	}{Wall: 42, Items: []inner{{Name: "screen", N: 7}}}
+	m, err := FlattenValue(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["wall_ns"] != 42 || m["items.screen.n"] != 7 {
+		t.Fatalf("flattened = %v", m)
 	}
 }

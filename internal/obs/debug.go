@@ -1,16 +1,24 @@
 package obs
 
-// Opt-in HTTP debug surface for long runs: net/http/pprof profiles and
-// an expvar export of the currently published collector. Nothing here
-// runs unless a CLI passes -debug <addr>; the blank pprof import only
-// registers handlers on the default mux, it starts no goroutines.
+// Opt-in HTTP debug surface for long runs: net/http/pprof profiles, an
+// expvar export of the currently published collector, and an
+// OpenMetrics rendering of its live snapshot at /metrics. Nothing here
+// runs unless a CLI passes -debug <addr>.
+//
+// Each ServeDebug call builds its own mux rather than serving
+// http.DefaultServeMux: the debug surface must expose exactly its own
+// endpoints, not whatever the process (or a test binary) happened to
+// hang on the global mux, and two debug servers in one process must not
+// see each other's registrations. (Importing net/http/pprof still
+// registers handlers on the default mux as a side effect — that is the
+// stdlib's doing — but no ServeDebug server serves that mux.)
 
 import (
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 )
@@ -21,9 +29,10 @@ var (
 )
 
 // Publish makes c the collector exported as the expvar variable
-// "fsct_metrics" (a Metrics snapshot taken on every scrape). Calling it
-// again replaces the published collector — a flow that runs several
-// circuits republishes per circuit. Publishing nil clears the export.
+// "fsct_metrics" (a Metrics snapshot taken on every scrape) and served
+// at /metrics by ServeDebug servers. Calling it again replaces the
+// published collector — a flow that runs several circuits republishes
+// per circuit. Publishing nil clears the export.
 func Publish(c *Collector) {
 	published.Store(c)
 	publishOnce.Do(func() {
@@ -33,20 +42,46 @@ func Publish(c *Collector) {
 	})
 }
 
+// MetricsHandler serves the published collector's live snapshot in the
+// OpenMetrics text format (see WriteOpenMetrics). With no collector
+// published it serves a valid empty exposition, so scrapers stay green
+// across the gap before the first Publish.
+func MetricsHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	_ = WriteOpenMetrics(w, published.Load().Snapshot())
+}
+
+// debugMux builds the explicit handler set of one debug server, keeping
+// the paths the default mux would have offered (/debug/pprof/*,
+// /debug/vars) plus the /metrics exposition.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", MetricsHandler)
+	return mux
+}
+
 // ServeDebug starts an HTTP server on addr (in the background) serving
-// the default mux: /debug/pprof/* from net/http/pprof and /debug/vars
-// from expvar, including the collector published with Publish. The
-// listen error is returned synchronously; serve errors after that are
-// ignored (the process is shutting down). The returned server's Addr
-// holds the bound address (useful with addr ":0"), and Close/Shutdown
-// stops it — tests that spin up a debug surface can tear it down
-// instead of leaking the listener for the life of the process.
+// its own mux: /debug/pprof/* from net/http/pprof, /debug/vars from
+// expvar (including the collector published with Publish), and
+// /metrics as an OpenMetrics exposition of that collector's live
+// snapshot. The listen error is returned synchronously; serve errors
+// after that are ignored (the process is shutting down). The returned
+// server's Addr holds the bound address (useful with addr ":0"), and
+// Close/Shutdown stops it — tests that spin up a debug surface can
+// tear it down instead of leaking the listener for the life of the
+// process.
 func ServeDebug(addr string) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug server: %w", err)
 	}
-	srv := &http.Server{Addr: ln.Addr().String(), Handler: http.DefaultServeMux}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: debugMux()}
 	go func() {
 		_ = srv.Serve(ln)
 	}()

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServeDebugUsesOwnMux pins the isolation contract: the debug
+// server serves exactly its own endpoints, not http.DefaultServeMux —
+// a handler registered globally by the process (or another test) must
+// not leak onto the debug surface, while the classic /debug paths keep
+// working.
+func TestServeDebugUsesOwnMux(t *testing.T) {
+	http.HandleFunc("/sentinel-not-a-debug-endpoint", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "leaked")
+	})
+	srv, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+	defer srv.Close()
+
+	if code, body := get(t, srv.Addr, "/sentinel-not-a-debug-endpoint"); code == http.StatusOK && strings.Contains(body, "leaked") {
+		t.Error("default-mux handler leaked onto the debug server")
+	}
+	for _, path := range []string{"/debug/pprof/", "/debug/vars", "/metrics"} {
+		if code, _ := get(t, srv.Addr, path); code != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, code)
+		}
+	}
+}
+
+// TestSequentialServersDoNotInterfere: a second ServeDebug server after
+// the first is closed (and while it is up) serves the full endpoint
+// set — per-server muxes mean no duplicate-registration panic and no
+// shared handler state between servers.
+func TestSequentialServersDoNotInterfere(t *testing.T) {
+	check := func(addr string) {
+		t.Helper()
+		for _, path := range []string{"/debug/pprof/", "/debug/vars", "/metrics"} {
+			if code, _ := get(t, addr, path); code != http.StatusOK {
+				t.Errorf("GET %s on %s = %d, want 200", path, addr, code)
+			}
+		}
+	}
+
+	srv1, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("first ServeDebug: %v", err)
+	}
+	check(srv1.Addr)
+
+	// Overlapping: a second server while the first is still up.
+	srv2, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("second (concurrent) ServeDebug: %v", err)
+	}
+	check(srv2.Addr)
+	check(srv1.Addr)
+	if err := srv1.Close(); err != nil {
+		t.Fatalf("Close first: %v", err)
+	}
+
+	// Sequential: the survivor still works after its sibling is gone.
+	check(srv2.Addr)
+	srv2.Close()
+}

@@ -1,0 +1,106 @@
+package obs
+
+import "testing"
+
+// Quantile edge cases over the frozen bucket representation. The happy
+// path (uniform 1..100) lives in TestHistogramQuantiles; these pin the
+// degenerate shapes that bucket interpolation gets wrong first.
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	var empty HistogramMetric
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %d, want 0", q, got)
+		}
+	}
+	// A registered-but-never-observed histogram snapshots to the same.
+	c := New()
+	c.Histogram("idle")
+	hm := c.Snapshot().Histograms["idle"]
+	if hm.Count != 0 || hm.P50 != 0 || hm.P95 != 0 || hm.P99 != 0 {
+		t.Errorf("unobserved histogram quantiles non-zero: %+v", hm)
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	for _, v := range []int64{0, 1, 7, 4096} {
+		c := New()
+		c.Histogram("one").Observe(v)
+		hm := c.Snapshot().Histograms["one"]
+		for _, q := range []float64{0.001, 0.5, 0.95, 0.99, 1} {
+			if got := hm.Quantile(q); got != v {
+				t.Errorf("Observe(%d): Quantile(%g) = %d, want %d", v, q, got, v)
+			}
+		}
+		if hm.P50 != v || hm.P95 != v || hm.P99 != v {
+			t.Errorf("Observe(%d): snapshot quantiles %+v", v, hm)
+		}
+	}
+}
+
+func TestQuantileAllInOneBucket(t *testing.T) {
+	c := New()
+	h := c.Histogram("b")
+	// All of [16,31] lands in one power-of-two bucket (le 31).
+	for v := int64(16); v <= 31; v++ {
+		h.Observe(v)
+	}
+	hm := c.Snapshot().Histograms["b"]
+	if len(hm.Buckets) != 1 || hm.Buckets[0].Le != 31 {
+		t.Fatalf("expected one bucket le=31, got %+v", hm.Buckets)
+	}
+	last := int64(-1)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+		got := hm.Quantile(q)
+		if got < 16 || got > 31 {
+			t.Errorf("Quantile(%g) = %d, outside the only bucket [16,31]", q, got)
+		}
+		if got < last {
+			t.Errorf("Quantile(%g) = %d not monotone (prev %d)", q, got, last)
+		}
+		last = got
+	}
+	if got := hm.Quantile(1); got != 31 {
+		t.Errorf("Quantile(1) = %d, want the exact max 31", got)
+	}
+}
+
+func TestQuantileBeyondLastBucketBoundary(t *testing.T) {
+	// Values with bits.Len64 >= 33 overflow into the unbounded bucket
+	// (Le -1 in the snapshot). The estimate must stay within [1, Max]
+	// and hit the exact recorded max at the top.
+	c := New()
+	h := c.Histogram("huge")
+	const big = int64(1) << 40
+	h.Observe(big)
+	hm := c.Snapshot().Histograms["huge"]
+	if len(hm.Buckets) != 1 || hm.Buckets[0].Le != -1 {
+		t.Fatalf("expected only the overflow bucket, got %+v", hm.Buckets)
+	}
+	if got := hm.Quantile(1); got != big {
+		t.Errorf("Quantile(1) = %d, want max %d", got, big)
+	}
+	if got := hm.Quantile(0.5); got <= 0 || got > big {
+		t.Errorf("Quantile(0.5) = %d, want within (0,%d]", got, big)
+	}
+
+	// Mixed: small values plus one overflow observation. The overflow
+	// bucket's range starts past the last finite boundary, so mid
+	// quantiles stay small and only the top rank reaches the max.
+	c2 := New()
+	h2 := c2.Histogram("mix")
+	for v := int64(1); v <= 9; v++ {
+		h2.Observe(v)
+	}
+	h2.Observe(big)
+	m2 := c2.Snapshot().Histograms["mix"]
+	if got := m2.Quantile(0.5); got < 1 || got > 9 {
+		t.Errorf("mixed Quantile(0.5) = %d, want within the small values [1,9]", got)
+	}
+	if got := m2.Quantile(1); got != big {
+		t.Errorf("mixed Quantile(1) = %d, want max %d", got, big)
+	}
+	if m2.Max != big || m2.Count != 10 {
+		t.Fatalf("snapshot summary wrong: %+v", m2)
+	}
+}

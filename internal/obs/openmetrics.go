@@ -1,0 +1,174 @@
+package obs
+
+// Prometheus / OpenMetrics text exposition of a Metrics snapshot, so
+// standard scrapers can track a long-running process: counters become
+// counter families, phases and pools become labeled gauges, and the
+// power-of-two histograms behind the p50/p95/p99 estimates are exported
+// as native cumulative prometheus histograms — the scraper's quantile
+// math sees exactly the buckets Quantile interpolates over. ServeDebug
+// serves this at /metrics for the currently published collector.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteOpenMetrics renders the snapshot in the OpenMetrics text format
+// (also parseable as Prometheus text format 0.0.4): HELP/TYPE headers
+// per family, `fsct_`-prefixed names with dots mapped to underscores,
+// native cumulative histogram buckets with `le` labels, and the
+// mandatory terminal `# EOF`. A nil snapshot renders as an empty (but
+// valid) exposition. Output is deterministic: families and label values
+// are emitted in sorted order.
+func WriteOpenMetrics(w io.Writer, m *Metrics) error {
+	ew := &errWriter{w: w}
+	if m != nil {
+		writeWall(ew, m)
+		writePhases(ew, m)
+		writeCounters(ew, m)
+		writeHistograms(ew, m)
+		writePools(ew, m)
+	}
+	ew.printf("# EOF\n")
+	return ew.err
+}
+
+// errWriter latches the first write error so the emitters above stay
+// linear instead of threading errors through every Fprintf.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// promName maps a dotted metric name onto the prometheus name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*, prefixed with the exporter namespace.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("fsct_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the exposition format.
+func promLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func writeWall(w *errWriter, m *Metrics) {
+	w.printf("# HELP fsct_run_wall_seconds Wall time from collector creation to this snapshot.\n")
+	w.printf("# TYPE fsct_run_wall_seconds gauge\n")
+	w.printf("fsct_run_wall_seconds %g\n", float64(m.WallNS)/1e9)
+}
+
+func writePhases(w *errWriter, m *Metrics) {
+	if len(m.Phases) == 0 {
+		return
+	}
+	// A snapshot may hold several spans of the same phase name; a
+	// prometheus family must not repeat a label set, so merge them.
+	wall := map[string]int64{}
+	var names []string
+	for _, ph := range m.Phases {
+		if _, ok := wall[ph.Name]; !ok {
+			names = append(names, ph.Name)
+		}
+		wall[ph.Name] += ph.WallNS
+	}
+	sort.Strings(names)
+	w.printf("# HELP fsct_phase_seconds Accumulated wall time per recorded flow phase.\n")
+	w.printf("# TYPE fsct_phase_seconds gauge\n")
+	for _, n := range names {
+		w.printf("fsct_phase_seconds{phase=%q} %g\n", promLabel(n), float64(wall[n])/1e9)
+	}
+}
+
+func writeCounters(w *errWriter, m *Metrics) {
+	names := make([]string, 0, len(m.Counters))
+	for n := range m.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fam := promName(n)
+		w.printf("# HELP %s Counter %q.\n", fam, n)
+		w.printf("# TYPE %s counter\n", fam)
+		w.printf("%s_total %d\n", fam, m.Counters[n])
+	}
+}
+
+func writeHistograms(w *errWriter, m *Metrics) {
+	names := make([]string, 0, len(m.Histograms))
+	for n := range m.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := m.Histograms[n]
+		fam := promName(n)
+		w.printf("# HELP %s Histogram %q (power-of-two buckets).\n", fam, n)
+		w.printf("# TYPE %s histogram\n", fam)
+		var cum int64
+		for _, b := range h.Buckets {
+			if b.Le < 0 {
+				// The unbounded overflow bucket is the +Inf line below.
+				continue
+			}
+			cum += b.Count
+			w.printf("%s_bucket{le=\"%d\"} %d\n", fam, b.Le, cum)
+		}
+		w.printf("%s_bucket{le=\"+Inf\"} %d\n", fam, h.Count)
+		w.printf("%s_sum %d\n", fam, h.Sum)
+		w.printf("%s_count %d\n", fam, h.Count)
+	}
+}
+
+func writePools(w *errWriter, m *Metrics) {
+	if len(m.Pools) == 0 {
+		return
+	}
+	names := make([]string, 0, len(m.Pools))
+	for n := range m.Pools {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w.printf("# HELP fsct_pool_utilization Fraction of pool worker-seconds spent working.\n")
+	w.printf("# TYPE fsct_pool_utilization gauge\n")
+	for _, n := range names {
+		w.printf("fsct_pool_utilization{pool=%q} %g\n", promLabel(n), m.Pools[n].Utilization)
+	}
+	w.printf("# HELP fsct_pool_wall_seconds Accumulated pool invocation wall time.\n")
+	w.printf("# TYPE fsct_pool_wall_seconds gauge\n")
+	for _, n := range names {
+		w.printf("fsct_pool_wall_seconds{pool=%q} %g\n", promLabel(n), float64(m.Pools[n].WallNS)/1e9)
+	}
+	w.printf("# HELP fsct_pool_calls Pool invocations recorded.\n")
+	w.printf("# TYPE fsct_pool_calls counter\n")
+	for _, n := range names {
+		w.printf("fsct_pool_calls_total{pool=%q} %d\n", promLabel(n), m.Pools[n].Calls)
+	}
+	w.printf("# HELP fsct_pool_workers Workers observed in the pool.\n")
+	w.printf("# TYPE fsct_pool_workers gauge\n")
+	for _, n := range names {
+		w.printf("fsct_pool_workers{pool=%q} %d\n", promLabel(n), len(m.Pools[n].Workers))
+	}
+}

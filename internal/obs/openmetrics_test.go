@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// exposition renders a populated snapshot for the format tests.
+func exposition(t *testing.T) (*Metrics, string) {
+	t.Helper()
+	c := New()
+	c.Counter("engine.cache.hits").Add(9)
+	c.Counter("screen.easy").Add(120)
+	h := c.Histogram("atpg.backtracks")
+	for _, v := range []int64{0, 1, 2, 3, 7, 100, 5000} {
+		h.Observe(v)
+	}
+	c.Phase("screen").End()
+	c.Phase("screen").End() // repeated phase: families must not repeat label sets
+	c.Phase("step2").End()
+	c.RecordPool("faultsim", 10*time.Millisecond, []WorkerStat{
+		{Busy: 9 * time.Millisecond, Items: 63},
+		{Busy: 6 * time.Millisecond, Items: 41},
+	})
+	m := c.Snapshot()
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, m); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	return m, b.String()
+}
+
+// TestOpenMetricsFormatSanity is the acceptance gate on the exposition:
+// HELP/TYPE headers for every family, counter samples under the _total
+// convention, histogram buckets cumulative and monotone with _sum and
+// _count matching the snapshot, and the terminal # EOF.
+func TestOpenMetricsFormatSanity(t *testing.T) {
+	m, out := exposition(t)
+
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("exposition must end with # EOF:\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE fsct_run_wall_seconds gauge",
+		"# HELP fsct_engine_cache_hits",
+		"# TYPE fsct_engine_cache_hits counter",
+		"fsct_engine_cache_hits_total 9",
+		"fsct_screen_easy_total 120",
+		"# TYPE fsct_atpg_backtracks histogram",
+		"# TYPE fsct_phase_seconds gauge",
+		`fsct_pool_utilization{pool="faultsim"}`,
+		`fsct_pool_calls_total{pool="faultsim"} 1`,
+		`fsct_pool_workers{pool="faultsim"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Every TYPE family appears exactly once, and every sample line's
+	// family has a TYPE header.
+	types := map[string]int{}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			types[f[2]]++
+		}
+	}
+	for fam, n := range types {
+		if n != 1 {
+			t.Errorf("family %s declared %d times", fam, n)
+		}
+	}
+	if _, ok := types["fsct_phase_seconds"]; !ok {
+		t.Error("repeated phase names must merge into one family")
+	}
+	if c := strings.Count(out, `{phase="screen"}`); c != 1 {
+		t.Errorf("label set {phase=screen} appears %d times, want 1 (merged)", c)
+	}
+
+	// Histogram buckets: cumulative, monotone non-decreasing, le values
+	// increasing, +Inf equals _count, _sum/_count match the snapshot.
+	hm := m.Histograms["atpg.backtracks"]
+	var (
+		prevCum int64 = -1
+		prevLe  int64 = -1
+		lastCum int64
+		buckets int
+	)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "fsct_atpg_backtracks_bucket{le=") {
+			continue
+		}
+		buckets++
+		var leStr string
+		var cum int64
+		if _, err := fmt.Sscanf(line, "fsct_atpg_backtracks_bucket{le=%q} %d", &leStr, &cum); err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if cum < prevCum {
+			t.Fatalf("bucket counts not cumulative-monotone at %q (%d after %d)", line, cum, prevCum)
+		}
+		if leStr != "+Inf" {
+			le, err := strconv.ParseInt(leStr, 10, 64)
+			if err != nil || le <= prevLe {
+				t.Fatalf("bucket boundaries not increasing at %q", line)
+			}
+			prevLe = le
+		}
+		prevCum, lastCum = cum, cum
+	}
+	if buckets < 2 {
+		t.Fatalf("histogram rendered only %d bucket lines:\n%s", buckets, out)
+	}
+	if lastCum != hm.Count {
+		t.Errorf("+Inf bucket = %d, want snapshot count %d", lastCum, hm.Count)
+	}
+	if !strings.Contains(out, fmt.Sprintf("fsct_atpg_backtracks_sum %d\n", hm.Sum)) {
+		t.Errorf("_sum does not match snapshot sum %d:\n%s", hm.Sum, out)
+	}
+	if !strings.Contains(out, fmt.Sprintf("fsct_atpg_backtracks_count %d\n", hm.Count)) {
+		t.Errorf("_count does not match snapshot count %d:\n%s", hm.Count, out)
+	}
+}
+
+func TestOpenMetricsNilSnapshot(t *testing.T) {
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "# EOF\n" {
+		t.Fatalf("nil snapshot exposition = %q, want bare # EOF", b.String())
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics on a live debug server — the
+// curl path of the acceptance criteria.
+func TestMetricsEndpoint(t *testing.T) {
+	c := New()
+	c.Counter("screen.hard").Add(33)
+	Publish(c)
+	defer Publish(nil)
+	srv, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr))
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+		t.Errorf("Content-Type = %q, want an openmetrics-text type", ct)
+	}
+	out := string(body)
+	if !strings.Contains(out, "fsct_screen_hard_total 33") {
+		t.Errorf("/metrics does not expose the published collector:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("/metrics exposition does not end with # EOF")
+	}
+}

@@ -35,18 +35,26 @@ type Metrics = obs.Metrics
 func NewCollector() *Collector { return obs.New() }
 
 // PublishMetrics exports col's live snapshot as the expvar variable
-// "fsct_metrics" (visible on /debug/vars once ServeDebug or any HTTP
-// server on the default mux is running). Calling it again rebinds the
-// variable to the new collector.
+// "fsct_metrics" (visible on /debug/vars of a ServeDebug server) and as
+// the OpenMetrics exposition ServeDebug serves at /metrics. Calling it
+// again rebinds both to the new collector.
 func PublishMetrics(col *Collector) { obs.Publish(col) }
 
 // ServeDebug starts an HTTP server on addr exposing the standard
-// net/http/pprof profiles under /debug/pprof/ and expvar (including any
-// published collector) under /debug/vars. It returns once the listener
-// is bound; serving continues in the background. Close (or Shutdown)
-// the returned server to stop it; its Addr field carries the bound
-// address, so addr ":0" works for tests.
+// net/http/pprof profiles under /debug/pprof/, expvar (including any
+// published collector) under /debug/vars, and a Prometheus/OpenMetrics
+// text rendering of the published collector's live snapshot at
+// /metrics. The server runs its own mux — nothing registered on
+// http.DefaultServeMux leaks onto it. It returns once the listener is
+// bound; serving continues in the background. Close (or Shutdown) the
+// returned server to stop it; its Addr field carries the bound address,
+// so addr ":0" works for tests.
 func ServeDebug(addr string) (*http.Server, error) { return obs.ServeDebug(addr) }
+
+// WriteOpenMetrics renders a metrics snapshot in the OpenMetrics text
+// exposition format (counters, phase/pool gauges, and native cumulative
+// histogram buckets), ending with the mandatory # EOF terminator.
+func WriteOpenMetrics(w io.Writer, m *Metrics) error { return obs.WriteOpenMetrics(w, m) }
 
 // Journal is the flow's flight recorder: a bounded in-memory event
 // buffer that phases, worker pools, screening, ATPG, fault simulation
