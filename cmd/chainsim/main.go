@@ -8,7 +8,7 @@
 // Usage:
 //
 //	chainsim [-profile s27|s1423|…] [-scale 0.1] [-chains N] [-seed 1] [-list]
-//	         [-eval auto|compiled|packed|scalar|event]
+//	         [-eval auto|compiled|packed|scalar|event|hybrid]
 //	         [-metrics] [-trace] [-tracefile run.json] [-progress] [-debug addr]
 //
 // The observability flags are the shared surface (see
@@ -58,7 +58,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed")
 		list    = flag.Bool("list", false, "list every escaping hard fault")
 		workers = flag.Int("workers", 0, "fault-axis worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		eval    = flag.String("eval", "auto", "evaluator backend: auto, compiled, packed, scalar, event")
+		eval    = flag.String("eval", "auto", "evaluator backend: auto, compiled, packed, scalar, event, hybrid")
 		mapEval = flag.Bool("mapeval", false, "deprecated: same as -eval packed")
 		oflags  = obsflags.Register(flag.CommandLine)
 	)

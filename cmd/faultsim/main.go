@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 
 	"repro"
 	"repro/cmd/internal/obsflags"
@@ -65,7 +66,8 @@ func main() {
 		profilePlot = flag.Bool("profileplot", false, "print the cumulative detection profile")
 		emit        = flag.String("emit", "", "write the stimulus used to this file")
 		workers     = flag.Int("workers", 0, "fault-axis worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		eval        = flag.String("eval", "auto", "evaluator backend: auto, compiled, packed, scalar, event")
+		eval        = flag.String("eval", "auto", "evaluator backend: auto, compiled, packed, scalar, event, hybrid")
+		coneThr     = flag.Int("conethr", 0, "hybrid backend: delta-simulation event budget per fault (0 = default)")
 		mapEval     = flag.Bool("mapeval", false, "deprecated: same as -eval packed")
 		oflags      = obsflags.Register(flag.CommandLine)
 	)
@@ -166,8 +168,12 @@ func main() {
 		c.Name, st.Gates, st.FFs, len(faults), len(seq))
 
 	col := sess.Collector()
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	res, rerr := faultsim.RunCtx(ctx, c, seq, faults,
-		faultsim.Options{Workers: *workers, Eval: backend, MapEval: *mapEval, Obs: col})
+		faultsim.Options{Workers: *workers, Eval: backend, MapEval: *mapEval, ConeThreshold: *coneThr, Obs: col})
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 	interrupted := errors.Is(rerr, context.Canceled)
 	if rerr != nil && !interrupted {
 		fail(rerr)
@@ -186,6 +192,11 @@ func main() {
 	if len(faults) > 0 {
 		extras["coverage"] = 100 * float64(det) / float64(len(faults))
 	}
+	// Allocation trend series for fsctstats: mallocs/bytes of the
+	// simulation proper, so an allocation regression in an evaluator
+	// shows up across ledgered runs without rerunning benchmarks.
+	extras["sim_mallocs"] = float64(msAfter.Mallocs - msBefore.Mallocs)
+	extras["sim_alloc_bytes"] = float64(msAfter.TotalAlloc - msBefore.TotalAlloc)
 	sess.RecordRun(c.Name, c.StructuralHash(), col.Snapshot(), extras)
 	if oflags.Metrics {
 		fmt.Print(fsct.FormatMetrics(col.Snapshot()))

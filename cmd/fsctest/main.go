@@ -7,7 +7,7 @@
 //
 //	fsctest [-scale 0.1] [-circuits s1423,s5378] [-chains N] [-seed 1]
 //	        [-table all|1|2|3] [-fig5 s38584] [-v]
-//	        [-eval auto|compiled|packed|scalar|event]
+//	        [-eval auto|compiled|packed|scalar|event|hybrid]
 //	        [-metrics] [-trace] [-tracefile run.json] [-progress]
 //	        [-debug addr] [-why fault]
 //
@@ -61,7 +61,7 @@ func main() {
 		fig5     = flag.String("fig5", "", "circuit whose detection profile to plot (default: largest run)")
 		verbose  = flag.Bool("v", false, "print per-circuit reports while running")
 		workers  = flag.Int("workers", 0, "fault-axis worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		eval     = flag.String("eval", "auto", "evaluator backend: auto, compiled, packed, scalar, event")
+		eval     = flag.String("eval", "auto", "evaluator backend: auto, compiled, packed, scalar, event, hybrid")
 		why      = flag.String("why", "", "explain one fault from the flight recorder (Describe string or fault index)")
 		oflags   = obsflags.Register(flag.CommandLine)
 	)

@@ -1,13 +1,14 @@
 // Package obsflags gives every CLI in this repository the same
 // observability flag surface and lifecycle:
 //
-//	-metrics    instrument the run, emit a metrics snapshot
-//	-trace      stream phase annotations to stderr
-//	-tracefile  export the run's flight-recorder timeline as a Chrome
-//	            trace-event JSON file (chrome://tracing, Perfetto)
-//	-progress   live per-phase progress on stderr (TTY-aware)
-//	-debug      /debug/pprof + /debug/vars + /metrics HTTP server
-//	-ledger     append the run's records to a JSONL run ledger
+//	-metrics     instrument the run, emit a metrics snapshot
+//	-trace       stream phase annotations to stderr
+//	-tracefile   export the run's flight-recorder timeline as a Chrome
+//	             trace-event JSON file (chrome://tracing, Perfetto)
+//	-progress    live per-phase progress on stderr (TTY-aware)
+//	-debug       /debug/pprof + /debug/vars + /metrics HTTP server
+//	-ledger      append the run's records to a JSONL run ledger
+//	-memprofile  write a pprof heap profile on exit
 //
 // A command calls Register before flag.Parse, Open after it, hands
 // Session.Collector() to whatever it runs, and calls Session.Close
@@ -25,6 +26,8 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -35,12 +38,13 @@ import (
 
 // Flags holds the shared observability flag values.
 type Flags struct {
-	Metrics   bool
-	Trace     bool
-	TraceFile string
-	Progress  bool
-	Debug     string
-	Ledger    string
+	Metrics    bool
+	Trace      bool
+	TraceFile  string
+	Progress   bool
+	Debug      string
+	Ledger     string
+	MemProfile string
 
 	fs *flag.FlagSet // consulted at Open for the explicitly-set flags
 }
@@ -55,6 +59,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.Progress, "progress", false, "render live per-phase progress on stderr")
 	fs.StringVar(&f.Debug, "debug", "", "serve /debug/pprof, /debug/vars and /metrics on this `address` (e.g. localhost:6060)")
 	fs.StringVar(&f.Ledger, "ledger", "", "append this run's records to the JSONL run ledger at `file` (query with cmd/fsctstats)")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this `file` on exit (SIGINT included)")
 	return f
 }
 
@@ -209,11 +214,36 @@ func (s *Session) Close() error {
 		if err := s.writeLedger(); err != nil && s.closeErr == nil {
 			s.closeErr = err
 		}
+		if err := s.writeMemProfile(); err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
 		if s.server != nil {
 			_ = s.server.Close()
 		}
 	})
 	return s.closeErr
+}
+
+// writeMemProfile writes the heap profile to -memprofile. A GC first
+// brings the profile up to date (heap profiles are recorded at GC
+// points), so short runs do not export an empty profile.
+func (s *Session) writeMemProfile() error {
+	if s.flags.MemProfile == "" {
+		return nil
+	}
+	w, err := os.Create(s.flags.MemProfile)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	runtime.GC()
+	err = pprof.WriteHeapProfile(w)
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
 }
 
 func (s *Session) writeTrace() error {

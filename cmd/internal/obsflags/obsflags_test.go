@@ -2,6 +2,7 @@ package obsflags
 
 import (
 	"flag"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -138,6 +139,47 @@ func TestLedgerBareRecordOnEmptyRun(t *testing.T) {
 	}
 	if len(recs) != 1 || recs[0].Circuit != "" || recs[0].Exit != 1 {
 		t.Fatalf("bare run record wrong: %+v", recs)
+	}
+}
+
+// TestMemProfileWrittenOnClose: -memprofile must leave a parseable
+// (non-empty, gzip-framed) heap profile after Close, must not count as
+// instrumentation (Active stays false — a profile wants the
+// uninstrumented allocation picture), and must survive double Close
+// without rewriting the file.
+func TestMemProfileWrittenOnClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heap.pprof")
+	s := open(t, "-memprofile", path)
+	if s.flags.Active() {
+		t.Fatal("-memprofile alone must not activate instrumentation")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Fatalf("heap profile missing gzip framing (%d bytes)", len(data))
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := os.Stat(path); err == nil {
+		t.Fatal("second Close must not rewrite the heap profile")
+	}
+}
+
+// TestMemProfileCreateError: an unwritable -memprofile path must
+// surface from Close like the tracefile error does.
+func TestMemProfileCreateError(t *testing.T) {
+	s := open(t, "-memprofile", filepath.Join(t.TempDir(), "no-dir", "heap.pprof"))
+	if err := s.Close(); err == nil {
+		t.Fatal("Close must surface the memprofile create error")
 	}
 }
 

@@ -72,7 +72,7 @@ type (
 	// SimResult is the outcome of fault-simulating a sequence.
 	SimResult = faultsim.Result
 	// EvalBackend selects a simulation backend (EvalAuto, EvalCompiled,
-	// EvalPacked, EvalScalar, EvalEvent).
+	// EvalPacked, EvalScalar, EvalEvent, EvalHybrid).
 	EvalBackend = engine.Backend
 	// EngineCache memoizes per-circuit derived artifacts (compiled
 	// programs, collapsed fault lists, combinational ATPG models and
@@ -88,10 +88,11 @@ const (
 	EvalPacked   = engine.Packed
 	EvalScalar   = engine.Scalar
 	EvalEvent    = engine.Event
+	EvalHybrid   = engine.Hybrid
 )
 
 // ParseEvalBackend maps a flag string (auto, compiled, packed, scalar,
-// event) to an EvalBackend.
+// event, hybrid) to an EvalBackend.
 func ParseEvalBackend(s string) (EvalBackend, error) { return engine.ParseBackend(s) }
 
 // NewEngineCache returns an empty artifact cache. Passing nil wherever

@@ -120,6 +120,13 @@ type Engine struct {
 	seenEpoch []uint32
 	epoch     uint32
 
+	// Reused traversal scratch: the D-frontier of the current iteration,
+	// the xPathExists DFS stack and the buildCone DFS stack. Kept on the
+	// engine so the search loop never allocates per iteration.
+	frontier  []netlist.SignalID
+	xstack    []netlist.SignalID
+	coneStack []netlist.SignalID
+
 	// decision stack
 	stack []decision
 
@@ -495,7 +502,7 @@ func (e *Engine) buildCone() {
 	}
 	e.coneGates = e.coneGates[:0]
 	e.coneOutputs = e.coneOutputs[:0]
-	var stack []netlist.SignalID
+	stack := e.coneStack[:0]
 	push := func(s netlist.SignalID) {
 		if !e.inCone[s] {
 			e.inCone[s] = true
@@ -516,6 +523,7 @@ func (e *Engine) buildCone() {
 			push(fo)
 		}
 	}
+	e.coneStack = stack[:0]
 	// Cone gates in global topological order keeps frontier iteration
 	// deterministic.
 	for _, g := range e.c.Order {
@@ -668,9 +676,10 @@ func (e *Engine) feasible(frontier []netlist.SignalID) bool {
 }
 
 // dFrontier returns gates with a fault effect on an input and an
-// undetermined output, scanning only the fault cone.
+// undetermined output, scanning only the fault cone. The returned slice
+// is engine-owned scratch, valid until the next call.
 func (e *Engine) dFrontier() []netlist.SignalID {
-	var frontier []netlist.SignalID
+	frontier := e.frontier[:0]
 	for _, g := range e.coneGates {
 		if e.good[g].Known() && e.flty[g].Known() {
 			continue
@@ -689,6 +698,7 @@ func (e *Engine) dFrontier() []netlist.SignalID {
 			}
 		}
 	}
+	e.frontier = frontier
 	return frontier
 }
 
@@ -697,7 +707,7 @@ func (e *Engine) dFrontier() []netlist.SignalID {
 func (e *Engine) xPathExists(frontier []netlist.SignalID) bool {
 	e.epoch++
 	ep := e.epoch
-	stack := append([]netlist.SignalID(nil), frontier...)
+	stack := append(e.xstack[:0], frontier...)
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -706,6 +716,7 @@ func (e *Engine) xPathExists(frontier []netlist.SignalID) bool {
 		}
 		e.seenEpoch[s] = ep
 		if e.isOutput(s) {
+			e.xstack = stack[:0]
 			return true
 		}
 		for _, fo := range e.c.Fanouts[s] {
@@ -714,6 +725,7 @@ func (e *Engine) xPathExists(frontier []netlist.SignalID) bool {
 			}
 		}
 	}
+	e.xstack = stack[:0]
 	return false
 }
 

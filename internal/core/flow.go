@@ -3,7 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/atpg"
@@ -479,15 +479,15 @@ func runStep2(ctx context.Context, d *scan.Design, hard []Screened, p Params, re
 	for i := range perm {
 		perm[i] = i
 	}
-	sort.SliceStable(perm, func(a, b int) bool {
-		ca, cb := dropper.coveredAt[perm[a]], dropper.coveredAt[perm[b]]
+	slices.SortStableFunc(perm, func(a, b int) int {
+		ca, cb := dropper.coveredAt[a], dropper.coveredAt[b]
 		if ca < 0 {
 			ca = 1 << 30
 		}
 		if cb < 0 {
 			cb = 1 << 30
 		}
-		return ca < cb
+		return ca - cb
 	})
 	hf := make([]fault.Fault, len(hard))
 	for i, pi := range perm {

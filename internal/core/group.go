@@ -2,7 +2,7 @@ package core
 
 import (
 	"context"
-	"sort"
+	"slices"
 
 	"repro/internal/atpg"
 	"repro/internal/engine"
@@ -165,7 +165,7 @@ func planGroups(d *scan.Design, remaining []Screened, p Params) []coModel {
 	// Group 2: a model per seed fault; compatible group-2/3 faults of the
 	// same chain whose span fits inside the seed's window join it.
 	taken := make(map[*Screened]bool)
-	sort.SliceStable(group2, func(i, j int) bool { return span(&group2[i]) > span(&group2[j]) })
+	slices.SortStableFunc(group2, func(a, b Screened) int { return span(&b) - span(&a) })
 	for i := range group2 {
 		s := &group2[i]
 		if taken[s] {
@@ -190,10 +190,10 @@ func planGroups(d *scan.Design, remaining []Screened, p Params) []coModel {
 	// Group 3: per chain, minimal number of DIST-wide windows (greedy
 	// interval cover over sorted first-locations).
 	for chain, faults := range perChain {
-		sort.SliceStable(faults, func(i, j int) bool {
-			fi, _, _ := faults[i].Span()
-			fj, _, _ := faults[j].Span()
-			return fi.Seg < fj.Seg
+		slices.SortStableFunc(faults, func(a, b Screened) int {
+			fa, _, _ := a.Span()
+			fb, _, _ := b.Span()
+			return fa.Seg - fb.Seg
 		})
 		i := 0
 		for i < len(faults) {

@@ -9,7 +9,7 @@ package core
 
 import (
 	"context"
-	"sort"
+	"slices"
 
 	"repro/internal/engine"
 	"repro/internal/fault"
@@ -200,19 +200,24 @@ func ScreenOptCtx(ctx context.Context, d *scan.Design, faults []fault.Fault, opt
 	type wstate struct {
 		eval engine.CombEvaluator
 		injs []sim.LaneInject
+		// Per-lane verdict accumulators, reused across batches: locations
+		// collect here and are copied into the output as one exact-size
+		// arena per batch, instead of growing each fault's slice through
+		// repeated small reallocations.
+		locs [63][]Location
+		cats [63]Category
 	}
-	states := make([]*wstate, workers)
+	states := par.NewPerWorker(workers, func() *wstate {
+		return &wstate{injs: make([]sim.LaneInject, 0, 63), eval: engine.NewCombEvaluator(backend, arts, col)}
+	})
 	body := func(worker, bi int) {
-		st := states[worker]
-		if st == nil {
-			st = &wstate{injs: make([]sim.LaneInject, 0, 63)}
-			st.eval = engine.NewCombEvaluator(backend, arts, col)
-			states[worker] = st
-		}
+		st := states.Get(worker)
 		base, n := batches[bi].Lo, batches[bi].Len()
 		st.injs = st.injs[:0]
 		for k := 0; k < n; k++ {
 			st.injs = append(st.injs, sim.LaneInject{Inject: faults[base+k].Inject(), Lane: uint(k + 1)})
+			st.locs[k] = st.locs[k][:0]
+			st.cats[k] = Cat3
 		}
 		eval := st.eval
 		eval.SetInjections(st.injs)
@@ -232,11 +237,10 @@ func ScreenOptCtx(ctx context.Context, d *scan.Design, faults []fault.Fault, opt
 				if lanes&(uint64(1)<<uint(k+1)) == 0 {
 					continue
 				}
-				s := &out[base+k]
-				if cat > s.Cat {
-					s.Cat = cat
+				if cat > st.cats[k] {
+					st.cats[k] = cat
 				}
-				s.Locs = append(s.Locs, loc)
+				st.locs[k] = append(st.locs[k], loc)
 				if rec.Enabled() {
 					ev := journal.Classify(journalKey(faults[base+k]), int(cat), loc.Chain, loc.Seg, int64(net))
 					ev.Worker = int32(worker)
@@ -265,6 +269,28 @@ func ScreenOptCtx(ctx context.Context, d *scan.Design, faults []fault.Fault, opt
 			if lanes := vals[q.net].Known() & laneMask; lanes != 0 {
 				addLoc(lanes, q.loc, Cat1, q.net)
 			}
+		}
+
+		// Publish the batch verdicts: one shared arena sized to the exact
+		// location count, sliced per fault (full slice expressions keep a
+		// later append from clobbering a neighbour).
+		total := 0
+		for k := 0; k < n; k++ {
+			total += len(st.locs[k])
+		}
+		if total == 0 {
+			return
+		}
+		arena := make([]Location, 0, total)
+		for k := 0; k < n; k++ {
+			if len(st.locs[k]) == 0 {
+				continue
+			}
+			lo := len(arena)
+			arena = append(arena, st.locs[k]...)
+			s := &out[base+k]
+			s.Cat = st.cats[k]
+			s.Locs = arena[lo:len(arena):len(arena)]
 		}
 	}
 	var err error
@@ -296,11 +322,14 @@ func ScreenOptCtx(ctx context.Context, d *scan.Design, faults []fault.Fault, opt
 
 	for i := range out {
 		locs := out[i].Locs
-		sort.Slice(locs, func(a, b int) bool {
-			if locs[a].Chain != locs[b].Chain {
-				return locs[a].Chain < locs[b].Chain
+		if len(locs) < 2 {
+			continue
+		}
+		slices.SortFunc(locs, func(a, b Location) int {
+			if a.Chain != b.Chain {
+				return a.Chain - b.Chain
 			}
-			return locs[a].Seg < locs[b].Seg
+			return a.Seg - b.Seg
 		})
 		// Deduplicate.
 		dst := locs[:0]

@@ -154,6 +154,9 @@ type Artifacts struct {
 	faultsOnce sync.Once
 	faults     []fault.Fault
 
+	conesOnce sync.Once
+	cones     *sim.ConeIndex
+
 	combOnce sync.Once
 	comb     *atpg.CombModel
 	combErr  error
@@ -201,6 +204,23 @@ func (a *Artifacts) CollapsedFaults() []fault.Fault {
 		a.faults = fault.Collapsed(a.c)
 	})
 	return a.faults
+}
+
+// Cones returns the static influence-cone index of the circuit
+// (fanout closure per signal, capped at sim.DefaultConeCap), built on
+// first use. The hybrid fault-simulation strategy reads it to decide
+// which faults are guaranteed residents of the delta fast path; like
+// every artifact it is keyed by the structural hash, so circuit
+// mutation can never serve stale cones. The materializing call is
+// counted under engine.cones.builds when a collector is supplied.
+func (a *Artifacts) Cones(col *obs.Collector) *sim.ConeIndex {
+	a.conesOnce.Do(func() {
+		if col.Enabled() {
+			col.Counter("engine.cones.builds").Inc()
+		}
+		a.cones = sim.NewConeIndex(a.c, 0)
+	})
+	return a.cones
 }
 
 // CombModel returns the scan-mode combinational ATPG model (flip-flop

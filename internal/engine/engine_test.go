@@ -218,7 +218,7 @@ func TestCombSearchMemoized(t *testing.T) {
 }
 
 func TestParseBackend(t *testing.T) {
-	for _, b := range []Backend{Auto, Compiled, Packed, Scalar, Event} {
+	for _, b := range []Backend{Auto, Compiled, Packed, Scalar, Event, Hybrid} {
 		got, err := ParseBackend(b.String())
 		if err != nil || got != b {
 			t.Errorf("ParseBackend(%q) = %v, %v", b.String(), got, err)
@@ -240,7 +240,19 @@ func TestResolveAuto(t *testing.T) {
 	if got := Event.ResolveComb(); got != Scalar {
 		t.Errorf("Event comb resolved to %v, want scalar", got)
 	}
+	if got := Hybrid.ResolveComb(); got != Compiled {
+		t.Errorf("Hybrid comb resolved to %v, want compiled", got)
+	}
 	if got := Packed.ResolveSeq(small, Hint{}); got != Packed {
 		t.Errorf("forced backend rewritten to %v", got)
+	}
+	// Full-width passes on large sequential circuits take the hybrid
+	// strategy; the same shape without flip-flops stays compiled.
+	large := gen.Generate(gen.Profile{Name: "engl", PIs: 8, POs: 6, FFs: 64, Gates: 4200}, 3)
+	if got := Auto.ResolveSeq(large, Hint{Lanes: 63, Cycles: 100}); got != Hybrid {
+		t.Errorf("large sequential full-width resolved to %v, want hybrid", got)
+	}
+	if got := Auto.ResolveSeq(small, Hint{Lanes: 63, Cycles: 100}); got != Compiled {
+		t.Errorf("small full-width resolved to %v, want compiled", got)
 	}
 }

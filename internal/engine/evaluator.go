@@ -21,16 +21,21 @@ type Backend int
 // (flat instruction stream vs the map-based reference); Scalar and
 // Event run one scalar machine per occupied lane behind the packed
 // interface, with Event using the event-driven simulator that only
-// re-evaluates changed fanout cones.
+// re-evaluates changed fanout cones. Hybrid is a fault-simulation
+// strategy rather than a per-batch machine: faults run one at a time on
+// a delta simulator against a shared compiled baseline, and faults
+// whose per-cycle divergence exceeds the cone threshold are demoted to
+// the compiled 64-lane sweep (see internal/faultsim).
 const (
 	Auto Backend = iota
 	Compiled
 	Packed
 	Scalar
 	Event
+	Hybrid
 )
 
-var backendNames = [...]string{"auto", "compiled", "packed", "scalar", "event"}
+var backendNames = [...]string{"auto", "compiled", "packed", "scalar", "event", "hybrid"}
 
 func (b Backend) String() string {
 	if int(b) < len(backendNames) {
@@ -46,7 +51,7 @@ func ParseBackend(s string) (Backend, error) {
 			return Backend(i), nil
 		}
 	}
-	return Auto, fmt.Errorf("engine: unknown evaluator backend %q (want auto, compiled, packed, scalar or event)", s)
+	return Auto, fmt.Errorf("engine: unknown evaluator backend %q (want auto, compiled, packed, scalar, event or hybrid)", s)
 }
 
 // Hint carries what a caller knows about the upcoming workload, feeding
@@ -61,13 +66,49 @@ type Hint struct {
 	Cycles int
 }
 
+// DefaultConeThreshold is the floor of the hybrid strategy's per-cycle
+// gate-evaluation budget: a fault whose static influence cone
+// (sim.ConeIndex) fits the budget can never exceed it and stays on the
+// delta simulator for good; a larger-cone fault is admitted
+// optimistically and demoted to the compiled 64-lane sweep the first
+// cycle its divergence out-runs the budget. The value trades wasted
+// delta work on demoted faults against fast-path coverage; the
+// threshold-sweep ablation in EXPERIMENTS.md is the tuning procedure.
+const DefaultConeThreshold = 32
+
+// ConeThresholdFor scales the hybrid budget to the circuit: the
+// compiled sweep's per-fault-cycle cost grows with circuit size (a full
+// pass over the instruction stream amortized over 63 lanes), so larger
+// circuits can afford proportionally more scalar delta evaluations
+// before demotion pays. Order/8 tracks the measured optimum on the
+// scaled ISCAS'89 suite (the threshold sweep in EXPERIMENTS.md);
+// DefaultConeThreshold is the floor. Deterministic per circuit, so
+// hybrid results stay byte-identical at any parallelism.
+func ConeThresholdFor(c *netlist.Circuit) int {
+	thr := len(c.Order) / 8
+	if thr < DefaultConeThreshold {
+		thr = DefaultConeThreshold
+	}
+	return thr
+}
+
 // ResolveSeq turns Auto into a concrete sequential backend for circuit
-// c under hint h. The heuristic is deliberately conservative: the
-// compiled 64-lane machine wins almost everywhere, so the event-driven
-// scalar path is chosen only where it is clearly ahead — near-empty
-// batches (a single fault under confirmation) on large circuits over
-// long sequences, where evaluating two scalar machines event-driven
-// beats sweeping all 64 lanes through every gate.
+// c under hint h. The compiled 64-lane machine is the baseline that
+// wins on raw per-gate throughput; two workloads beat it:
+//
+//   - full-width fault-simulation passes on sequential circuits, where
+//     the Hybrid strategy runs each fault on a per-fault delta
+//     simulator against one shared compiled baseline — most faults
+//     either detect within a few cycles or stay quiet, so per-fault
+//     work tracks actual divergence instead of circuit size, and the
+//     few broadly-diverging faults are demoted to the compiled sweep
+//     (deterministically, so results stay byte-identical);
+//   - near-empty batches (one fault under confirmation) on large
+//     circuits over long sequences, where two event-driven scalar
+//     machines beat sweeping all 64 lanes through every gate.
+//
+// Small circuits stay on Compiled: the delta path's per-fault
+// bookkeeping only pays off once a full sweep touches enough gates.
 func (b Backend) ResolveSeq(c *netlist.Circuit, h Hint) Backend {
 	if b != Auto {
 		return b
@@ -75,18 +116,24 @@ func (b Backend) ResolveSeq(c *netlist.Circuit, h Hint) Backend {
 	if h.Lanes > 0 && h.Lanes <= 2 && len(c.Order) >= 2048 && h.Cycles >= 64 {
 		return Event
 	}
+	if h.Lanes > 2 && len(c.Order) >= 4096 && len(c.FFs) > 0 {
+		return Hybrid
+	}
 	return Compiled
 }
 
 // ResolveComb turns Auto into a concrete combinational backend. The
 // event simulator has no combinational form, so Event resolves to its
-// scalar sibling.
+// scalar sibling; Hybrid is a sequential fault-simulation strategy and
+// likewise falls back to Compiled.
 func (b Backend) ResolveComb() Backend {
 	switch b {
 	case Auto:
 		return Compiled
 	case Event:
 		return Scalar
+	case Hybrid:
+		return Compiled
 	default:
 		return b
 	}
@@ -128,6 +175,9 @@ func NewSeqEvaluator(b Backend, a *Artifacts, col *obs.Collector) Evaluator {
 	case Event:
 		return newLaneSeq(a.c, func() laneMachine { return &eventMachine{s: sim.NewEventSeq(a.c)} })
 	default:
+		// Compiled — and Hybrid, whose per-fault orchestration lives in
+		// the fault simulator and is not expressible as a lane-batch
+		// machine; callers getting here wanted the compiled sweep.
 		return sim.NewCompiledSeqFrom(a.Program(col))
 	}
 }

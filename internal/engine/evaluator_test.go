@@ -44,7 +44,7 @@ func TestSeqBackendEquivalence(t *testing.T) {
 	arts := New().For(c)
 	faults := arts.CollapsedFaults()
 
-	backends := []Backend{Compiled, Packed, Scalar, Event}
+	backends := []Backend{Compiled, Packed, Scalar, Event, Hybrid}
 	evals := make([]Evaluator, len(backends))
 	for i, b := range backends {
 		evals[i] = NewSeqEvaluator(b, arts, nil)

@@ -1,8 +1,12 @@
 // Package faultsim runs fault simulation of test sequences: a serial
-// reference simulator and a 63-fault parallel machine simulator built on
-// the packed evaluator. Detection means a primary output carries a
-// definite value in the fault-free machine and the opposite definite
-// value in the faulty machine at the same cycle; an X never detects.
+// reference simulator, a 63-fault parallel machine simulator built on
+// the packed evaluator, and a hybrid strategy that runs each fault on a
+// per-fault delta simulator against a shared fault-free baseline and
+// demotes broadly-diverging faults back to the packed sweep. Detection
+// means a primary output carries a definite value in the fault-free
+// machine and the opposite definite value in the faulty machine at the
+// same cycle; an X never detects. Every strategy produces identical
+// results at any worker count.
 //
 // Combinational fault simulation falls out as the special case of a
 // circuit with no flip-flops and one-cycle sequences.
@@ -25,6 +29,13 @@ import (
 // each with one value per circuit input (in c.Inputs order).
 type Sequence [][]logic.V
 
+// hybridUnit is the number of faults one hybrid work unit carries. Each
+// unit pays one fault-free baseline re-simulation, amortized across its
+// faults, so larger units waste less baseline work — but units are also
+// the parallel grain, so they must stay numerous enough to spread
+// across workers.
+const hybridUnit = 256
+
 // Options configures a fault-simulation run.
 type Options struct {
 	// InitState is the initial flip-flop state (per c.FFs entry). Nil
@@ -45,16 +56,26 @@ type Options struct {
 	// a synonym and only consulted while Eval is engine.Auto.
 	MapEval bool
 	// Eval selects the simulation backend. engine.Auto (the zero value)
-	// picks per run: the compiled evaluator normally, the event-driven
-	// scalar path for near-empty batches on large circuits.
+	// picks per run: hybrid for full-width passes on larger sequential
+	// circuits, the event-driven scalar path for near-empty batches on
+	// large circuits, and the compiled evaluator otherwise.
 	Eval engine.Backend
+	// ConeThreshold is the hybrid strategy's per-cycle gate-evaluation
+	// budget: faults whose divergence exceeds it in any cycle are
+	// demoted to the compiled sweep. 0 selects the circuit-scaled
+	// engine.ConeThresholdFor default. Ignored by the other backends. The
+	// demotion decision depends only on the fault, the sequence and the
+	// initial state, so results stay identical at any worker count.
+	ConeThreshold int
 	// Cache supplies the shared circuit-artifact cache the compiled
 	// program is drawn from. Nil selects engine.Default().
 	Cache *engine.Cache
 	// Obs, when non-nil, receives run metrics: faultsim.* counters
 	// (runs by evaluator kind, batches, executed cycles, detections,
-	// early exits) and per-worker utilization under the "faultsim"
-	// pool. A nil collector costs one pointer test per batch.
+	// early exits, hybrid fast-path occupancy) and per-worker
+	// utilization under the "faultsim" (sweep) and "faultsim.delta"
+	// (hybrid fast path) pools. A nil collector costs one pointer test
+	// per batch.
 	Obs *obs.Collector
 }
 
@@ -141,21 +162,8 @@ func RunCtx(ctx context.Context, c *netlist.Circuit, seq Sequence, faults []faul
 		return res, nil
 	}
 
-	// Broadcast the stimulus to packed words once; every worker reads it.
-	seqW := make([][]logic.Word, len(seq))
-	for cyc, pi := range seq {
-		w := make([]logic.Word, len(pi))
-		for i, v := range pi {
-			w[i] = logic.WordAll(v)
-		}
-		seqW[cyc] = w
-	}
+	seqW := broadcastSeq(c, seq)
 
-	batches := par.Chunks(len(faults), 63)
-	workers := par.Workers(opts.Workers)
-	if workers > len(batches) {
-		workers = len(batches)
-	}
 	col := opts.Obs
 	lanes := len(faults)
 	if lanes > 63 {
@@ -170,33 +178,94 @@ func RunCtx(ctx context.Context, c *netlist.Circuit, seq Sequence, faults []faul
 		}
 		col.Counter("faultsim.eval." + name).Inc()
 		col.Counter("faultsim.faults").Add(int64(len(faults)))
+	}
+	arts := engine.Resolve(opts.Cache).ForObs(c, col)
+
+	var err error
+	if backend == engine.Hybrid {
+		err = runHybrid(ctx, seqW, faults, opts, res, col, arts)
+	} else {
+		if backend == engine.Compiled {
+			arts.Program(col) // materialize (and account) the shared program up front
+		}
+		err = runSweep(ctx, backend, seqW, faults, nil, opts, res, col, arts)
+	}
+	if col.Enabled() {
+		col.Counter("faultsim.detected").Add(int64(res.NumDetected()))
+	}
+	return res, err
+}
+
+// broadcastSeq expands the scalar stimulus to packed all-lanes words
+// once, in a single backing allocation; every worker reads it.
+func broadcastSeq(c *netlist.Circuit, seq Sequence) [][]logic.Word {
+	stride := len(c.Inputs)
+	flat := make([]logic.Word, len(seq)*stride)
+	seqW := make([][]logic.Word, len(seq))
+	for cyc, pi := range seq {
+		w := flat[cyc*stride : (cyc+1)*stride : (cyc+1)*stride]
+		for i := range w {
+			w[i] = logic.WordAll(pi[i])
+		}
+		seqW[cyc] = w
+	}
+	return seqW
+}
+
+// runSweep is the packed 63-faults-per-batch simulation shared by the
+// direct backends and the hybrid strategy's demotion pass. idxs selects
+// the faults to simulate (indices into faults, ascending); nil means
+// all of them. Detections are recorded under the fault's original
+// index, and each batch writes only its own result slots, so the
+// outcome is identical at any worker count.
+func runSweep(ctx context.Context, backend engine.Backend, seqW [][]logic.Word, faults []fault.Fault, idxs []int, opts Options, res *Result, col *obs.Collector, arts *engine.Artifacts) error {
+	total := len(idxs)
+	if idxs == nil {
+		total = len(faults)
+	}
+	if total == 0 {
+		if ctx != nil {
+			return ctx.Err()
+		}
+		return nil
+	}
+	batches := par.Chunks(total, 63)
+	workers := par.Workers(opts.Workers)
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	if col.Enabled() {
 		col.Counter("faultsim.batches").Add(int64(len(batches)))
 	}
 	cycleCtr := col.Counter("faultsim.cycles")
 	earlyCtr := col.Counter("faultsim.early_exits")
 	rec := col.Journal()
-	arts := engine.Resolve(opts.Cache).ForObs(c, col)
-	if backend == engine.Compiled {
-		arts.Program(col) // materialize (and account) the shared program up front
-	}
 
 	type wstate struct {
 		ps   engine.Evaluator
 		poW  []logic.Word
 		injs []sim.LaneInject
+		fidx []int // absolute fault index per lane-1-based batch slot
 	}
-	states := make([]*wstate, workers)
-	body := func(worker, bi int) {
-		st := states[worker]
-		if st == nil {
-			st = &wstate{injs: make([]sim.LaneInject, 0, 63)}
-			st.ps = engine.NewSeqEvaluator(backend, arts, col)
-			states[worker] = st
+	states := par.NewPerWorker(workers, func() *wstate {
+		return &wstate{
+			ps:   engine.NewSeqEvaluator(backend, arts, col),
+			injs: make([]sim.LaneInject, 0, 63),
+			fidx: make([]int, 0, 63),
 		}
+	})
+	body := func(worker, bi int) {
+		st := states.Get(worker)
 		base, n := batches[bi].Lo, batches[bi].Len()
 		st.injs = st.injs[:0]
+		st.fidx = st.fidx[:0]
 		for k := 0; k < n; k++ {
-			st.injs = append(st.injs, sim.LaneInject{Inject: faults[base+k].Inject(), Lane: uint(k + 1)})
+			fi := base + k
+			if idxs != nil {
+				fi = idxs[base+k]
+			}
+			st.fidx = append(st.fidx, fi)
+			st.injs = append(st.injs, sim.LaneInject{Inject: faults[fi].Inject(), Lane: uint(k + 1)})
 		}
 		ps := st.ps
 		ps.SetInjections(st.injs)
@@ -216,9 +285,9 @@ func RunCtx(ctx context.Context, c *netlist.Circuit, seq Sequence, faults []faul
 			for _, w := range st.poW {
 				switch w.Get(0) {
 				case logic.One:
-					detected |= noteDetections(res, rec, faults, worker, base, n, w.Zeros&allMask&^detected, cyc)
+					detected |= noteDetections(res, rec, faults, worker, st.fidx, w.Zeros&allMask&^detected, cyc)
 				case logic.Zero:
-					detected |= noteDetections(res, rec, faults, worker, base, n, w.Ones&allMask&^detected, cyc)
+					detected |= noteDetections(res, rec, faults, worker, st.fidx, w.Ones&allMask&^detected, cyc)
 				}
 			}
 			if opts.StopWhenAllDetected && detected == allMask {
@@ -228,29 +297,134 @@ func RunCtx(ctx context.Context, c *netlist.Circuit, seq Sequence, faults []faul
 		}
 		cycleCtr.Add(int64(ran))
 	}
+	if col.Enabled() {
+		return par.DoPoolCtx(ctx, workers, len(batches), "faultsim", col, body)
+	}
+	return par.DoCtx(ctx, workers, len(batches), body)
+}
+
+// runHybrid is the hybrid strategy: faults run one at a time on a
+// per-worker delta simulator (sim.DeltaSeq) against a shared compiled
+// baseline, in units of hybridUnit faults (one baseline re-simulation
+// per unit). Faults whose per-cycle divergence exceeds the cone
+// threshold are demoted — their verdicts come exclusively from a second
+// compiled 63-lane sweep over just those faults. Demotion depends only
+// on (fault, sequence, initial state), and both passes write only their
+// own result slots, so the outcome is byte-identical to the compiled
+// backend at any worker count or unit size.
+func runHybrid(ctx context.Context, seqW [][]logic.Word, faults []fault.Fault, opts Options, res *Result, col *obs.Collector, arts *engine.Artifacts) error {
+	cones := arts.Cones(col)
+	prog := arts.Program(col)
+	thr := opts.ConeThreshold
+	if thr <= 0 {
+		thr = engine.ConeThresholdFor(prog.C)
+	}
+
+	units := par.Chunks(len(faults), hybridUnit)
+	workers := par.Workers(opts.Workers)
+	if workers > len(units) {
+		workers = len(units)
+	}
+	cycleCtr := col.Counter("faultsim.cycles")
+	earlyCtr := col.Counter("faultsim.early_exits")
+	rec := col.Journal()
+
+	// Per-fault demotion flags: each unit writes only its own slots, so
+	// concurrent workers never contend.
+	demoted := make([]bool, len(faults))
+
+	type hstate struct {
+		d    *sim.DeltaSeq
+		injs []sim.Inject
+		det  []int
+		over []bool
+	}
+	states := par.NewPerWorker(workers, func() *hstate {
+		return &hstate{d: sim.NewDeltaSeq(prog)}
+	})
+	body := func(worker, ui int) {
+		st := states.Get(worker)
+		u := units[ui]
+		n := u.Len()
+		st.injs = st.injs[:0]
+		for i := u.Lo; i < u.Hi; i++ {
+			st.injs = append(st.injs, faults[i].Inject())
+		}
+		if cap(st.det) < n {
+			st.det = make([]int, n)
+			st.over = make([]bool, n)
+		}
+		det, over := st.det[:n], st.over[:n]
+		ran := st.d.Run(st.injs, seqW, opts.InitState, thr, det, over)
+		cycleCtr.Add(int64(ran))
+		if ran < len(seqW) {
+			earlyCtr.Inc()
+		}
+		for k := 0; k < n; k++ {
+			fi := u.Lo + k
+			if over[k] {
+				demoted[fi] = true
+				continue
+			}
+			if det[k] < 0 {
+				continue
+			}
+			res.DetectedAt[fi] = det[k]
+			if rec.Enabled() {
+				f := faults[fi]
+				ev := journal.Detect(journal.NewFaultKey(int(f.Signal), int(f.Gate), f.Pin, uint8(f.Stuck)), det[k])
+				ev.Worker = int32(worker)
+				rec.Emit(ev)
+			}
+		}
+	}
 	var err error
 	if col.Enabled() {
-		err = par.DoPoolCtx(ctx, workers, len(batches), "faultsim", col, body)
-		col.Counter("faultsim.detected").Add(int64(res.NumDetected()))
+		err = par.DoPoolCtx(ctx, workers, len(units), "faultsim.delta", col, body)
 	} else {
-		err = par.DoCtx(ctx, workers, len(batches), body)
+		err = par.DoCtx(ctx, workers, len(units), body)
 	}
-	return res, err
+
+	swept := make([]int, 0, len(faults)/8)
+	for fi, d := range demoted {
+		if d {
+			swept = append(swept, fi)
+		}
+	}
+	if col.Enabled() {
+		col.Counter("faultsim.hybrid.cone_faults").Add(int64(len(faults) - len(swept)))
+		col.Counter("faultsim.hybrid.swept_faults").Add(int64(len(swept)))
+		small := 0
+		for i := range faults {
+			if s := cones.Size(sim.ConeRoot(faults[i].Inject())); s >= 0 && s <= thr {
+				small++
+			}
+		}
+		col.Counter("faultsim.hybrid.static_small").Add(int64(small))
+	}
+	if err != nil {
+		// Cancelled mid-fast-path: unclaimed units never set demotion
+		// flags, so their faults simply stay undetected, matching the
+		// partial-result contract.
+		return err
+	}
+	return runSweep(ctx, engine.Compiled, seqW, faults, swept, opts, res, col, arts)
 }
 
 // noteDetections records the first-detection cycle for every fault whose
-// lane bit is set in newly, mirroring each into the flight recorder (rec
-// nil when no journal is attached — the common case costs one nil test
-// per newly-detected fault).
-func noteDetections(res *Result, rec *journal.Recorder, faults []fault.Fault, worker, base, n int, newly uint64, cyc int) uint64 {
+// lane bit is set in newly (fidx maps batch slots to absolute fault
+// indices), mirroring each into the flight recorder (rec nil when no
+// journal is attached — the common case costs one nil test per
+// newly-detected fault).
+func noteDetections(res *Result, rec *journal.Recorder, faults []fault.Fault, worker int, fidx []int, newly uint64, cyc int) uint64 {
 	if newly == 0 {
 		return 0
 	}
-	for k := 0; k < n; k++ {
+	for k, fi := range fidx {
 		if newly&(uint64(1)<<uint(k+1)) != 0 {
-			res.DetectedAt[base+k] = cyc
+			res.DetectedAt[fi] = cyc
 			if rec.Enabled() {
-				f := faults[base+k]
+				f := faults[fi]
 				ev := journal.Detect(journal.NewFaultKey(int(f.Signal), int(f.Gate), f.Pin, uint8(f.Stuck)), cyc)
 				ev.Worker = int32(worker)
 				rec.Emit(ev)

@@ -201,6 +201,41 @@ func DoPoolCtx(ctx context.Context, workers, n int, name string, col *obs.Collec
 	return err
 }
 
+// PerWorker is a lazily-populated per-worker arena: slot w is built by
+// the constructor on worker w's first Get and reused for every
+// subsequent index that worker claims. It replaces the
+// make-then-index-by-worker pattern the parallel loops used for scratch
+// state, and keeps construction off workers that never run (Do may use
+// fewer goroutines than requested). Get is safe under Do's contract —
+// each worker index is owned by exactly one goroutine.
+type PerWorker[T any] struct {
+	slots []T
+	built []bool
+	newT  func() T
+}
+
+// NewPerWorker returns an arena of `workers` slots, each built on first
+// use by newT.
+func NewPerWorker[T any](workers int, newT func() T) *PerWorker[T] {
+	if workers < 1 {
+		workers = 1
+	}
+	return &PerWorker[T]{
+		slots: make([]T, workers),
+		built: make([]bool, workers),
+		newT:  newT,
+	}
+}
+
+// Get returns worker w's slot, constructing it on first use.
+func (p *PerWorker[T]) Get(w int) T {
+	if !p.built[w] {
+		p.slots[w] = p.newT()
+		p.built[w] = true
+	}
+	return p.slots[w]
+}
+
 // Range is a half-open index interval [Lo, Hi).
 type Range struct {
 	Lo, Hi int

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"slices"
+
+	"repro/internal/netlist"
+)
+
+// DefaultConeCap bounds the cone sets a ConeIndex stores. Closures
+// larger than the cap are marked overflowed (Size reports -1) and store
+// no set: such faults always take the full 64-lane sweep, so the index
+// never pays the memory for them. Runtime small-cone thresholds clamp
+// to the cap of the index they query.
+const DefaultConeCap = 256
+
+// ConeIndex precomputes, per signal, the capped static influence cone:
+// every signal reachable from it through fanout edges, crossing
+// flip-flop boundaries (a corrupted D capture surfaces on the Q output
+// one cycle later and keeps propagating through the FF's consumers).
+// A fault can only ever perturb signals inside its site's cone, so a
+// fault whose cone is small is exactly re-simulated by sweeping those
+// few signals against a fault-free baseline — the fast path of the
+// hybrid evaluator backend.
+//
+// The index is immutable after construction and safe for concurrent
+// readers; the engine layer caches one per circuit structure.
+type ConeIndex struct {
+	c   *netlist.Circuit
+	cap int
+
+	size []int32 // per signal; -1 = closure exceeds cap, no set stored
+
+	// Per-signal cone sets, carved out of shared arenas and located by
+	// the offset tables (off[s]:off[s+1]); overflowed signals own empty
+	// ranges.
+	members []netlist.SignalID // every cone signal, root included
+	gates   []netlist.SignalID // cone gates in topological (Order-rank) order
+	ffs     []int32            // cone flip-flops, as indexes into c.FFs
+	outs    []int32            // cone outputs, as indexes into c.Outputs
+
+	memberOff, gateOff, ffOff, outOff []int32
+}
+
+// NewConeIndex builds the cone index of c with the given set-size cap
+// (0 selects DefaultConeCap). Construction is a capped DFS per signal:
+// worst case O(signals x cap) time, and the stored sets total well under
+// signals x cap entries because overflowed signals store nothing.
+func NewConeIndex(c *netlist.Circuit, capN int) *ConeIndex {
+	if capN <= 0 {
+		capN = DefaultConeCap
+	}
+	n := len(c.Signals)
+	x := &ConeIndex{
+		c:         c,
+		cap:       capN,
+		size:      make([]int32, n),
+		memberOff: make([]int32, n+1),
+		gateOff:   make([]int32, n+1),
+		ffOff:     make([]int32, n+1),
+		outOff:    make([]int32, n+1),
+	}
+
+	// Order rank for the topological sort of cone gates, FF and output
+	// indexes for the per-kind views.
+	rank := make([]int32, n)
+	for i, g := range c.Order {
+		rank[g] = int32(i)
+	}
+	ffIdx := make([]int32, n)
+	outIdx := make([]int32, n)
+	for i := range ffIdx {
+		ffIdx[i], outIdx[i] = -1, -1
+	}
+	for i, ff := range c.FFs {
+		ffIdx[ff] = int32(i)
+	}
+	for i, o := range c.Outputs {
+		outIdx[o] = int32(i)
+	}
+
+	seen := make([]int32, n)
+	for i := range seen {
+		seen[i] = -1
+	}
+	var stack, set []netlist.SignalID
+	var gateSet []netlist.SignalID
+	for root := 0; root < n; root++ {
+		r := netlist.SignalID(root)
+		stack = append(stack[:0], r)
+		set = set[:0]
+		seen[root] = int32(root)
+		over := false
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			set = append(set, s)
+			if len(set) > capN {
+				over = true
+				break
+			}
+			for _, fo := range c.Fanouts[s] {
+				if seen[fo] != int32(root) {
+					seen[fo] = int32(root)
+					stack = append(stack, fo)
+				}
+			}
+		}
+		if over {
+			x.size[root] = -1
+			// seen entries for this root are simply left behind; the
+			// next root's stamp supersedes them.
+		} else {
+			x.size[root] = int32(len(set))
+			gateSet = gateSet[:0]
+			for _, s := range set {
+				if c.IsGate(s) {
+					gateSet = append(gateSet, s)
+				}
+				if fi := ffIdx[s]; fi >= 0 {
+					x.ffs = append(x.ffs, fi)
+				}
+				if oi := outIdx[s]; oi >= 0 {
+					x.outs = append(x.outs, oi)
+				}
+			}
+			slices.SortFunc(gateSet, func(a, b netlist.SignalID) int {
+				return int(rank[a]) - int(rank[b])
+			})
+			x.members = append(x.members, set...)
+			x.gates = append(x.gates, gateSet...)
+		}
+		x.memberOff[root+1] = int32(len(x.members))
+		x.gateOff[root+1] = int32(len(x.gates))
+		x.ffOff[root+1] = int32(len(x.ffs))
+		x.outOff[root+1] = int32(len(x.outs))
+	}
+	return x
+}
+
+// Circuit returns the circuit the index describes.
+func (x *ConeIndex) Circuit() *netlist.Circuit { return x.c }
+
+// Cap returns the set-size cap the index was built with.
+func (x *ConeIndex) Cap() int { return x.cap }
+
+// Size returns the influence-cone size of signal s (root included), or
+// -1 when the closure exceeds the index cap.
+func (x *ConeIndex) Size(s netlist.SignalID) int { return int(x.size[s]) }
+
+// Members returns every signal in s's cone, root included (unordered).
+// Empty for overflowed signals; callers must not mutate the slice.
+func (x *ConeIndex) Members(s netlist.SignalID) []netlist.SignalID {
+	return x.members[x.memberOff[s]:x.memberOff[s+1]]
+}
+
+// Gates returns the cone's combinational gates in topological order.
+func (x *ConeIndex) Gates(s netlist.SignalID) []netlist.SignalID {
+	return x.gates[x.gateOff[s]:x.gateOff[s+1]]
+}
+
+// FFs returns the cone's flip-flops as indexes into the circuit's FFs
+// slice.
+func (x *ConeIndex) FFs(s netlist.SignalID) []int32 {
+	return x.ffs[x.ffOff[s]:x.ffOff[s+1]]
+}
+
+// Outs returns the cone's primary outputs as indexes into the circuit's
+// Outputs slice — the only observation points a fault rooted at s can
+// ever disturb.
+func (x *ConeIndex) Outs(s netlist.SignalID) []int32 {
+	return x.outs[x.outOff[s]:x.outOff[s+1]]
+}
+
+// ConeRoot maps an injection to its cone root: the signal where the
+// fault effect enters the circuit. A stem fault perturbs its signal for
+// every consumer; a branch fault is first visible at the consuming gate
+// or flip-flop output.
+func ConeRoot(inj Inject) netlist.SignalID {
+	if inj.IsStem() {
+		return inj.Signal
+	}
+	return inj.Gate
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+func sigByName(t *testing.T, c *netlist.Circuit) map[string]netlist.SignalID {
+	t.Helper()
+	m := make(map[string]netlist.SignalID, len(c.Signals))
+	for id := range c.Signals {
+		m[c.Signals[id].Name] = netlist.SignalID(id)
+	}
+	return m
+}
+
+// refCone is the uncapped map-based reference: the fanout closure of
+// root, crossing flip-flop boundaries.
+func refCone(c *netlist.Circuit, root netlist.SignalID) map[netlist.SignalID]bool {
+	seen := map[netlist.SignalID]bool{root: true}
+	stack := []netlist.SignalID{root}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, fo := range c.Fanouts[s] {
+			if !seen[fo] {
+				seen[fo] = true
+				stack = append(stack, fo)
+			}
+		}
+	}
+	return seen
+}
+
+// TestConeIndexGoldenS27 pins the exact influence-cone sets of
+// representative s27 signals, derived by hand from the netlist: the
+// closure crosses flip-flops (a corrupted capture resurfaces on Q), so
+// the feedback loops G10→G5→G11 and G13→G7→G12 pull most of the
+// circuit into most cones.
+func TestConeIndexGoldenS27(t *testing.T) {
+	c := bench.MustS27()
+	ids := sigByName(t, c)
+	idx := NewConeIndex(c, 0)
+
+	golden := map[string][]string{
+		// PO with no fanout: the cone is the root alone.
+		"G17": {"G17"},
+		// G0 feeds G14, and from there the G8/G9/G11 cluster — but the
+		// G12/G13/G7 loop is only reachable from G1, G2 or G7.
+		"G0": {"G0", "G14", "G8", "G10", "G15", "G16", "G9", "G11", "G17", "G6", "G5"},
+		// G1 enters through G12 and reaches everything except G14 (whose
+		// only fanin is G0) and the other PIs.
+		"G1": {"G1", "G5", "G6", "G7", "G8", "G9", "G10", "G11", "G12", "G13", "G15", "G16", "G17"},
+		"G3": {"G3", "G16", "G9", "G11", "G17", "G6", "G10", "G8", "G15", "G5"},
+		"G13": {"G13", "G7", "G12", "G15", "G9", "G11", "G17", "G6", "G10", "G8",
+			"G16", "G5"},
+	}
+	for name, wantNames := range golden {
+		root := ids[name]
+		want := make([]netlist.SignalID, 0, len(wantNames))
+		for _, n := range wantNames {
+			id, ok := ids[n]
+			if !ok {
+				t.Fatalf("golden set for %s names unknown signal %s", name, n)
+			}
+			want = append(want, id)
+		}
+		slices.Sort(want)
+		if got := idx.Size(root); got != len(want) {
+			t.Errorf("Size(%s) = %d, want %d", name, got, len(want))
+		}
+		got := slices.Clone(idx.Members(root))
+		slices.Sort(got)
+		if !slices.Equal(got, want) {
+			t.Errorf("Members(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestConeIndexMatchesReference cross-checks every signal's cone set,
+// per-kind views and topological gate order against the uncapped
+// reference closure, on s27 and randomized sequential circuits.
+func TestConeIndexMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	circuits := []*netlist.Circuit{bench.MustS27()}
+	for trial := 0; trial < 4; trial++ {
+		circuits = append(circuits, gen.Generate(gen.Profile{
+			Name: "cone", PIs: 4 + r.Intn(5), POs: 3 + r.Intn(4),
+			FFs: 4 + r.Intn(10), Gates: 60 + r.Intn(120),
+		}, int64(300+trial)))
+	}
+	for _, c := range circuits {
+		idx := NewConeIndex(c, 0)
+		rank := make(map[netlist.SignalID]int, len(c.Order))
+		for i, g := range c.Order {
+			rank[g] = i
+		}
+		for id := range c.Signals {
+			s := netlist.SignalID(id)
+			ref := refCone(c, s)
+			if len(ref) > idx.Cap() {
+				if idx.Size(s) != -1 || len(idx.Members(s)) != 0 {
+					t.Errorf("%s/%s: closure %d > cap but not marked overflowed",
+						c.Name, c.Signals[id].Name, len(ref))
+				}
+				continue
+			}
+			if got := idx.Size(s); got != len(ref) {
+				t.Errorf("%s/%s: Size = %d, want %d", c.Name, c.Signals[id].Name, got, len(ref))
+			}
+			var wantGates, wantFFs, wantOuts int
+			for m := range ref {
+				if !slices.Contains(idx.Members(s), m) {
+					t.Errorf("%s/%s: member %s missing", c.Name, c.Signals[id].Name, c.Signals[m].Name)
+				}
+				if c.IsGate(m) {
+					wantGates++
+				}
+				if c.IsFF(m) {
+					wantFFs++
+				}
+				if slices.Contains(c.Outputs, m) {
+					wantOuts++
+				}
+			}
+			gates := idx.Gates(s)
+			if len(gates) != wantGates || len(idx.FFs(s)) != wantFFs || len(idx.Outs(s)) != wantOuts {
+				t.Errorf("%s/%s: per-kind view sizes gates=%d ffs=%d outs=%d, want %d/%d/%d",
+					c.Name, c.Signals[id].Name, len(gates), len(idx.FFs(s)), len(idx.Outs(s)),
+					wantGates, wantFFs, wantOuts)
+			}
+			for i := 1; i < len(gates); i++ {
+				if rank[gates[i-1]] >= rank[gates[i]] {
+					t.Errorf("%s/%s: Gates not in topological order", c.Name, c.Signals[id].Name)
+					break
+				}
+			}
+			for _, fi := range idx.FFs(s) {
+				if !ref[c.FFs[fi]] {
+					t.Errorf("%s/%s: FFs lists non-member", c.Name, c.Signals[id].Name)
+				}
+			}
+			for _, oi := range idx.Outs(s) {
+				if !ref[c.Outputs[oi]] {
+					t.Errorf("%s/%s: Outs lists non-member", c.Name, c.Signals[id].Name)
+				}
+			}
+		}
+	}
+}
+
+// TestConeIndexCap pins the overflow contract for small caps: signals
+// whose closure exceeds the cap store nothing, the rest are exact.
+func TestConeIndexCap(t *testing.T) {
+	c := bench.MustS27()
+	idx := NewConeIndex(c, 4)
+	if idx.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", idx.Cap())
+	}
+	for id := range c.Signals {
+		s := netlist.SignalID(id)
+		ref := refCone(c, s)
+		switch {
+		case len(ref) > 4:
+			if idx.Size(s) != -1 || len(idx.Members(s)) != 0 {
+				t.Errorf("%s: closure %d not marked overflowed at cap 4", c.Signals[id].Name, len(ref))
+			}
+		default:
+			if idx.Size(s) != len(ref) {
+				t.Errorf("%s: Size = %d, want %d", c.Signals[id].Name, idx.Size(s), len(ref))
+			}
+		}
+	}
+}
+
+func TestConeRoot(t *testing.T) {
+	c := bench.MustS27()
+	ids := sigByName(t, c)
+	stem := Inject{Signal: ids["G8"], Gate: netlist.None, Pin: -1}
+	if got := ConeRoot(stem); got != ids["G8"] {
+		t.Errorf("stem ConeRoot = %v, want G8", got)
+	}
+	branch := Inject{Signal: ids["G14"], Gate: ids["G8"], Pin: 0}
+	if got := ConeRoot(branch); got != ids["G8"] {
+		t.Errorf("branch ConeRoot = %v, want consuming gate G8", got)
+	}
+}

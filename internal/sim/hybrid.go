@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// DeltaSeq is the fast path of the hybrid fault evaluator: it simulates
+// faults one at a time against a shared fault-free baseline (a compiled
+// machine), propagating only the DIFFERENCE between the faulty and the
+// fault-free circuit. Per cycle and per fault the work is proportional
+// to the fault's actual divergence — the set of nets whose faulty value
+// differs from the baseline — not to the circuit size, so quiet faults
+// and faults detected early cost almost nothing.
+//
+// The per-cycle divergence of a fault whose static influence cone (see
+// ConeIndex) holds at most thr signals can never evaluate more than thr
+// gates, so small-cone faults are guaranteed residents of this path.
+// Faults with larger cones are admitted optimistically: the moment a
+// single cycle evaluates more than thr gates the fault is abandoned
+// (reported as overflowed) and the caller re-simulates it on the
+// compiled 64-lane sweep, which is cheaper for broadly diverging
+// faults. The overflow decision depends only on (fault, sequence,
+// initial state), never on batching or worker count, so hybrid results
+// are byte-identical to the compiled backend at any parallelism.
+//
+// Detection semantics match the packed simulators exactly: a fault is
+// detected at the first cycle where some primary output carries a
+// definite value in the baseline and the opposite definite value in the
+// faulty machine; X never detects.
+type DeltaSeq struct {
+	p    *Program
+	base *CompiledSeq
+
+	// Per-(fault,cycle) epoch-stamped scratch: fv[s] is the faulty value
+	// of signal s where fvEp[s] matches the current epoch, otherwise the
+	// faulty machine agrees with the baseline.
+	fv    []logic.V
+	fvEp  []uint32
+	inQ   []uint32 // gate already scheduled this epoch
+	capEp []uint32 // FF (by FFs index) already in the capture list
+	epoch uint32
+
+	buckets  [][]netlist.SignalID // level-indexed event queue
+	loLvl    int                  // occupied level range of buckets
+	hiLvl    int
+	pending  int     // scheduled-but-undrained gate count
+	capture  []int32 // FFs (by FFs index) whose D input diverged
+	maxLevel int
+
+	ffIdx  []int32 // signal -> index into C.FFs, or -1
+	outIdx []int32 // signal -> index into C.Outputs, or -1
+
+	detected bool
+	evals    int
+
+	poW    []logic.Word
+	faults []deltaFault
+	live   []*deltaFault
+}
+
+// diffEntry is one flip-flop whose faulty captured state differs from
+// the baseline's: the sparse state diff carried between cycles.
+type diffEntry struct {
+	ff int32 // index into C.FFs
+	v  logic.V
+}
+
+type deltaFault struct {
+	inj  Inject
+	idx  int // caller slot
+	diff []diffEntry
+	next []diffEntry
+}
+
+// Step outcome of one fault-cycle.
+const (
+	stepLive = iota
+	stepDetected
+	stepOverflowed
+)
+
+// NewDeltaSeq builds a delta simulator sharing an existing compiled
+// program. One DeltaSeq serves any number of Run calls; it is not safe
+// for concurrent use (parallel fault-simulation workers own one each).
+func NewDeltaSeq(p *Program) *DeltaSeq {
+	c := p.C
+	maxLevel := 0
+	for _, l := range c.Level {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	d := &DeltaSeq{
+		p:        p,
+		base:     NewCompiledSeqFrom(p),
+		fv:       make([]logic.V, len(c.Signals)),
+		fvEp:     make([]uint32, len(c.Signals)),
+		inQ:      make([]uint32, len(c.Signals)),
+		capEp:    make([]uint32, len(c.FFs)),
+		buckets:  make([][]netlist.SignalID, maxLevel+1),
+		maxLevel: maxLevel,
+		ffIdx:    make([]int32, len(c.Signals)),
+		outIdx:   make([]int32, len(c.Signals)),
+	}
+	for i := range d.ffIdx {
+		d.ffIdx[i], d.outIdx[i] = -1, -1
+	}
+	for i, ff := range c.FFs {
+		d.ffIdx[ff] = int32(i)
+	}
+	for i, o := range c.Outputs {
+		d.outIdx[o] = int32(i)
+	}
+	return d
+}
+
+// bump advances the scratch epoch, clearing the stamp arrays on the
+// (effectively unreachable) wrap so a stale stamp can never alias.
+func (d *DeltaSeq) bump() {
+	if d.epoch == math.MaxUint32 {
+		clear(d.fvEp)
+		clear(d.inQ)
+		clear(d.capEp)
+		d.epoch = 0
+	}
+	d.epoch++
+}
+
+// val reads signal s of the faulty machine: its stamped delta value, or
+// the baseline where the machines agree.
+func (d *DeltaSeq) val(s netlist.SignalID) logic.V {
+	if d.fvEp[s] == d.epoch {
+		return d.fv[s]
+	}
+	return d.base.Vals[s].Get(0)
+}
+
+// schedule queues gate g for evaluation this cycle.
+func (d *DeltaSeq) schedule(g netlist.SignalID) {
+	if d.inQ[g] == d.epoch {
+		return
+	}
+	d.inQ[g] = d.epoch
+	lvl := d.p.C.Level[g]
+	d.buckets[lvl] = append(d.buckets[lvl], g)
+	if d.pending == 0 || lvl < d.loLvl {
+		d.loLvl = lvl
+	}
+	if d.pending == 0 || lvl > d.hiLvl {
+		d.hiLvl = lvl
+	}
+	d.pending++
+}
+
+// put stamps the faulty value of s and, when it diverges from the
+// baseline, schedules s's consumers and checks detection at primary
+// outputs. Divergence includes known-vs-X differences (they propagate
+// but cannot detect).
+func (d *DeltaSeq) put(s netlist.SignalID, v logic.V) {
+	if d.fvEp[s] == d.epoch && d.fv[s] == v {
+		return
+	}
+	d.fvEp[s] = d.epoch
+	d.fv[s] = v
+	vb := d.base.Vals[s].Get(0)
+	if v == vb {
+		return
+	}
+	if oi := d.outIdx[s]; oi >= 0 && vb.Known() && v.Known() {
+		d.detected = true
+		return
+	}
+	c := d.p.C
+	for _, fo := range c.Fanouts[s] {
+		if fi := d.ffIdx[fo]; fi >= 0 {
+			if d.capEp[fi] != d.epoch {
+				d.capEp[fi] = d.epoch
+				d.capture = append(d.capture, fi)
+			}
+			continue
+		}
+		d.schedule(fo)
+	}
+}
+
+// abort discards the in-flight cycle state after a detection or an
+// overflow: the fault leaves the delta path, so nothing needs to stay
+// consistent.
+func (d *DeltaSeq) abort() {
+	if d.pending > 0 {
+		for lvl := d.loLvl; lvl <= d.hiLvl; lvl++ {
+			d.buckets[lvl] = d.buckets[lvl][:0]
+		}
+		d.pending = 0
+	}
+	d.capture = d.capture[:0]
+}
+
+// step advances one fault by one cycle against the already-advanced
+// baseline. thr is the per-cycle gate-evaluation budget.
+func (d *DeltaSeq) step(f *deltaFault, thr int) int {
+	c := d.p.C
+	// Quiet-cycle fast path: a stem fault with no carried state diff and
+	// a baseline that already agrees with the forced value cannot diverge
+	// anywhere this cycle — the whole machine equals the baseline, so the
+	// captured state does too.
+	if f.inj.IsStem() && len(f.diff) == 0 && d.base.Vals[f.inj.Signal].Get(0) == f.inj.Value {
+		return stepLive
+	}
+	d.bump()
+	d.detected = false
+	d.evals = 0
+	d.pending = 0
+	inj := &f.inj
+	stem := inj.IsStem()
+
+	// Present the cycle-start divergences: the sparse faulty-state diff
+	// and the fault site itself. A stem fault pins its signal's value
+	// outright (for FF sites that overrides any captured diff).
+	if stem {
+		d.put(inj.Signal, inj.Value)
+	}
+	for _, e := range f.diff {
+		ff := c.FFs[e.ff]
+		if stem && inj.Signal == ff {
+			continue
+		}
+		d.put(ff, e.v)
+	}
+	if !stem && !c.IsFF(inj.Gate) {
+		// A branch fault on a gate pin re-evaluates its consumer every
+		// cycle: the override may diverge the gate even when no input
+		// changed. (FF D-pin branches act at capture below.)
+		d.schedule(inj.Gate)
+	}
+	if d.detected {
+		d.abort()
+		return stepDetected
+	}
+
+	// Drain the event queue in level order.
+	var buf [12]logic.V
+	for lvl := d.loLvl; lvl <= d.hiLvl && d.pending > 0; lvl++ {
+		bucket := d.buckets[lvl]
+		for i := 0; i < len(bucket); i++ {
+			g := bucket[i]
+			s := &c.Signals[g]
+			in := buf[:0]
+			for pin, fan := range s.Fanin {
+				v := d.val(fan)
+				if !stem && inj.Gate == g && inj.Pin == pin {
+					v = inj.Value
+				}
+				in = append(in, v)
+			}
+			v := s.Op.Eval(in)
+			if stem && inj.Signal == g {
+				v = inj.Value
+			}
+			d.evals++
+			d.put(g, v)
+			if d.detected {
+				d.pending -= len(bucket) - i
+				d.buckets[lvl] = d.buckets[lvl][:0]
+				d.abort()
+				return stepDetected
+			}
+		}
+		d.pending -= len(bucket)
+		d.buckets[lvl] = d.buckets[lvl][:0]
+		if d.evals > thr {
+			d.abort()
+			return stepOverflowed
+		}
+	}
+
+	// Capture: rebuild the state diff for the next cycle from the FFs
+	// whose D input diverged this cycle (plus a D-pin branch fault's
+	// victim, which the override may diverge on its own).
+	if !stem && c.IsFF(inj.Gate) && inj.Pin == 0 {
+		if fi := d.ffIdx[inj.Gate]; fi >= 0 && d.capEp[fi] != d.epoch {
+			d.capEp[fi] = d.epoch
+			d.capture = append(d.capture, fi)
+		}
+	}
+	f.next = f.next[:0]
+	for _, fi := range d.capture {
+		ff := c.FFs[fi]
+		dv := d.val(c.Signals[ff].Fanin[0])
+		if !stem && inj.Gate == ff && inj.Pin == 0 {
+			dv = inj.Value
+		}
+		if dv != d.base.StateWord(int(fi)).Get(0) {
+			f.next = append(f.next, diffEntry{ff: fi, v: dv})
+		}
+	}
+	d.capture = d.capture[:0]
+	f.diff, f.next = f.next, f.diff
+	return stepLive
+}
+
+// Run simulates every injection in injs (one fault each) over the
+// broadcast stimulus seqW, against an initial state (nil means all-X,
+// one value per FF otherwise, applied to baseline and faulty machines
+// alike). It writes the first detection cycle (or -1) into det[i] and
+// sets over[i] for faults abandoned to the full-width sweep; det
+// entries of overflowed faults are meaningless. det and over must have
+// at least len(injs) entries. It returns the number of baseline cycles
+// executed — the loop ends early once every fault is detected or
+// overflowed, which cannot change any verdict.
+func (d *DeltaSeq) Run(injs []Inject, seqW [][]logic.Word, initState []logic.V, thr int, det []int, over []bool) int {
+	d.base.SetInjections(nil)
+	d.base.ResetX()
+	for i, v := range initState {
+		d.base.SetStateWord(i, logic.WordAll(v))
+	}
+	for len(d.faults) < len(injs) {
+		d.faults = append(d.faults, deltaFault{})
+	}
+	d.live = d.live[:0]
+	for i := range injs {
+		f := &d.faults[i]
+		f.inj = injs[i]
+		f.idx = i
+		f.diff = f.diff[:0]
+		det[i] = -1
+		over[i] = false
+		d.live = append(d.live, f)
+	}
+	ran := 0
+	for cyc := 0; cyc < len(seqW) && len(d.live) > 0; cyc++ {
+		d.poW = d.base.Cycle(seqW[cyc], d.poW)
+		ran++
+		for li := 0; li < len(d.live); {
+			f := d.live[li]
+			switch d.step(f, thr) {
+			case stepDetected:
+				det[f.idx] = cyc
+			case stepOverflowed:
+				over[f.idx] = true
+			default:
+				li++
+				continue
+			}
+			last := len(d.live) - 1
+			d.live[li] = d.live[last]
+			d.live = d.live[:last]
+		}
+	}
+	return ran
+}
