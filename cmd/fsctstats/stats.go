@@ -53,8 +53,18 @@ func values(r ledger.Record) map[string]float64 {
 }
 
 // groupKey identifies a trend series: runs of the same CLI over the
-// same circuit are comparable, others are not.
-func groupKey(r ledger.Record) string { return r.CLI + " " + r.Circuit }
+// same circuit are comparable, others are not. Daemon records (from
+// cmd/fsctd) all share one CLI name, so their job kind joins the key —
+// a flow job and a faultsim job over the same circuit report different
+// metrics and must not drift-check against each other. Records without
+// server metadata (every record written before the service layer
+// existed) keep their original key unchanged.
+func groupKey(r ledger.Record) string {
+	if r.Server != nil && r.Server.Kind != "" {
+		return r.CLI + "/" + r.Server.Kind + " " + r.Circuit
+	}
+	return r.CLI + " " + r.Circuit
+}
 
 // groups splits records into time-ordered trend series, returning the
 // sorted group keys and the grouped records.

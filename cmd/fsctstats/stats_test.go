@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -224,6 +225,95 @@ func TestListAndTrendRender(t *testing.T) {
 	rows := doc["fsctest s27"]
 	if len(rows) != 2 || rows[0].Coverage == nil || *rows[0].Coverage != 99.5 || !rows[1].HashChange {
 		t.Fatalf("unexpected trend JSON: %+v", rows)
+	}
+}
+
+// srvRec builds a daemon (cmd/fsctd) run record: the CLI is always
+// "fsctd" and the job kind lives in the server metadata.
+func srvRec(kind, circuit string, min int, coverage float64) ledger.Record {
+	r := rec(circuit, min, coverage, 1e9, 5, 5)
+	r.CLI = "fsctd"
+	r.Server = &ledger.ServerMeta{
+		JobID: "j000001", Kind: kind, Status: "done", QueueNS: 1000,
+	}
+	return r
+}
+
+// TestMixedLedgerTolerated: a ledger holding pre-service records (no
+// "server" field at all) alongside daemon records must parse, and the
+// old records must come back with nil Server rather than a zero value.
+func TestMixedLedgerTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	if err := ledger.Append(path, rec("s27", 0, 99, 1e9, 5, 5), srvRec("flow", "s27", 1, 99)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ledger.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("read %d records, want 2", len(recs))
+	}
+	if recs[0].Server != nil {
+		t.Errorf("batch record unmarshaled with Server = %+v, want nil", recs[0].Server)
+	}
+	if recs[1].Server == nil || recs[1].Server.Kind != "flow" {
+		t.Errorf("daemon record lost its server metadata: %+v", recs[1].Server)
+	}
+	// The batch record must not carry a "server" key on disk either —
+	// old readers would choke on fields they cannot ignore, and the
+	// omitempty contract is what keeps the schema backward-readable.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if strings.Contains(lines[0], `"server"`) {
+		t.Errorf("batch record serialized a server field:\n%s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"server"`) {
+		t.Errorf("daemon record dropped its server field:\n%s", lines[1])
+	}
+
+	// Every subcommand must render the mixed set without error.
+	var out bytes.Buffer
+	if err := runList(&out, recs, false); err != nil {
+		t.Fatalf("list over mixed ledger: %v", err)
+	}
+	out.Reset()
+	if err := runTrend(&out, recs, false); err != nil {
+		t.Fatalf("trend over mixed ledger: %v", err)
+	}
+	out.Reset()
+	if _, err := runCheck(&out, recs, checkOptions{}); err != nil {
+		t.Fatalf("check over mixed ledger: %v", err)
+	}
+}
+
+// TestServerKindSplitsSeries: daemon jobs of different kinds over the
+// same circuit are different workloads; grouping them into one series
+// would drift-check a flow run against a faultsim run.
+func TestServerKindSplitsSeries(t *testing.T) {
+	recs := []ledger.Record{
+		srvRec("flow", "s27", 0, 99),
+		srvRec("faultsim", "s27", 1, 42), // wildly different coverage, fine: other kind
+		srvRec("flow", "s27", 2, 99),
+		srvRec("faultsim", "s27", 3, 42),
+	}
+	keys, byGroup := groups(recs)
+	if len(keys) != 2 {
+		t.Fatalf("groups = %v, want 2 series", keys)
+	}
+	if len(byGroup["fsctd/flow s27"]) != 2 || len(byGroup["fsctd/faultsim s27"]) != 2 {
+		t.Fatalf("series split wrong: %v", keys)
+	}
+	var out bytes.Buffer
+	drifted, err := runCheck(&out, recs, checkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted {
+		t.Fatalf("cross-kind comparison leaked into drift check:\n%s", out.String())
 	}
 }
 

@@ -190,6 +190,27 @@ func (s *Session) RecordRun(circuit string, hash uint64, m *obs.Metrics, extra m
 	s.mu.Unlock()
 }
 
+// AppendRun writes one completed ledger record immediately instead of
+// queueing it for Close. Long-lived daemons (cmd/fsctd) use it so each
+// finished job is durable the moment it completes — a crashed daemon
+// loses nothing already served — while short-lived CLIs keep the
+// one-write-at-Close path of RecordRun. The record is completed the
+// same way Close would (timestamp = now rather than process start,
+// CLI, explicitly-set flags, per-record exit, wall = record's own
+// duration as provided). No-op unless -ledger was set.
+func (s *Session) AppendRun(rec ledger.Record, exit int, wall time.Duration) error {
+	if s.flags.Ledger == "" {
+		return nil
+	}
+	rec.Schema = ledger.Schema
+	rec.Time = time.Now()
+	rec.CLI = s.cli
+	rec.Flags = s.flags.setFlags()
+	rec.Exit = exit
+	rec.WallNS = wall.Nanoseconds()
+	return ledger.Append(s.flags.Ledger, rec)
+}
+
 // SetExit declares the status the process is about to exit with, for
 // the ledger records Close flushes. Call it before Close on every exit
 // path (the CLIs route both through their exit helper).

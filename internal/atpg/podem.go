@@ -13,6 +13,7 @@ package atpg
 import (
 	"context"
 	"fmt"
+	"unsafe"
 
 	"repro/internal/fault"
 	"repro/internal/logic"
@@ -198,6 +199,15 @@ type decision struct {
 type Tables struct {
 	CC0, CC1 []int64
 	ObsDist  []int32
+}
+
+// SizeBytes estimates the tables' resident footprint for byte-budgeted
+// caches (the engine layer memoizes one Tables per distinct fixed
+// assignment).
+func (t *Tables) SizeBytes() int64 {
+	return int64(unsafe.Sizeof(*t)) +
+		int64(cap(t.CC0)+cap(t.CC1))*8 +
+		int64(cap(t.ObsDist))*4
 }
 
 // NewTables computes the SCOAP controllability and observation-distance

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+// sweepCircuit generates one of the sweep's distinct mid-size circuits
+// (distinct name + seed => distinct structural hash and artifacts).
+func sweepCircuit(i int) *netlist.Circuit {
+	return gen.Generate(gen.Profile{
+		Name: fmt.Sprintf("swp%d", i), PIs: 8, POs: 6, FFs: 32, Gates: 1200,
+	}, int64(100+i))
+}
+
+// touch probes the cache for c and materializes the fault-simulation
+// working set (compiled program, collapsed faults, fanout cones) the
+// way a screening or fault-sim job would.
+func touch(t *testing.T, ca *Cache, c *netlist.Circuit) {
+	t.Helper()
+	a := ca.For(c)
+	if a.Program(nil) == nil {
+		t.Fatal("compile failed")
+	}
+	a.CollapsedFaults()
+	a.Cones(nil)
+}
+
+// TestEmitCacheSweep measures cache hit rate and evictions as a
+// function of the byte budget, for EXPERIMENTS.md ("Cache hit rate vs
+// byte budget"). Gated like the bench emitters:
+//
+//	FSCT_EMIT_BENCH=1 go test -run TestEmitCacheSweep -v ./internal/engine/
+//
+// The workload models a daemon serving a mix of tenants: 2 hot
+// circuits probed every round plus a round-robin tail of 6 cold
+// circuits, 24 rounds. Per-entry size is measured first, so budgets
+// are expressed in working-set multiples and the table stays
+// meaningful if artifact sizes drift.
+func TestEmitCacheSweep(t *testing.T) {
+	if os.Getenv("FSCT_EMIT_BENCH") == "" {
+		t.Skip("set FSCT_EMIT_BENCH=1 to run the cache budget sweep")
+	}
+
+	const nHot, nCold, rounds = 2, 6, 24
+	circuits := make([]*netlist.Circuit, nHot+nCold)
+	for i := range circuits {
+		circuits[i] = sweepCircuit(i)
+	}
+
+	// Measure one entry's materialized footprint.
+	probe := New()
+	touch(t, probe, circuits[0])
+	perEntry := probe.Stats().Bytes
+	total := perEntry * int64(len(circuits))
+	fmt.Printf("per-entry working set: %d bytes; %d circuits (%d hot + %d cold); total %d bytes\n\n",
+		perEntry, len(circuits), nHot, nCold, total)
+
+	budgets := []struct {
+		label  string
+		budget int64
+	}{
+		{"unbounded", 0},
+		{"8 entries (= all)", total},
+		{"4 entries", perEntry * 4},
+		{"3 entries", perEntry * 3},
+		{"2 entries (= hot set)", perEntry * 2},
+		{"1 entry", perEntry},
+	}
+	fmt.Printf("%-22s %8s %8s %9s %10s %8s\n",
+		"BUDGET", "HITS", "MISSES", "HIT-RATE", "EVICTIONS", "RESIDENT")
+	for _, b := range budgets {
+		ca := New()
+		ca.SetBudget(b.budget)
+		for r := 0; r < rounds; r++ {
+			for h := 0; h < nHot; h++ {
+				touch(t, ca, circuits[h])
+			}
+			touch(t, ca, circuits[nHot+r%nCold])
+		}
+		st := ca.Stats()
+		fmt.Printf("%-22s %8d %8d %8.1f%% %10d %8d\n",
+			b.label, st.Hits, st.Misses,
+			100*float64(st.Hits)/float64(st.Hits+st.Misses),
+			st.Evictions, st.Entries)
+	}
+}

@@ -21,124 +21,16 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/atpg"
 	"repro/internal/fault"
-	"repro/internal/journal"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
-
-// maxEntries bounds the cache: one entry per distinct circuit
-// structure, evicted FIFO beyond the bound. A flow run touches two
-// structures (the scan circuit and its combinational model); the bound
-// only matters to long-lived processes churning through many circuits.
-const maxEntries = 64
-
-// Cache memoizes derived artifacts per circuit structure. The zero
-// value is not usable; construct with New (or use the process-wide
-// Default). All methods are safe for concurrent use.
-type Cache struct {
-	mu      sync.Mutex
-	entries map[uint64]*Artifacts
-	order   []uint64 // insertion order, for FIFO eviction
-	bypass  bool
-}
-
-// New returns an empty artifact cache.
-func New() *Cache {
-	return &Cache{entries: make(map[uint64]*Artifacts)}
-}
-
-// Bypass returns a cache that never memoizes: every For call hands back
-// a fresh Artifacts value, so each phase rebuilds its derived
-// structures from scratch. This is the cold-rebuild reference the
-// determinism tests and the cache-on/off benchmarks compare against.
-func Bypass() *Cache {
-	return &Cache{entries: make(map[uint64]*Artifacts), bypass: true}
-}
-
-var defaultCache = New()
-
-// Default returns the process-wide shared cache, used whenever a caller
-// does not supply an explicit one.
-func Default() *Cache { return defaultCache }
-
-// Resolve maps a possibly-nil cache to a usable one (nil selects
-// Default), letting option structs treat "no cache configured" as
-// "share the process-wide cache".
-func Resolve(c *Cache) *Cache {
-	if c == nil {
-		return Default()
-	}
-	return c
-}
-
-// For returns the artifact set for circuit c, creating it on first use.
-// The entry is keyed by c's structural hash; if a previously cached
-// circuit with the same hash has since been mutated (its current hash
-// no longer matches the key it was stored under), the stale entry is
-// replaced rather than served.
-func (ca *Cache) For(c *netlist.Circuit) *Artifacts {
-	a, _ := ca.lookup(c)
-	return a
-}
-
-// ForObs is For plus probe observability: the outcome is counted under
-// engine.cache.hits / engine.cache.misses on col and mirrored as a
-// cache event into col's journal when a flight recorder is attached.
-// With col == nil it is exactly For.
-func (ca *Cache) ForObs(c *netlist.Circuit, col *obs.Collector) *Artifacts {
-	a, hit := ca.lookup(c)
-	if col.Enabled() {
-		if hit {
-			col.Counter("engine.cache.hits").Inc()
-		} else {
-			col.Counter("engine.cache.misses").Inc()
-		}
-		col.Journal().Emit(journal.Cache("artifacts", hit))
-	}
-	return a
-}
-
-// lookup resolves c's artifact entry and reports whether it was served
-// from cache (bypass caches always rebuild, so they always miss).
-func (ca *Cache) lookup(c *netlist.Circuit) (*Artifacts, bool) {
-	if ca.bypass {
-		return newArtifacts(c), false
-	}
-	h := c.StructuralHash()
-	ca.mu.Lock()
-	defer ca.mu.Unlock()
-	if a, ok := ca.entries[h]; ok {
-		if a.c == c || a.c.StructuralHash() == h {
-			return a, true
-		}
-		// The cached circuit mutated after being cached; its artifacts
-		// no longer describe the structure hashed under this key.
-		delete(ca.entries, h)
-	}
-	a := newArtifacts(c)
-	ca.entries[h] = a
-	ca.order = append(ca.order, h)
-	for len(ca.order) > maxEntries {
-		old := ca.order[0]
-		ca.order = ca.order[1:]
-		if e, ok := ca.entries[old]; ok && e != a {
-			delete(ca.entries, old)
-		}
-	}
-	return a, false
-}
-
-// Len reports the number of cached circuit entries (for tests).
-func (ca *Cache) Len() int {
-	ca.mu.Lock()
-	defer ca.mu.Unlock()
-	return len(ca.entries)
-}
 
 // Artifacts is the set of lazily materialized derived structures for
 // one circuit. Each artifact is built at most once per Artifacts value
@@ -147,6 +39,11 @@ func (ca *Cache) Len() int {
 type Artifacts struct {
 	c    *netlist.Circuit
 	hash uint64
+
+	// size accumulates the estimated resident footprint: the circuit
+	// itself plus every artifact materialized so far. Byte-budgeted
+	// caches resync their accounting from it at probe boundaries.
+	size atomic.Int64
 
 	progOnce sync.Once
 	prog     *sim.Program
@@ -175,7 +72,9 @@ type combSearch struct {
 }
 
 func newArtifacts(c *netlist.Circuit) *Artifacts {
-	return &Artifacts{c: c, hash: c.StructuralHash(), searches: make(map[uint64]*combSearch)}
+	a := &Artifacts{c: c, hash: c.StructuralHash(), searches: make(map[uint64]*combSearch)}
+	a.size.Store(int64(unsafe.Sizeof(*a)) + c.SizeBytes())
+	return a
 }
 
 // Circuit returns the circuit these artifacts derive from.
@@ -183,6 +82,11 @@ func (a *Artifacts) Circuit() *netlist.Circuit { return a.c }
 
 // Hash returns the structural hash the artifacts are keyed by.
 func (a *Artifacts) Hash() uint64 { return a.hash }
+
+// SizeBytes returns the current estimated resident footprint of the
+// artifact set: the backing circuit plus everything materialized so
+// far. It grows monotonically as artifacts lazily materialize.
+func (a *Artifacts) SizeBytes() int64 { return a.size.Load() }
 
 // Program returns the compiled instruction stream (which carries the
 // levelization order), compiling on first use. When a collector is
@@ -192,6 +96,7 @@ func (a *Artifacts) Hash() uint64 { return a.hash }
 func (a *Artifacts) Program(col *obs.Collector) *sim.Program {
 	a.progOnce.Do(func() {
 		a.prog = sim.CompileObs(a.c, col)
+		a.size.Add(a.prog.SizeBytes())
 	})
 	return a.prog
 }
@@ -202,6 +107,7 @@ func (a *Artifacts) Program(col *obs.Collector) *sim.Program {
 func (a *Artifacts) CollapsedFaults() []fault.Fault {
 	a.faultsOnce.Do(func() {
 		a.faults = fault.Collapsed(a.c)
+		a.size.Add(int64(cap(a.faults)) * int64(unsafe.Sizeof(fault.Fault{})))
 	})
 	return a.faults
 }
@@ -219,6 +125,7 @@ func (a *Artifacts) Cones(col *obs.Collector) *sim.ConeIndex {
 			col.Counter("engine.cones.builds").Inc()
 		}
 		a.cones = sim.NewConeIndex(a.c, 0)
+		a.size.Add(a.cones.SizeBytes())
 	})
 	return a.cones
 }
@@ -231,6 +138,11 @@ func (a *Artifacts) Cones(col *obs.Collector) *sim.ConeIndex {
 func (a *Artifacts) CombModel() (*atpg.CombModel, error) {
 	a.combOnce.Do(func() {
 		a.comb, a.combErr = atpg.BuildCombModel(a.c)
+		if a.combErr == nil {
+			// The model circuit plus its D-pin observation-buffer map
+			// (~48 bytes of bucket share per entry).
+			a.size.Add(a.comb.C.SizeBytes() + int64(len(a.comb.DBuf))*48)
+		}
 	})
 	return a.comb, a.combErr
 }
@@ -258,6 +170,9 @@ func (a *Artifacts) CombSearch(fixed map[netlist.SignalID]logic.V) (*atpg.Model,
 		s.model, s.err = atpg.NewModel(cm.C, fixed)
 		if s.err == nil {
 			s.tables = atpg.NewTables(s.model)
+			// Tables dominate; the model is the shared comb circuit
+			// plus the fixed map (~56 bytes of bucket share per entry).
+			a.size.Add(s.tables.SizeBytes() + int64(len(fixed))*56)
 		}
 	})
 	return s.model, s.tables, s.err

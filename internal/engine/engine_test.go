@@ -155,8 +155,9 @@ func TestCacheEviction(t *testing.T) {
 	ca := New()
 	first := andCircuit(t)
 	ca.For(first)
-	// Push maxEntries further distinct structures through the cache.
-	for i := 0; i < maxEntries; i++ {
+	// Push DefaultMaxEntries further distinct structures through the
+	// cache.
+	for i := 0; i < DefaultMaxEntries; i++ {
 		c := netlist.New("ev")
 		in, _ := c.AddInput("a")
 		prev := in
@@ -173,8 +174,8 @@ func TestCacheEviction(t *testing.T) {
 		c.MustFinalize()
 		ca.For(c)
 	}
-	if got := ca.Len(); got > maxEntries {
-		t.Errorf("cache grew to %d entries, bound is %d", got, maxEntries)
+	if got := ca.Len(); got > DefaultMaxEntries {
+		t.Errorf("cache grew to %d entries, bound is %d", got, DefaultMaxEntries)
 	}
 }
 

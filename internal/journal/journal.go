@@ -184,6 +184,26 @@ func (r *Recorder) Snapshot() []Event {
 	return append([]Event(nil), r.events...)
 }
 
+// Since returns a copy of the recorded events from index i on (in
+// emission order), or nil when i is at or past the end. Incremental
+// consumers — the SSE bridge of the service layer — poll it with their
+// own cursor instead of re-copying the whole buffer via Snapshot.
+// Returns nil on the nil recorder.
+func (r *Recorder) Since(i int) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(r.events) {
+		return nil
+	}
+	return append([]Event(nil), r.events[i:]...)
+}
+
 // Len returns the number of stored events.
 func (r *Recorder) Len() int {
 	if r == nil {

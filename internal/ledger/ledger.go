@@ -63,6 +63,26 @@ type Record struct {
 	// utilization"), plus CLI-provided headline scalars such as
 	// "coverage".
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Server describes the daemon job the record came from, when the
+	// run executed inside fsctd rather than a batch CLI. Nil for batch
+	// records; readers must tolerate its absence (records written
+	// before the service layer existed never carry it).
+	Server *ServerMeta `json:"server,omitempty"`
+}
+
+// ServerMeta is the daemon-side identity of a ledger record: which
+// fsctd job produced it and how that job fared in the queue.
+type ServerMeta struct {
+	// JobID is the daemon-assigned job identifier.
+	JobID string `json:"job_id"`
+	// Kind is the job kind (flow, screen, atpg, faultsim, diagnose).
+	Kind string `json:"kind"`
+	// Priority is the submitted queue priority (higher runs earlier).
+	Priority int `json:"priority"`
+	// Status is the terminal job status (done, failed, canceled).
+	Status string `json:"status"`
+	// QueueNS is how long the job waited for a runner, in nanoseconds.
+	QueueNS int64 `json:"queue_ns"`
 }
 
 // HashString renders a structural hash the way Record.Hash stores it.

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/logic"
 )
@@ -410,6 +411,36 @@ func (c *Circuit) FaninCone(s SignalID) []SignalID {
 	}
 	sort.Slice(cone, func(i, j int) bool { return cone[i] < cone[j] })
 	return cone
+}
+
+// SizeBytes estimates the circuit's resident memory footprint: the
+// signal table (names and fanin lists), the derived structures
+// Finalize builds, and the name index. It is an accounting estimate
+// for byte-budgeted caches (the engine artifact cache charges every
+// entry's retained structures against its budget), not an exact
+// allocator measurement.
+func (c *Circuit) SizeBytes() int64 {
+	const (
+		sliceHeader = 24 // slice header retained per nested slice
+		mapEntry    = 48 // rough per-entry map overhead (bucket share)
+	)
+	idBytes := int64(unsafe.Sizeof(SignalID(0)))
+	n := int64(unsafe.Sizeof(*c))
+	n += int64(cap(c.Signals)) * int64(unsafe.Sizeof(Signal{}))
+	for i := range c.Signals {
+		s := &c.Signals[i]
+		n += int64(len(s.Name)) + int64(cap(s.Fanin))*idBytes
+	}
+	n += int64(cap(c.Outputs)+cap(c.Inputs)+cap(c.FFs)+cap(c.Order)) * idBytes
+	n += int64(cap(c.Level)) * int64(unsafe.Sizeof(int(0)))
+	n += int64(cap(c.Fanouts)) * sliceHeader
+	for _, f := range c.Fanouts {
+		n += int64(cap(f)) * idBytes
+	}
+	for name := range c.byName {
+		n += int64(len(name)) + mapEntry
+	}
+	return n
 }
 
 // Stats summarizes circuit size for reports.

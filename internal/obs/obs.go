@@ -56,6 +56,7 @@ type Collector struct {
 	hists    map[string]*Histogram
 	phases   []phase
 	pools    map[string]*pool
+	marks    map[string]struct{}
 }
 
 type phase struct {
@@ -160,6 +161,29 @@ func (c *Collector) Counter(name string) *Counter {
 		c.counters[name] = ctr
 	}
 	return ctr
+}
+
+// MarkOnce records key in the collector's first-seen set and reports
+// whether this call was the first for that key. It lets instrumented
+// layers count an outcome once per run rather than once per occurrence
+// — the engine cache uses it so a run's repeated probes of one circuit
+// structure register a single hit or miss instead of inflating the hit
+// rate with every lookup. Returns false on the nil collector (nothing
+// is ever "first" on the disabled collector).
+func (c *Collector) MarkOnce(key string) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.marks == nil {
+		c.marks = make(map[string]struct{})
+	}
+	if _, ok := c.marks[key]; ok {
+		return false
+	}
+	c.marks[key] = struct{}{}
+	return true
 }
 
 // Histogram returns the named histogram, creating it on first use.

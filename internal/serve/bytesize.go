@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseByteSize parses a human byte-size string for the cache-budget
+// flag: a number with an optional suffix K / M / G / T (each also
+// accepted as KB/KiB, MB/MiB, ...). All suffixes are binary (powers of
+// 1024) — this sizes a memory budget, where binary units are what
+// operators mean. The number may be fractional ("1.5GiB"); a bare
+// number is bytes; "0" means unbounded.
+func ParseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("empty byte size")
+	}
+	upper := strings.ToUpper(t)
+	upper = strings.TrimSuffix(upper, "B")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(upper, "KI"):
+		mult, upper = 1<<10, strings.TrimSuffix(upper, "KI")
+	case strings.HasSuffix(upper, "MI"):
+		mult, upper = 1<<20, strings.TrimSuffix(upper, "MI")
+	case strings.HasSuffix(upper, "GI"):
+		mult, upper = 1<<30, strings.TrimSuffix(upper, "GI")
+	case strings.HasSuffix(upper, "TI"):
+		mult, upper = 1<<40, strings.TrimSuffix(upper, "TI")
+	case strings.HasSuffix(upper, "K"):
+		mult, upper = 1<<10, strings.TrimSuffix(upper, "K")
+	case strings.HasSuffix(upper, "M"):
+		mult, upper = 1<<20, strings.TrimSuffix(upper, "M")
+	case strings.HasSuffix(upper, "G"):
+		mult, upper = 1<<30, strings.TrimSuffix(upper, "G")
+	case strings.HasSuffix(upper, "T"):
+		mult, upper = 1<<40, strings.TrimSuffix(upper, "T")
+	}
+	num := strings.TrimSpace(upper)
+	if num == "" {
+		return 0, fmt.Errorf("byte size %q has no number", s)
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}

@@ -1,0 +1,342 @@
+// Package serve is the service layer behind cmd/fsctd: a long-lived
+// HTTP/JSON daemon that runs screening, ATPG, fault-simulation and
+// diagnosis jobs concurrently over the same library facade the batch
+// CLIs use, producing byte-identical reports.
+//
+// The layer composes machinery that already existed for single runs:
+//
+//   - jobs are admitted into a bounded priority queue (admission
+//     control rejects past the bound; higher priority runs earlier,
+//     FIFO within a priority) and executed by a fixed runner pool,
+//     each under its own context.Context so per-job cancellation rides
+//     the cooperative-cancellation plumbing of the facade's *Ctx calls;
+//   - every job gets a private flight recorder (internal/journal) whose
+//     event stream is bridged to Server-Sent Events, so clients watch
+//     per-job progress live;
+//   - the shared engine cache is byte-budgeted: the daemon configures
+//     LRU eviction (engine.Cache.SetBudget) so artifact memory stays
+//     bounded across tenants churning through many circuits;
+//   - finished jobs append to the run ledger immediately (one record
+//     per job, carrying ledger.ServerMeta), and /metrics exposes the
+//     server's lifetime counters plus live cache occupancy in the
+//     OpenMetrics text format (internal/obs).
+//
+// See SERVICE.md at the repository root for the operator's handbook:
+// the full endpoint reference, the SSE stream format, queue semantics
+// and cache tuning guidance.
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/ledger"
+	"repro/internal/obs"
+)
+
+// LedgerSink receives one completed ledger record per finished job.
+// obsflags.Session.AppendRun satisfies it, keeping this package free of
+// the cmd-internal flag plumbing.
+type LedgerSink interface {
+	AppendRun(rec ledger.Record, exit int, wall time.Duration) error
+}
+
+// Config tunes a Server. The zero value is usable: default queue bound
+// and runner count, a fresh unbudgeted cache, no ledger.
+type Config struct {
+	// QueueLimit bounds the number of queued (admitted but not yet
+	// running) jobs; submissions past the bound are rejected with HTTP
+	// 429. 0 selects DefaultQueueLimit.
+	QueueLimit int
+	// Runners is the number of concurrent job executors. 0 selects
+	// GOMAXPROCS capped at 4 (each job parallelizes internally via its
+	// Workers spec; more runners mostly adds memory pressure).
+	Runners int
+	// CacheBudget is the engine cache's byte budget (see
+	// engine.Cache.SetBudget); 0 leaves bytes unbounded.
+	CacheBudget int64
+	// CacheEntries is the engine cache's entry bound; 0 selects
+	// engine.DefaultMaxEntries.
+	CacheEntries int
+	// Cache supplies the artifact cache to serve from. Nil builds a
+	// fresh private cache (not engine.Default(), so the daemon's budget
+	// cannot evict entries other library users rely on).
+	Cache *engine.Cache
+	// Ledger, when non-nil, receives one immediately-appended ledger
+	// record per finished job (pass the obsflags session).
+	Ledger LedgerSink
+	// LedgerPath is the JSONL ledger the /api/v1/history endpoint
+	// reads. Typically the same path the Session appends to; empty
+	// disables the endpoint.
+	LedgerPath string
+}
+
+// DefaultQueueLimit bounds the job queue when Config.QueueLimit is 0.
+const DefaultQueueLimit = 64
+
+// Server owns the job table, the queue, the runner pool and the engine
+// cache. Construct with New, expose with Handler, shut down with Close.
+type Server struct {
+	cfg   Config
+	cache *engine.Cache
+	col   *obs.Collector // server-lifetime counters behind /metrics
+	sess  LedgerSink
+	start time.Time
+
+	ctx  context.Context
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+
+	q *jobQueue
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing
+	nextID int64
+}
+
+// New builds a server and starts its runner pool.
+func New(cfg Config) *Server {
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = DefaultQueueLimit
+	}
+	if cfg.Runners <= 0 {
+		cfg.Runners = runtime.GOMAXPROCS(0)
+		if cfg.Runners > 4 {
+			cfg.Runners = 4
+		}
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = engine.New()
+	}
+	if cfg.CacheBudget > 0 {
+		cache.SetBudget(cfg.CacheBudget)
+	}
+	if cfg.CacheEntries > 0 {
+		cache.SetMaxEntries(cfg.CacheEntries)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:   cfg,
+		cache: cache,
+		col:   obs.New(),
+		sess:  cfg.Ledger,
+		start: time.Now(),
+		ctx:   ctx,
+		stop:  stop,
+		q:     newJobQueue(cfg.QueueLimit),
+		jobs:  make(map[string]*Job),
+	}
+	s.wg.Add(cfg.Runners)
+	for i := 0; i < cfg.Runners; i++ {
+		go s.runner()
+	}
+	return s
+}
+
+// Cache returns the server's engine cache (tests inspect its Stats).
+func (s *Server) Cache() *engine.Cache { return s.cache }
+
+// Close stops accepting queue pops, cancels every running job, and
+// waits for the runner pool to drain. Queued jobs that never ran are
+// marked canceled. Safe to call once; the HTTP handler should be shut
+// down first so no submissions race the teardown.
+func (s *Server) Close() {
+	s.stop()    // cancels every job context
+	s.q.close() // wakes idle runners
+	s.wg.Wait()
+	// Jobs still queued at teardown never reached a runner.
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.status == StatusQueued {
+			j.status = StatusCanceled
+			j.errMsg = "server shutting down"
+			j.finished = time.Now()
+			j.mu.Unlock()
+			j.hub.close()
+		} else {
+			j.mu.Unlock()
+		}
+	}
+}
+
+// Submit validates and admits one job. It returns the registered job,
+// or ErrQueueFull when admission control rejects it, or a validation
+// error.
+func (s *Server) Submit(sp Spec) (*Job, error) {
+	if err := sp.normalize(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.nextID++
+	j := newJob(s.ctx, s.nextID, sp)
+	s.mu.Unlock()
+
+	if err := s.q.push(j); err != nil {
+		j.cancel()
+		s.col.Counter("serve.jobs.rejected").Inc()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	s.col.Counter("serve.jobs.submitted").Inc()
+	return j, nil
+}
+
+// Job returns the job registered under id, or nil.
+func (s *Server) Job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Jobs returns every registered job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel cancels the named job: a queued job is withdrawn without ever
+// running, a running job's context fires and the job winds down at the
+// facade's next cancellation point (its partial output and metrics are
+// kept). Returns false when the job is unknown or already terminal.
+func (s *Server) Cancel(id string) bool {
+	j := s.Job(id)
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	switch j.status {
+	case StatusQueued:
+		j.status = StatusCanceled
+		j.errMsg = "canceled before start"
+		now := time.Now()
+		j.finished = now
+		j.queueWait = now.Sub(j.submitted)
+		j.mu.Unlock()
+		s.q.remove(j)
+		j.cancel()
+		j.hub.close()
+		s.col.Counter("serve.jobs.canceled").Inc()
+		s.record(j, nil, runResult{})
+		return true
+	case StatusRunning:
+		j.mu.Unlock()
+		j.cancel()
+		return true
+	default:
+		j.mu.Unlock()
+		return false
+	}
+}
+
+// runner is one executor: it pops admitted jobs until the queue closes.
+func (s *Server) runner() {
+	defer s.wg.Done()
+	for {
+		j := s.q.pop()
+		if j == nil {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one popped job end to end: status transitions, the
+// kind dispatcher, terminal accounting, the SSE close and the ledger
+// record.
+func (s *Server) runJob(j *Job) {
+	j.mu.Lock()
+	if j.status != StatusQueued { // canceled between pop and here
+		j.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.queueWait = j.started.Sub(j.submitted)
+	j.mu.Unlock()
+	j.hub.bump()
+
+	col := obs.New()
+	col.SetJournal(j.rec)
+	res, err := run(j.ctx, j.spec, s.cache, col)
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.output = res.Output
+	var counter string
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		counter = "serve.jobs.done"
+	case errors.Is(err, context.Canceled):
+		j.status = StatusCanceled
+		j.errMsg = "canceled"
+		counter = "serve.jobs.canceled"
+	default:
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+		counter = "serve.jobs.failed"
+	}
+	j.mu.Unlock()
+	j.cancel() // release the context's resources
+	j.hub.close()
+	s.col.Counter(counter).Inc()
+	s.record(j, col.Snapshot(), res)
+}
+
+// record appends the job's ledger record immediately (daemons cannot
+// defer durability to process exit the way one-shot CLIs do). No-op
+// without a session or when the session has no -ledger.
+func (s *Server) record(j *Job, m *obs.Metrics, res runResult) {
+	if s.sess == nil {
+		return
+	}
+	flat := ledger.FlattenMetrics(m)
+	if flat == nil && len(res.Extras) > 0 {
+		flat = make(map[string]float64, len(res.Extras))
+	}
+	for k, v := range res.Extras {
+		flat[k] = v
+	}
+	j.mu.Lock()
+	meta := &ledger.ServerMeta{
+		JobID:    j.id,
+		Kind:     j.spec.Kind,
+		Priority: j.spec.Priority,
+		Status:   string(j.status),
+		QueueNS:  j.queueWait.Nanoseconds(),
+	}
+	exit := 0
+	if j.status != StatusDone {
+		exit = 1
+	}
+	wall := j.finished.Sub(j.started)
+	if j.started.IsZero() { // canceled while queued
+		wall = 0
+	}
+	j.mu.Unlock()
+	rec := ledger.Record{Circuit: res.Circuit, Metrics: flat, Server: meta}
+	if res.Hash != 0 {
+		rec.Hash = ledger.HashString(res.Hash)
+	}
+	_ = s.sess.AppendRun(rec, exit, wall)
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"unsafe"
 
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -41,6 +42,17 @@ type Program struct {
 	code   []instr
 	fanin  []netlist.SignalID
 	isGate []bool // dense IsGate, avoiding Signals loads on the stem path
+}
+
+// SizeBytes estimates the program's resident footprint — the
+// instruction stream, the flattened fanin table and the gate mask —
+// for byte-budgeted caches. The backing circuit is not counted; its
+// owner accounts for it.
+func (p *Program) SizeBytes() int64 {
+	return int64(unsafe.Sizeof(*p)) +
+		int64(cap(p.code))*int64(unsafe.Sizeof(instr{})) +
+		int64(cap(p.fanin))*int64(unsafe.Sizeof(netlist.SignalID(0))) +
+		int64(cap(p.isGate))
 }
 
 // Compile levelizes c (using the topological order Finalize computed)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"slices"
+	"unsafe"
 
 	"repro/internal/netlist"
 )
@@ -139,6 +140,17 @@ func NewConeIndex(c *netlist.Circuit, capN int) *ConeIndex {
 
 // Circuit returns the circuit the index describes.
 func (x *ConeIndex) Circuit() *netlist.Circuit { return x.c }
+
+// SizeBytes estimates the index's resident footprint (the shared cone
+// arenas and their offset tables) for byte-budgeted caches. The
+// circuit is not counted; its owner accounts for it.
+func (x *ConeIndex) SizeBytes() int64 {
+	idBytes := int64(unsafe.Sizeof(netlist.SignalID(0)))
+	return int64(unsafe.Sizeof(*x)) +
+		int64(cap(x.size)+cap(x.ffs)+cap(x.outs))*4 +
+		int64(cap(x.memberOff)+cap(x.gateOff)+cap(x.ffOff)+cap(x.outOff))*4 +
+		int64(cap(x.members)+cap(x.gates))*idBytes
+}
 
 // Cap returns the set-size cap the index was built with.
 func (x *ConeIndex) Cap() int { return x.cap }
