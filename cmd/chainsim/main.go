@@ -33,6 +33,7 @@ import (
 
 	"repro"
 	"repro/cmd/internal/obsflags"
+	"repro/cmd/internal/specflags"
 )
 
 // sess is the observability session; every exit goes through exit so
@@ -52,13 +53,10 @@ func exit(code int) {
 
 func main() {
 	var (
-		profile = flag.String("profile", "s27", "circuit: \"s27\" or a suite profile name")
-		scale   = flag.Float64("scale", 0.05, "profile scale factor for suite profiles")
-		chains  = flag.Int("chains", 0, "number of scan chains (0 = default)")
-		seed    = flag.Int64("seed", 1, "seed")
+		v = specflags.Register(flag.CommandLine, fsct.TaskScreen,
+			specflags.Options{Profile: true, DefaultProfile: "s27", Chains: true,
+				Workers: true, Eval: true, ScaleDefault: 0.05})
 		list    = flag.Bool("list", false, "list every escaping hard fault")
-		workers = flag.Int("workers", 0, "fault-axis worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		eval    = flag.String("eval", "auto", "evaluator backend: auto, compiled, packed, scalar, event, hybrid")
 		mapEval = flag.Bool("mapeval", false, "deprecated: same as -eval packed")
 		oflags  = obsflags.Register(flag.CommandLine)
 	)
@@ -71,7 +69,7 @@ func main() {
 	defer sess.Close()
 	col := sess.Collector()
 
-	backend, err := fsct.ParseEvalBackend(*eval)
+	backend, err := fsct.ParseEvalBackend(v.Eval)
 	if err != nil {
 		fail(err)
 	}
@@ -79,31 +77,26 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	var c *fsct.Circuit
-	if *profile == "s27" {
-		c = fsct.S27()
-	} else {
-		p, perr := fsct.ProfileByName(*profile)
-		if perr != nil {
-			fail(perr)
-		}
-		if *scale > 0 && *scale < 1 {
-			p = p.Scale(*scale)
-		}
-		c = fsct.GenerateCircuit(p, *seed)
+	// chainsim's workload is its own composite (screen + alternating
+	// shift simulation + transition coverage), but circuit sourcing and
+	// scan insertion come from the shared spec so its defaults cannot
+	// drift from the other commands'.
+	sp, err := v.Spec("")
+	if err != nil {
+		fail(err)
 	}
-	n := *chains
-	if n == 0 {
-		n = fsct.DefaultChains(len(c.FFs))
+	c, err := sp.BuildCircuit()
+	if err != nil {
+		fail(err)
 	}
-	d, err := fsct.InsertScan(c, fsct.ScanOptions{NumChains: n, Seed: *seed})
+	d, err := sp.InsertScan(c)
 	if err != nil {
 		fail(err)
 	}
 
 	faults := fsct.CollapsedFaults(d.C)
 	screened, err := fsct.ScreenFaultsCtx(ctx, d, faults,
-		fsct.ScreenOptions{Workers: *workers, Eval: backend, MapEval: *mapEval, Obs: col})
+		fsct.ScreenOptions{Workers: v.Workers, Eval: backend, MapEval: *mapEval, Obs: col})
 	if err != nil {
 		fail(err)
 	}
@@ -123,7 +116,7 @@ func main() {
 	fmt.Printf("alternating shift test: %d cycles over %d chain(s), longest %d\n",
 		len(alt), len(d.Chains), d.MaxChainLen())
 
-	simOpts := fsct.SimOptions{Workers: *workers, Eval: backend, MapEval: *mapEval, Obs: col}
+	simOpts := fsct.SimOptions{Workers: v.Workers, Eval: backend, MapEval: *mapEval, Obs: col}
 	easyRes, err := fsct.SimulateFaultsCtx(ctx, d.C, alt, easy, simOpts)
 	if err != nil {
 		fail(err)
@@ -136,7 +129,7 @@ func main() {
 	fmt.Printf("  hard faults caught: %d / %d  — %d ESCAPE the alternating test\n",
 		hardRes.NumDetected(), len(hard), len(hardRes.Undetected()))
 
-	tdet, ttot, err := fsct.ChainTransitionCoverageCtx(ctx, d, 8, *workers)
+	tdet, ttot, err := fsct.ChainTransitionCoverageCtx(ctx, d, 8, v.Workers)
 	if err != nil {
 		fail(err)
 	}

@@ -32,8 +32,9 @@ import (
 
 	"repro"
 	"repro/cmd/internal/obsflags"
+	"repro/cmd/internal/specflags"
 	"repro/internal/diagnose"
-	"repro/internal/fault"
+	"repro/internal/task"
 )
 
 // sess is the observability session; every exit goes through exit so
@@ -53,14 +54,11 @@ func exit(code int) {
 
 func main() {
 	var (
-		profile = flag.String("profile", "s3330", "suite profile (or \"s27\")")
-		scale   = flag.Float64("scale", 0.1, "profile scale factor")
-		chains  = flag.Int("chains", 0, "scan chains (0 = default)")
-		seed    = flag.Int64("seed", 1, "seed")
-		inject  = flag.Int("inject", 0, "index of the hidden fault among chain-affecting candidates")
-		stats   = flag.Bool("stats", false, "diagnose every candidate and report resolution statistics")
-		workers = flag.Int("workers", 0, "fault-axis worker goroutines for screening and dictionary building (0 = GOMAXPROCS)")
-		oflags  = obsflags.Register(flag.CommandLine)
+		v = specflags.Register(flag.CommandLine, fsct.TaskDiagnose,
+			specflags.Options{Profile: true, DefaultProfile: "s3330", Chains: true, Workers: true})
+		inject = flag.Int("inject", 0, "index of the hidden fault among chain-affecting candidates")
+		stats  = flag.Bool("stats", false, "diagnose every candidate and report resolution statistics")
+		oflags = obsflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -71,94 +69,48 @@ func main() {
 	defer sess.Close()
 	col := sess.Collector()
 
-	// done finishes a successful run: the ledger record is queued and the
-	// metrics summary prints after the diagnosis output so the tables
-	// stay the headline. design and extras fill in as the run progresses.
-	var design *fsct.Design
-	extras := map[string]float64{}
-	done := func() {
-		if design != nil {
-			sess.RecordRun(design.C.Name, design.C.StructuralHash(), col.Snapshot(), extras)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	sp, err := v.Spec("")
+	if err != nil {
+		fail(err)
+	}
+
+	// -stats is exactly a diagnose-kind task: the report (dictionary
+	// header plus resolution statistics) and the ledger extras come from
+	// the canonical pipeline, byte-identical to an fsctd diagnose job.
+	if *stats {
+		res, rerr := fsct.RunTask(ctx, sp, nil, col)
+		if rerr != nil {
+			fail(rerr)
 		}
+		fmt.Print(res.Output)
+		sess.RecordRun(res.Circuit, res.Hash, col.Snapshot(), res.Extras)
 		if oflags.Metrics {
 			fmt.Print(fsct.FormatMetrics(col.Snapshot()))
 		}
 		exit(0)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	// -inject shares the task layer's front half (screen + dictionary)
+	// and then plays back the one hidden fault interactively.
+	d, _, affecting, dict, err := task.Diagnosis(ctx, sp, nil, col)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(task.FormatDiagnoseHeader(d.C.Name, len(affecting)))
 
-	var c *fsct.Circuit
-	if *profile == "s27" {
-		c = fsct.S27()
-	} else {
-		p, perr := fsct.ProfileByName(*profile)
-		if perr != nil {
-			fail(perr)
+	// done finishes the run: the ledger record is queued and the metrics
+	// summary prints after the diagnosis output so the tables stay the
+	// headline.
+	extras := map[string]float64{}
+	done := func() {
+		sess.RecordRun(d.C.Name, d.C.StructuralHash(), col.Snapshot(), extras)
+		if oflags.Metrics {
+			fmt.Print(fsct.FormatMetrics(col.Snapshot()))
 		}
-		if *scale > 0 && *scale < 1 {
-			p = p.Scale(*scale)
-		}
-		c = fsct.GenerateCircuit(p, *seed)
-	}
-	n := *chains
-	if n == 0 {
-		n = fsct.DefaultChains(len(c.FFs))
-	}
-	d, err := fsct.InsertScan(c, fsct.ScanOptions{NumChains: n, Seed: *seed})
-	if err != nil {
-		fail(err)
-	}
-	design = d
-	screened, err := fsct.ScreenFaultsCtx(ctx, d, fsct.CollapsedFaults(d.C), fsct.ScreenOptions{Workers: *workers, Obs: col})
-	if err != nil {
-		fail(err)
-	}
-	var affecting []fault.Fault
-	for _, s := range screened {
-		if s.Cat != fsct.CatUnaffecting {
-			affecting = append(affecting, s.Fault)
-		}
-	}
-	fmt.Printf("circuit %s: dictionary over %d chain-affecting faults\n", d.C.Name, len(affecting))
-	dict, err := fsct.BuildDictionaryObs(ctx, d, affecting, uint64(*seed), *workers, col)
-	if err != nil {
-		fail(err)
-	}
-
-	if *stats {
-		exact, ambiguous, silent := 0, 0, 0
-		totalMatches := 0
-		for _, f := range affecting {
-			if ctx.Err() != nil {
-				fail(ctx.Err())
-			}
-			hidden := f
-			sig := dict.Observe(&diagnose.SimulatedDevice{C: d.C, Hidden: &hidden})
-			if sig == dict.GoodSignature() {
-				silent++
-				continue
-			}
-			m := dict.Match(sig)
-			totalMatches += len(m)
-			if len(m) == 1 {
-				exact++
-			} else {
-				ambiguous++
-			}
-		}
-		diagnosable := exact + ambiguous
-		extras["candidates"] = float64(len(affecting))
-		extras["diagnosable"] = float64(diagnosable)
-		extras["exact"] = float64(exact)
-		extras["silent"] = float64(silent)
-		fmt.Printf("diagnosable: %d (%.1f%%)  exact: %d  ambiguous: %d  silent: %d\n",
-			diagnosable, 100*float64(diagnosable)/float64(len(affecting)), exact, ambiguous, silent)
-		if diagnosable > 0 {
-			fmt.Printf("mean candidates per diagnosis: %.2f\n", float64(totalMatches)/float64(diagnosable))
-		}
-		done()
+		exit(0)
 	}
 
 	if *inject < 0 || *inject >= len(affecting) {

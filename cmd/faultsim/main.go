@@ -10,6 +10,11 @@
 //	faultsim -profile s1423 -random 500 -eval packed
 //	faultsim -profile s9234 -random 1000 -tracefile run.json -progress
 //
+// The flags assemble a task spec (see internal/task and
+// cmd/internal/specflags) and the run is task.Run — exactly what an
+// fsctd faultsim job executes, so the report is byte-identical to the
+// daemon's for the same spec.
+//
 // The observability flags are the shared surface (see
 // cmd/internal/obsflags): -metrics prints a metrics summary, -trace
 // streams phase annotations to stderr, -tracefile exports the
@@ -33,9 +38,8 @@ import (
 
 	"repro"
 	"repro/cmd/internal/obsflags"
-	"repro/internal/fault"
+	"repro/cmd/internal/specflags"
 	"repro/internal/faultsim"
-	"repro/internal/logic"
 )
 
 // sess is the observability session; exit routes every termination
@@ -56,18 +60,13 @@ func exit(code int) {
 
 func main() {
 	var (
-		in          = flag.String("in", "", "input .bench file")
-		profile     = flag.String("profile", "", "generate this suite profile (or \"s27\")")
-		scale       = flag.Float64("scale", 0.1, "profile scale factor")
-		seed        = flag.Int64("seed", 1, "generation / stimulus seed")
+		v = specflags.Register(flag.CommandLine, fsct.TaskFaultSim,
+			specflags.Options{In: true, Profile: true, Workers: true, Eval: true, Cone: true})
 		seqFile     = flag.String("seq", "", "test sequence file (see internal/faultsim format)")
 		random      = flag.Int("random", 0, "generate this many random cycles instead of -seq")
 		uncollapsed = flag.Bool("uncollapsed", false, "use the full fault list (no equivalence collapsing)")
 		profilePlot = flag.Bool("profileplot", false, "print the cumulative detection profile")
 		emit        = flag.String("emit", "", "write the stimulus used to this file")
-		workers     = flag.Int("workers", 0, "fault-axis worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		eval        = flag.String("eval", "auto", "evaluator backend: auto, compiled, packed, scalar, event, hybrid")
-		coneThr     = flag.Int("conethr", 0, "hybrid backend: delta-simulation event budget per fault (0 = default)")
 		mapEval     = flag.Bool("mapeval", false, "deprecated: same as -eval packed")
 		oflags      = obsflags.Register(flag.CommandLine)
 	)
@@ -79,8 +78,27 @@ func main() {
 	}
 	defer sess.Close()
 
-	backend, err := fsct.ParseEvalBackend(*eval)
+	sp, err := v.Spec("")
 	if err != nil {
+		fail(err)
+	}
+	sp.Uncollapsed = *uncollapsed
+	if *mapEval {
+		sp.Eval = "packed"
+	}
+	switch {
+	case *seqFile != "":
+		data, ferr := os.ReadFile(*seqFile)
+		if ferr != nil {
+			fail(ferr)
+		}
+		sp.Sequence = string(data)
+	case *random > 0:
+		sp.Cycles = *random
+	default:
+		fail(fmt.Errorf("need -seq or -random"))
+	}
+	if err := sp.Normalize(); err != nil {
 		fail(err)
 	}
 
@@ -89,64 +107,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	var c *fsct.Circuit
-	switch {
-	case *in != "":
-		f, ferr := os.Open(*in)
-		if ferr != nil {
-			fail(ferr)
-		}
-		c, err = fsct.ParseBench(f, *in)
-		f.Close()
-	case *profile == "s27":
-		c = fsct.S27()
-	case *profile != "":
-		p, perr := fsct.ProfileByName(*profile)
-		if perr != nil {
-			fail(perr)
-		}
-		if *scale > 0 && *scale < 1 {
-			p = p.Scale(*scale)
-		}
-		c = fsct.GenerateCircuit(p, *seed)
-	default:
-		fail(fmt.Errorf("need -in or -profile"))
-	}
-	if err != nil {
-		fail(err)
-	}
-
-	var seq faultsim.Sequence
-	switch {
-	case *seqFile != "":
-		f, ferr := os.Open(*seqFile)
-		if ferr != nil {
-			fail(ferr)
-		}
-		seq, err = faultsim.ReadSequence(f, c)
-		f.Close()
-		if err != nil {
-			fail(err)
-		}
-	case *random > 0:
-		rng := uint64(*seed)*2862933555777941757 + 3037000493
-		next := func() logic.V {
-			rng = rng*6364136223846793005 + 1442695040888963407
-			return logic.V((rng >> 33) & 1)
-		}
-		seq = make(faultsim.Sequence, *random)
-		for t := range seq {
-			pi := make([]logic.V, len(c.Inputs))
-			for i := range pi {
-				pi[i] = next()
-			}
-			seq[t] = pi
-		}
-	default:
-		fail(fmt.Errorf("need -seq or -random"))
-	}
-
 	if *emit != "" {
+		c, cerr := sp.BuildCircuit()
+		if cerr != nil {
+			fail(cerr)
+		}
+		seq, serr := sp.Stimulus(c)
+		if serr != nil {
+			fail(serr)
+		}
 		f, ferr := os.Create(*emit)
 		if ferr != nil {
 			fail(ferr)
@@ -157,65 +126,45 @@ func main() {
 		f.Close()
 	}
 
-	var faults []fault.Fault
-	if *uncollapsed {
-		faults = fault.All(c)
-	} else {
-		faults = fault.Collapsed(c)
-	}
-	st := c.Stat()
-	fmt.Printf("circuit %s: %d gates, %d FFs; %d faults; %d cycles\n",
-		c.Name, st.Gates, st.FFs, len(faults), len(seq))
-
 	col := sess.Collector()
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
-	res, rerr := faultsim.RunCtx(ctx, c, seq, faults,
-		faultsim.Options{Workers: *workers, Eval: backend, MapEval: *mapEval, ConeThreshold: *coneThr, Obs: col})
+	res, rerr := fsct.RunTask(ctx, sp, nil, col)
 	var msAfter runtime.MemStats
 	runtime.ReadMemStats(&msAfter)
 	interrupted := errors.Is(rerr, context.Canceled)
 	if rerr != nil && !interrupted {
 		fail(rerr)
 	}
-	det := res.NumDetected()
-	note := ""
-	if interrupted {
-		note = "  (interrupted — partial)"
-	}
-	fmt.Printf("detected %d / %d faults (%.2f%% coverage)%s\n",
-		det, len(faults), 100*float64(det)/float64(len(faults)), note)
-	extras := map[string]float64{
-		"faults":   float64(len(faults)),
-		"detected": float64(det),
-	}
-	if len(faults) > 0 {
-		extras["coverage"] = 100 * float64(det) / float64(len(faults))
+	fmt.Print(res.Output)
+	extras := make(map[string]float64, len(res.Extras)+2)
+	for k, val := range res.Extras {
+		extras[k] = val
 	}
 	// Allocation trend series for fsctstats: mallocs/bytes of the
 	// simulation proper, so an allocation regression in an evaluator
 	// shows up across ledgered runs without rerunning benchmarks.
 	extras["sim_mallocs"] = float64(msAfter.Mallocs - msBefore.Mallocs)
 	extras["sim_alloc_bytes"] = float64(msAfter.TotalAlloc - msBefore.TotalAlloc)
-	sess.RecordRun(c.Name, c.StructuralHash(), col.Snapshot(), extras)
+	sess.RecordRun(res.Circuit, res.Hash, col.Snapshot(), extras)
 	if oflags.Metrics {
 		fmt.Print(fsct.FormatMetrics(col.Snapshot()))
 	}
 
 	if *profilePlot {
-		step := len(seq) / 20
+		step := res.Cycles / 20
 		if step < 1 {
 			step = 1
 		}
 		var bounds []int
-		for b := 0; b <= len(seq); b += step {
+		for b := 0; b <= res.Cycles; b += step {
 			bounds = append(bounds, b)
 		}
-		prof := res.Profile(bounds)
+		prof := res.SimResult().Profile(bounds)
 		for i, b := range bounds {
 			bar := 0
-			if det > 0 {
-				bar = prof[i] * 50 / det
+			if res.Detected > 0 {
+				bar = prof[i] * 50 / res.Detected
 			}
 			fmt.Printf("%7d cyc |%-50s| %d\n", b, bars(bar), prof[i])
 		}

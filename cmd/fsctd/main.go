@@ -1,7 +1,9 @@
 // Command fsctd is the service daemon: it serves concurrent screening,
-// ATPG, fault-simulation and diagnosis jobs over an HTTP/JSON API,
-// producing reports byte-identical to the batch CLIs (cmd/fsctest,
-// cmd/faultsim, cmd/diagnose) for the same spec.
+// ATPG, fault-simulation and diagnosis jobs over an HTTP/JSON API. A
+// submitted job body is a task.Spec, and runners execute it through
+// the same internal/task pipeline the batch CLIs (cmd/fsctest,
+// cmd/faultsim, cmd/diagnose) use — so reports are byte-identical to
+// the CLIs' for the same spec.
 //
 // Usage:
 //

@@ -11,6 +11,11 @@
 //	        [-metrics] [-trace] [-tracefile run.json] [-progress]
 //	        [-debug addr] [-why fault]
 //
+// Each selected circuit runs as one flow-kind task spec through the
+// canonical task layer (internal/task) — the same pipeline fsctd flow
+// jobs execute, so per-circuit reports are byte-identical to the
+// daemon's for the same spec.
+//
 // SIGINT (ctrl-C) cancels the run cooperatively: completed circuits and
 // the partial report of the interrupted one are still printed, the
 // flight-recorder timeline collected so far is still exported to
@@ -49,19 +54,17 @@ import (
 
 	"repro"
 	"repro/cmd/internal/obsflags"
+	"repro/cmd/internal/specflags"
 )
 
 func main() {
 	var (
-		scale    = flag.Float64("scale", 1.0, "profile scale factor in (0,1]; smaller = faster")
+		v = specflags.Register(flag.CommandLine, fsct.TaskFlow,
+			specflags.Options{Chains: true, Workers: true, Eval: true})
 		circuits = flag.String("circuits", "", "comma-separated circuit names (default: whole suite)")
-		chains   = flag.Int("chains", 0, "scan chains per circuit (0 = size-based default)")
-		seed     = flag.Int64("seed", 1, "generation and insertion seed")
 		table    = flag.String("table", "all", "which table to print: all, 1, 2, 3")
 		fig5     = flag.String("fig5", "", "circuit whose detection profile to plot (default: largest run)")
 		verbose  = flag.Bool("v", false, "print per-circuit reports while running")
-		workers  = flag.Int("workers", 0, "fault-axis worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		eval     = flag.String("eval", "auto", "evaluator backend: auto, compiled, packed, scalar, event, hybrid")
 		why      = flag.String("why", "", "explain one fault from the flight recorder (Describe string or fault index)")
 		oflags   = obsflags.Register(flag.CommandLine)
 	)
@@ -72,8 +75,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	backend, err := fsct.ParseEvalBackend(*eval)
-	if err != nil {
+	if _, err := fsct.ParseEvalBackend(v.Eval); err != nil {
 		fail("%v", err)
 	}
 
@@ -117,26 +119,32 @@ func main() {
 		}
 		col := sess.Collector()
 		if oflags.Trace {
-			col.Tracef("run %s (scale %g, seed %d)", p.Name, *scale, *seed)
+			col.Tracef("run %s (scale %g, seed %d)", p.Name, v.Scale, v.Seed)
 		}
-		exp := fsct.Experiment{
-			Profile: p, Scale: *scale, Chains: *chains, Seed: *seed,
-			Flow: fsct.FlowParams{Workers: *workers, Obs: col, Eval: backend},
+		sp, serr := v.Spec(p.Name)
+		if serr != nil {
+			fmt.Fprintf(os.Stderr, "fsctest: %s: %v\n", p.Name, serr)
+			exit(1)
 		}
 		// The journal is shared across circuits; remember where this
 		// circuit's events start so -why replays only its own slice
 		// (fault keys are circuit-local signal IDs).
 		mark := sess.Recorder().Len()
-		rep, d, err := exp.RunCtx(ctx)
+		res, err := fsct.RunTask(ctx, sp, nil, col)
 		canceled := errors.Is(err, context.Canceled)
 		if err != nil && !canceled {
 			fmt.Fprintf(os.Stderr, "fsctest: %s: %v\n", p.Name, err)
 			exit(1)
 		}
+		var rep *fsct.Report
+		var d *fsct.Design
+		if res != nil {
+			rep, d = res.Report, res.Design
+		}
 		if rep != nil {
 			// One ledger record per circuit; interrupted circuits land
 			// with whatever they completed.
-			sess.RecordRun(rep.Circuit, rep.StructuralHash, rep.Metrics, runExtras(rep))
+			sess.RecordRun(rep.Circuit, rep.StructuralHash, rep.Metrics, res.Extras)
 		}
 		if rep != nil && *why != "" && d != nil {
 			events := sess.Recorder().Snapshot()
@@ -220,20 +228,6 @@ func main() {
 		exit(1)
 	}
 	exit(0)
-}
-
-// runExtras distills a report's headline scalars for the run ledger:
-// fault totals and the chain-affecting fault coverage, the paper's
-// headline metric (fsctstats trends and drift-checks these keys).
-func runExtras(r *fsct.Report) map[string]float64 {
-	ex := map[string]float64{
-		"faults":     float64(r.Faults),
-		"undetected": float64(r.Undetected()),
-	}
-	if aff := r.Affecting(); aff > 0 {
-		ex["coverage"] = 100 * float64(aff-r.Undetected()) / float64(aff)
-	}
-	return ex
 }
 
 // explain resolves the -why selector — a fault-list index or the exact

@@ -29,6 +29,7 @@ import (
 
 	"repro"
 	"repro/cmd/internal/obsflags"
+	"repro/cmd/internal/specflags"
 )
 
 // sess is the observability session; every exit goes through exit so
@@ -48,16 +49,12 @@ func exit(code int) {
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input .bench file")
-		profile = flag.String("profile", "", "generate this suite profile instead of reading a file (\"s27\" for the embedded benchmark)")
-		scale   = flag.Float64("scale", 1.0, "profile scale factor")
-		chains  = flag.Int("chains", 0, "number of scan chains (0 = size-based default)")
-		seed    = flag.Int64("seed", 1, "generation and insertion seed")
-		out     = flag.String("out", "", "write the scan-mode circuit to this .bench file")
-		detail  = flag.Bool("detail", false, "print every segment")
-		screen  = flag.Bool("screen", false, "also screen the collapsed fault list (easy/hard split)")
-		workers = flag.Int("workers", 0, "fault-axis worker goroutines for -screen (0 = GOMAXPROCS)")
-		oflags  = obsflags.Register(flag.CommandLine)
+		v = specflags.Register(flag.CommandLine, fsct.TaskScreen,
+			specflags.Options{In: true, Profile: true, Chains: true, Workers: true, Eval: true})
+		out    = flag.String("out", "", "write the scan-mode circuit to this .bench file")
+		detail = flag.Bool("detail", false, "print every segment")
+		screen = flag.Bool("screen", false, "also screen the collapsed fault list (easy/hard split)")
+		oflags = obsflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -70,41 +67,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	var (
-		c   *fsct.Circuit
-		err error
-	)
-	switch {
-	case *in != "":
-		f, ferr := os.Open(*in)
-		if ferr != nil {
-			fail(ferr)
-		}
-		c, err = fsct.ParseBench(f, *in)
-		f.Close()
-	case *profile == "s27":
-		c = fsct.S27()
-	case *profile != "":
-		p, perr := fsct.ProfileByName(*profile)
-		if perr != nil {
-			fail(perr)
-		}
-		if *scale > 0 && *scale < 1 {
-			p = p.Scale(*scale)
-		}
-		c = fsct.GenerateCircuit(p, *seed)
-	default:
-		fail(fmt.Errorf("need -in or -profile"))
-	}
+	sp, err := v.Spec("")
 	if err != nil {
 		fail(err)
 	}
-
-	n := *chains
-	if n == 0 {
-		n = fsct.DefaultChains(len(c.FFs))
+	c, err := sp.BuildCircuit()
+	if err != nil {
+		fail(err)
 	}
-	d, err := fsct.InsertScan(c, fsct.ScanOptions{NumChains: n, Seed: *seed})
+	d, err := sp.InsertScan(c)
 	if err != nil {
 		fail(err)
 	}
@@ -136,25 +107,18 @@ func main() {
 		"test_points":      float64(len(d.TestPoints)),
 	}
 	if *screen {
-		faults := fsct.CollapsedFaults(d.C)
-		easy, hard := 0, 0
-		screened, serr := fsct.ScreenFaultsCtx(ctx, d, faults, fsct.ScreenOptions{Workers: *workers, Obs: col})
-		if serr != nil {
-			fail(serr)
-		}
-		for _, s := range screened {
-			switch s.Cat {
-			case fsct.CatEasy:
-				easy++
-			case fsct.CatHard:
-				hard++
-			}
+		// The screen rides the canonical task pipeline (the design it
+		// rebuilds is deterministic, so it matches d exactly); only the
+		// report line here is scaninsert's own composition-flavored one.
+		res, rerr := fsct.RunTask(ctx, sp, nil, col)
+		if rerr != nil {
+			fail(rerr)
 		}
 		fmt.Printf("screening: %d faults, %d easy, %d hard (%.1f%% affect the chain)\n",
-			len(faults), easy, hard, 100*float64(easy+hard)/float64(len(faults)))
-		extras["faults"] = float64(len(faults))
-		extras["screen.easy"] = float64(easy)
-		extras["screen.hard"] = float64(hard)
+			res.Faults, res.Easy, res.Hard, 100*float64(res.Easy+res.Hard)/float64(res.Faults))
+		extras["faults"] = float64(res.Faults)
+		extras["screen.easy"] = float64(res.Easy)
+		extras["screen.hard"] = float64(res.Hard)
 		if oflags.Metrics {
 			fmt.Print(fsct.FormatMetrics(col.Snapshot()))
 		}

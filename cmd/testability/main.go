@@ -31,6 +31,7 @@ import (
 
 	"repro"
 	"repro/cmd/internal/obsflags"
+	"repro/cmd/internal/specflags"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 )
@@ -52,10 +53,8 @@ func exit(code int) {
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input .bench file")
-		profile = flag.String("profile", "", "generate this suite profile (or \"s27\")")
-		scale   = flag.Float64("scale", 0.1, "profile scale factor")
-		seed    = flag.Int64("seed", 1, "generation seed")
+		v = specflags.Register(flag.CommandLine, "",
+			specflags.Options{In: true, Profile: true, ScaleDefault: 0.1})
 		scanned = flag.Bool("scan", false, "analyze the scan-mode model after TPI (pins applied)")
 		top     = flag.Int("top", 12, "how many hardest nets to list")
 		oflags  = obsflags.Register(flag.CommandLine)
@@ -69,31 +68,12 @@ func main() {
 	defer sess.Close()
 	col := sess.Collector()
 
-	var c *fsct.Circuit
-	var err error
 	load := col.Phase("load")
-	switch {
-	case *in != "":
-		f, ferr := os.Open(*in)
-		if ferr != nil {
-			fail(ferr)
-		}
-		c, err = fsct.ParseBench(f, *in)
-		f.Close()
-	case *profile == "s27":
-		c = fsct.S27()
-	case *profile != "":
-		p, perr := fsct.ProfileByName(*profile)
-		if perr != nil {
-			fail(perr)
-		}
-		if *scale > 0 && *scale < 1 {
-			p = p.Scale(*scale)
-		}
-		c = fsct.GenerateCircuit(p, *seed)
-	default:
-		fail(fmt.Errorf("need -in or -profile"))
+	sp, err := v.Spec("")
+	if err != nil {
+		fail(err)
 	}
+	c, err := sp.BuildCircuit()
 	if err != nil {
 		fail(err)
 	}
@@ -102,9 +82,7 @@ func main() {
 	fixed := map[netlist.SignalID]logic.V{}
 	if *scanned {
 		insert := col.Phase("insert")
-		d, err := fsct.InsertScan(c, fsct.ScanOptions{
-			NumChains: fsct.DefaultChains(len(c.FFs)), Seed: *seed,
-		})
+		d, err := sp.InsertScan(c)
 		if err != nil {
 			fail(err)
 		}

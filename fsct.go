@@ -37,6 +37,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/scan"
+	"repro/internal/task"
 	"repro/internal/tpi"
 )
 
@@ -351,20 +352,63 @@ func AnalyzeTestability(c *Circuit, pinned map[SignalID]Value) (*Testability, *C
 
 // DefaultChains picks the chain count the experiments use: enough chains
 // to keep the longest chain near 350 flip-flops, as the paper keeps
-// chain length "reasonable" on the larger circuits.
-func DefaultChains(ffs int) int {
-	switch {
-	case ffs <= 250:
-		return 1
-	case ffs <= 700:
-		return 2
-	case ffs <= 1200:
-		return 3
-	case ffs <= 1500:
-		return 4
-	default:
-		return 5
-	}
+// chain length "reasonable" on the larger circuits. (The policy lives
+// in the task layer so CLI and daemon defaults cannot drift.)
+func DefaultChains(ffs int) int { return task.DefaultChains(ffs) }
+
+// Task-layer re-exports: the canonical serializable Spec -> Plan ->
+// Execute -> Merge pipeline every batch CLI and the fsctd daemon run
+// on. See internal/task for the contract; library users get the same
+// orchestration (and therefore byte-identical reports) through these
+// aliases.
+type (
+	// TaskSpec is a serializable job description (kind, circuit
+	// source, run options).
+	TaskSpec = task.Spec
+	// TaskUnit is one deterministic shard work-unit of a planned spec.
+	TaskUnit = task.Unit
+	// TaskPartial is the mergeable result of executing one unit.
+	TaskPartial = task.Partial
+	// TaskResult is a merged job outcome (report text, ledger extras,
+	// per-kind data).
+	TaskResult = task.Result
+	// TaskDefaults is the per-kind option-defaults table.
+	TaskDefaults = task.Defaults
+)
+
+// Job kinds accepted by TaskSpec.Kind.
+const (
+	TaskFlow     = task.KindFlow
+	TaskScreen   = task.KindScreen
+	TaskATPG     = task.KindATPG
+	TaskFaultSim = task.KindFaultSim
+	TaskDiagnose = task.KindDiagnose
+)
+
+// TaskDefaultsFor returns the option defaults for a job kind — the
+// single table the CLI flags and the daemon's spec normalization share.
+func TaskDefaultsFor(kind string) TaskDefaults { return task.DefaultsFor(kind) }
+
+// PlanTask splits a spec into at most shards batch-aligned work-units;
+// merging their results is byte-identical to a single-unit run.
+func PlanTask(sp TaskSpec, shards int, cache *EngineCache) ([]TaskUnit, error) {
+	return task.Plan(sp, shards, cache)
+}
+
+// ExecuteTask runs one work-unit and returns its mergeable partial.
+func ExecuteTask(ctx context.Context, u TaskUnit, cache *EngineCache, col *Collector) (*TaskPartial, error) {
+	return task.Execute(ctx, u, cache, col)
+}
+
+// MergeTask reassembles unit partials into the job result.
+func MergeTask(sp TaskSpec, parts []*TaskPartial, interrupted bool) (*TaskResult, error) {
+	return task.Merge(sp, parts, interrupted)
+}
+
+// RunTask executes a spec end to end in this process (Plan + Execute +
+// Merge) — the path behind every batch CLI and daemon job.
+func RunTask(ctx context.Context, sp TaskSpec, cache *EngineCache, col *Collector) (*TaskResult, error) {
+	return task.Run(ctx, sp, cache, col)
 }
 
 // Experiment is one suite entry to reproduce: a profile at a scale, with

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FormatReport renders one circuit's full flow report — the seven-line
+// per-circuit block fsctest -v prints and flow jobs return. It lives
+// here (not in the facade) so the task layer and the daemon share the
+// single rendering.
+func FormatReport(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "circuit %s: %d gates, %d FFs, %d chains, %d faults\n",
+		r.Circuit, r.Gates, r.FFs, r.Chains, r.Faults)
+	fmt.Fprintf(&b, "  screening: easy=%d (%.1f%%)  hard=%d (%.1f%%)  affecting=%d (%.1f%%)  [%s]\n",
+		r.Easy, formatPct(r.Easy, r.Faults), r.Hard, formatPct(r.Hard, r.Faults),
+		r.Affecting(), formatPct(r.Affecting(), r.Faults), formatDuration(r.ScreenCPU))
+	fmt.Fprintf(&b, "  step 1: alternating sequence confirmed %d/%d easy faults (%d escapes)\n",
+		r.EasyConfirmed, r.Easy, r.EasyEscapes)
+	fmt.Fprintf(&b, "  step 2: %d vectors; det=%d undetectable=%d undetected=%d  [%s]\n",
+		r.Step2Vectors, r.Step2.Detected, r.Step2.Undetectable, r.Step2.Undetected, formatDuration(r.Step2.CPU))
+	fmt.Fprintf(&b, "  step 3: %d+%d C/O circuits; det=%d undetectable=%d undetected=%d  [%s]\n",
+		r.COCircuits, r.FinalCOCircuits, r.Step3.Detected, r.Step3.Undetectable,
+		r.Step3.Undetected, formatDuration(r.Step3.CPU))
+	fmt.Fprintf(&b, "  undetected: %d = %.4f%% of faults = %.4f%% of affecting\n",
+		r.Undetected(), formatPct(r.Undetected(), r.Faults), formatPct(r.Undetected(), r.Affecting()))
+	return b.String()
+}
+
+// formatPct is a zero-safe percentage.
+func formatPct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+// formatDuration rounds a wall time to a scale-appropriate precision.
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}

@@ -3,101 +3,52 @@ package serve
 import (
 	"context"
 	"fmt"
-	"strings"
 	"sync"
 	"time"
 
-	"repro"
-	"repro/internal/atpg"
-	"repro/internal/diagnose"
-	"repro/internal/engine"
-	"repro/internal/fault"
+	"repro/internal/core"
+	"repro/internal/faultsim"
 	"repro/internal/journal"
-	"repro/internal/logic"
-	"repro/internal/obs"
+	"repro/internal/netlist"
+	"repro/internal/task"
 )
 
-// Job kinds. Each maps onto the facade path the matching batch CLI
-// uses, so a job's text report is byte-identical to the CLI's output
-// for the same spec.
+// Job kinds, re-exported from the task layer. Each maps onto the run
+// path the matching batch CLI uses, so a job's text report is
+// byte-identical to the CLI's output for the same spec.
 const (
 	// KindFlow runs the paper's three-step flow (cmd/fsctest).
-	KindFlow = "flow"
+	KindFlow = task.KindFlow
 	// KindScreen runs scan-chain fault screening alone.
-	KindScreen = "screen"
+	KindScreen = task.KindScreen
 	// KindATPG runs combinational PODEM over the scan-mode model.
-	KindATPG = "atpg"
+	KindATPG = task.KindATPG
 	// KindFaultSim fault-simulates a random sequence (cmd/faultsim).
-	KindFaultSim = "faultsim"
+	KindFaultSim = task.KindFaultSim
 	// KindDiagnose builds the fault dictionary and reports resolution
 	// statistics (cmd/diagnose -stats).
-	KindDiagnose = "diagnose"
+	KindDiagnose = task.KindDiagnose
 )
 
-// Spec is a job submission: what to run and on which circuit. Zero
-// optional fields select the batch CLIs' defaults.
-type Spec struct {
-	// Kind selects the job kind (flow, screen, atpg, faultsim,
-	// diagnose).
-	Kind string `json:"kind"`
-	// Circuit names the suite profile to generate ("s9234", ...) or
-	// "s27" for the embedded real benchmark.
-	Circuit string `json:"circuit"`
-	// Scale shrinks the profile (0 or 1 = full size).
-	Scale float64 `json:"scale,omitempty"`
-	// Seed drives generation, scan insertion and stimulus (default 1).
-	Seed int64 `json:"seed,omitempty"`
-	// Chains is the scan-chain count (0 = fsct.DefaultChains).
-	Chains int `json:"chains,omitempty"`
-	// Workers shards each phase's fault axis (0 = GOMAXPROCS).
-	Workers int `json:"workers,omitempty"`
-	// Eval selects the simulation backend (default "auto").
-	Eval string `json:"eval,omitempty"`
-	// Cycles is the random-sequence length for faultsim jobs
-	// (default 500).
-	Cycles int `json:"cycles,omitempty"`
-	// Priority orders the queue: higher pops first (default 0; FIFO
-	// within a priority).
-	Priority int `json:"priority,omitempty"`
+// Spec is a job submission: the task layer's serializable job
+// description. Zero optional fields select the batch CLIs' defaults
+// (task.DefaultsFor). The daemon runs exactly what task.Run runs, so
+// reports are byte-identical to the CLIs'.
+type Spec = task.Spec
+
+// FormatScreen renders a screening job's report. Kept as a re-export
+// so clients (and the e2e tests) can reproduce the daemon's output
+// from a direct facade call.
+func FormatScreen(name string, screened []core.Screened) string {
+	return task.FormatScreen(name, screened)
 }
 
-// normalize validates the spec and fills CLI-equivalent defaults.
-func (sp *Spec) normalize() error {
-	switch sp.Kind {
-	case KindFlow, KindScreen, KindATPG, KindFaultSim, KindDiagnose:
-	case "":
-		return fmt.Errorf("serve: spec missing kind")
-	default:
-		return fmt.Errorf("serve: unknown kind %q (want flow, screen, atpg, faultsim or diagnose)", sp.Kind)
-	}
-	if sp.Circuit == "" {
-		return fmt.Errorf("serve: spec missing circuit")
-	}
-	if sp.Circuit != "s27" {
-		if _, err := fsct.ProfileByName(sp.Circuit); err != nil {
-			return fmt.Errorf("serve: %w", err)
-		}
-	}
-	if sp.Scale < 0 || sp.Scale > 1 {
-		return fmt.Errorf("serve: scale %v out of range (0,1]", sp.Scale)
-	}
-	if _, err := fsct.ParseEvalBackend(sp.evalName()); err != nil {
-		return fmt.Errorf("serve: %w", err)
-	}
-	if sp.Seed == 0 {
-		sp.Seed = 1
-	}
-	if sp.Cycles <= 0 {
-		sp.Cycles = 500
-	}
-	return nil
-}
-
-func (sp *Spec) evalName() string {
-	if sp.Eval == "" {
-		return "auto"
-	}
-	return sp.Eval
+// RandomSequence generates the deterministic random stimulus the
+// faultsim CLI uses for -random: same seed, same generator, same
+// sequence — a faultsim job's coverage line is byte-identical to the
+// CLI's. Kept as a re-export for the e2e tests.
+func RandomSequence(c *netlist.Circuit, seed int64, cycles int) faultsim.Sequence {
+	return task.RandomSequence(c, seed, cycles)
 }
 
 // Status is a job's lifecycle state.
@@ -120,7 +71,8 @@ func (st Status) Terminal() bool {
 
 // Job is one admitted submission: its spec, its private flight
 // recorder (the SSE source), its cancellation handle and its mutable
-// lifecycle state.
+// lifecycle state. Execution itself lives in internal/task; the Job
+// only wraps queue position, status and streaming.
 type Job struct {
 	id        string
 	seq       int64
@@ -221,307 +173,4 @@ func (j *Job) View() View {
 		v.Finished = &t
 	}
 	return v
-}
-
-// runResult is what a kind runner hands back: the text report (partial
-// on cancellation), the circuit identity for the ledger, and headline
-// scalars merged into the record's metric map.
-type runResult struct {
-	Output  string
-	Circuit string
-	Hash    uint64
-	Extras  map[string]float64
-}
-
-// run dispatches one job spec to its kind runner. The returned error is
-// context.Canceled (possibly wrapped) when the job was canceled
-// mid-flight; the partial result is still meaningful then.
-func run(ctx context.Context, sp Spec, cache *engine.Cache, col *obs.Collector) (runResult, error) {
-	c, err := buildCircuit(sp)
-	if err != nil {
-		return runResult{}, err
-	}
-	switch sp.Kind {
-	case KindFlow:
-		return runFlow(ctx, sp, c, cache, col)
-	case KindScreen:
-		return runScreen(ctx, sp, c, cache, col)
-	case KindATPG:
-		return runATPG(ctx, sp, c, cache, col)
-	case KindFaultSim:
-		return runFaultSim(ctx, sp, c, cache, col)
-	case KindDiagnose:
-		return runDiagnose(ctx, sp, c, cache, col)
-	}
-	return runResult{}, fmt.Errorf("serve: unknown kind %q", sp.Kind)
-}
-
-// buildCircuit materializes the spec's circuit the way the batch CLIs
-// do: the embedded s27, or a deterministic generated profile.
-func buildCircuit(sp Spec) (*fsct.Circuit, error) {
-	if sp.Circuit == "s27" {
-		return fsct.S27(), nil
-	}
-	p, err := fsct.ProfileByName(sp.Circuit)
-	if err != nil {
-		return nil, err
-	}
-	if sp.Scale > 0 && sp.Scale < 1 {
-		p = p.Scale(sp.Scale)
-	}
-	return fsct.GenerateCircuit(p, sp.Seed), nil
-}
-
-// insertScan mirrors the CLIs' scan insertion (chain count defaulted
-// from the flip-flop count).
-func insertScan(sp Spec, c *fsct.Circuit) (*fsct.Design, error) {
-	n := sp.Chains
-	if n == 0 {
-		n = fsct.DefaultChains(len(c.FFs))
-	}
-	return fsct.InsertScan(c, fsct.ScanOptions{NumChains: n, Seed: sp.Seed})
-}
-
-func runFlow(ctx context.Context, sp Spec, c *fsct.Circuit, cache *engine.Cache, col *obs.Collector) (runResult, error) {
-	backend, _ := fsct.ParseEvalBackend(sp.evalName())
-	d, err := insertScan(sp, c)
-	if err != nil {
-		return runResult{}, err
-	}
-	rep, err := fsct.RunFlowCtx(ctx, d, fsct.FlowParams{
-		Workers: sp.Workers, Eval: backend, Engine: cache, Obs: col,
-	})
-	res := runResult{Circuit: d.C.Name, Hash: d.C.StructuralHash()}
-	if rep != nil {
-		res.Output = fsct.FormatReport(rep)
-	}
-	return res, err
-}
-
-func runScreen(ctx context.Context, sp Spec, c *fsct.Circuit, cache *engine.Cache, col *obs.Collector) (runResult, error) {
-	backend, _ := fsct.ParseEvalBackend(sp.evalName())
-	d, err := insertScan(sp, c)
-	if err != nil {
-		return runResult{}, err
-	}
-	faults := fsct.CollapsedFaults(d.C)
-	screened, err := fsct.ScreenFaultsCtx(ctx, d, faults,
-		fsct.ScreenOptions{Workers: sp.Workers, Eval: backend, Cache: cache, Obs: col})
-	res := runResult{Circuit: d.C.Name, Hash: d.C.StructuralHash()}
-	if err != nil {
-		return res, err
-	}
-	res.Output = FormatScreen(d.C.Name, screened)
-	easy, hard := 0, 0
-	for _, sc := range screened {
-		switch sc.Cat {
-		case fsct.CatEasy:
-			easy++
-		case fsct.CatHard:
-			hard++
-		}
-	}
-	res.Extras = map[string]float64{
-		"faults": float64(len(screened)),
-		"easy":   float64(easy),
-		"hard":   float64(hard),
-	}
-	return res, nil
-}
-
-// FormatScreen renders a screening job's report. Exported so clients
-// (and the e2e tests) can reproduce the daemon's output from a direct
-// facade call.
-func FormatScreen(name string, screened []fsct.Screened) string {
-	easy, hard, unaff := 0, 0, 0
-	for _, sc := range screened {
-		switch sc.Cat {
-		case fsct.CatEasy:
-			easy++
-		case fsct.CatHard:
-			hard++
-		default:
-			unaff++
-		}
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "circuit %s: %d faults screened\n", name, len(screened))
-	fmt.Fprintf(&b, "category 1 (easy): %d\ncategory 2 (hard): %d\nunaffecting: %d\n", easy, hard, unaff)
-	return b.String()
-}
-
-func runATPG(ctx context.Context, sp Spec, c *fsct.Circuit, cache *engine.Cache, col *obs.Collector) (runResult, error) {
-	d, err := insertScan(sp, c)
-	if err != nil {
-		return runResult{}, err
-	}
-	res := runResult{Circuit: d.C.Name, Hash: d.C.StructuralHash()}
-	out, extras, err := combATPG(ctx, d, cache, col)
-	res.Output = out
-	res.Extras = extras
-	return res, err
-}
-
-// combATPG runs PODEM over every collapsed fault of the scan-mode
-// combinational model, sharing the model and SCOAP tables through the
-// artifact cache exactly as flow step 2 does.
-func combATPG(ctx context.Context, d *fsct.Design, cache *engine.Cache, col *obs.Collector) (string, map[string]float64, error) {
-	const backtracks = 250 // flow step 2's default PODEM limit
-	arts := engine.Resolve(cache).ForObs(d.C, col)
-	fixed := make(map[fsct.SignalID]fsct.Value, len(d.Assignments))
-	for k, v := range d.Assignments {
-		fixed[k] = v
-	}
-	model, tables, err := arts.CombSearch(fixed)
-	if err != nil {
-		return "", nil, err
-	}
-	cm, err := arts.CombModel()
-	if err != nil {
-		return "", nil, err
-	}
-	combArts := engine.Resolve(cache).ForObs(cm.C, col)
-	faults := combArts.CollapsedFaults()
-
-	eng := atpg.NewEngineTables(model, tables)
-	eng.Instrument(col, "atpg.comb")
-	found, redundant, aborted := 0, 0, 0
-	for _, f := range faults {
-		r, err := eng.GenerateCtx(ctx, f, backtracks)
-		if err != nil {
-			return "", nil, err
-		}
-		switch r.Status {
-		case atpg.Found:
-			found++
-		case atpg.Redundant:
-			redundant++
-		default:
-			aborted++
-		}
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "circuit %s: comb ATPG over %d faults\n", d.C.Name, len(faults))
-	fmt.Fprintf(&b, "found %d  redundant %d  aborted %d\n", found, redundant, aborted)
-	extras := map[string]float64{
-		"faults":    float64(len(faults)),
-		"found":     float64(found),
-		"redundant": float64(redundant),
-		"aborted":   float64(aborted),
-	}
-	return b.String(), extras, nil
-}
-
-func runFaultSim(ctx context.Context, sp Spec, c *fsct.Circuit, cache *engine.Cache, col *obs.Collector) (runResult, error) {
-	backend, _ := fsct.ParseEvalBackend(sp.evalName())
-	faults := fsct.CollapsedFaults(c)
-	seq := RandomSequence(c, sp.Seed, sp.Cycles)
-
-	res := runResult{Circuit: c.Name, Hash: c.StructuralHash()}
-	var b strings.Builder
-	st := c.Stat()
-	fmt.Fprintf(&b, "circuit %s: %d gates, %d FFs; %d faults; %d cycles\n",
-		c.Name, st.Gates, st.FFs, len(faults), len(seq))
-
-	sim, err := fsct.SimulateFaultsCtx(ctx, c, seq, faults,
-		fsct.SimOptions{Workers: sp.Workers, Eval: backend, Cache: cache, Obs: col})
-	det := 0
-	if sim != nil {
-		det = sim.NumDetected()
-	}
-	note := ""
-	if err != nil {
-		note = "  (interrupted — partial)"
-	}
-	fmt.Fprintf(&b, "detected %d / %d faults (%.2f%% coverage)%s\n",
-		det, len(faults), 100*float64(det)/float64(len(faults)), note)
-	res.Output = b.String()
-	res.Extras = map[string]float64{
-		"faults":   float64(len(faults)),
-		"detected": float64(det),
-	}
-	if len(faults) > 0 {
-		res.Extras["coverage"] = 100 * float64(det) / float64(len(faults))
-	}
-	return res, err
-}
-
-// RandomSequence generates the deterministic random stimulus the
-// faultsim CLI uses for -random: same seed, same generator, same
-// sequence — a faultsim job's coverage line is byte-identical to the
-// CLI's. Exported for the e2e tests.
-func RandomSequence(c *fsct.Circuit, seed int64, cycles int) fsct.Sequence {
-	rng := uint64(seed)*2862933555777941757 + 3037000493
-	next := func() logic.V {
-		rng = rng*6364136223846793005 + 1442695040888963407
-		return logic.V((rng >> 33) & 1)
-	}
-	seq := make(fsct.Sequence, cycles)
-	for t := range seq {
-		pi := make([]logic.V, len(c.Inputs))
-		for i := range pi {
-			pi[i] = next()
-		}
-		seq[t] = pi
-	}
-	return seq
-}
-
-func runDiagnose(ctx context.Context, sp Spec, c *fsct.Circuit, cache *engine.Cache, col *obs.Collector) (runResult, error) {
-	d, err := insertScan(sp, c)
-	if err != nil {
-		return runResult{}, err
-	}
-	res := runResult{Circuit: d.C.Name, Hash: d.C.StructuralHash()}
-	screened, err := fsct.ScreenFaultsCtx(ctx, d, fsct.CollapsedFaults(d.C),
-		fsct.ScreenOptions{Workers: sp.Workers, Cache: cache, Obs: col})
-	if err != nil {
-		return res, err
-	}
-	var affecting []fault.Fault
-	for _, sc := range screened {
-		if sc.Cat != fsct.CatUnaffecting {
-			affecting = append(affecting, sc.Fault)
-		}
-	}
-	dict, err := fsct.BuildDictionaryObs(ctx, d, affecting, uint64(sp.Seed), sp.Workers, col)
-	if err != nil {
-		return res, err
-	}
-	exact, ambiguous, silent := 0, 0, 0
-	totalMatches := 0
-	for i := range affecting {
-		if err := ctx.Err(); err != nil {
-			return res, err
-		}
-		hidden := affecting[i]
-		sig := dict.Observe(&diagnose.SimulatedDevice{C: d.C, Hidden: &hidden})
-		if sig == dict.GoodSignature() {
-			silent++
-			continue
-		}
-		m := dict.Match(sig)
-		totalMatches += len(m)
-		if len(m) == 1 {
-			exact++
-		} else {
-			ambiguous++
-		}
-	}
-	diagnosable := exact + ambiguous
-	var b strings.Builder
-	fmt.Fprintf(&b, "circuit %s: dictionary over %d chain-affecting faults\n", d.C.Name, len(affecting))
-	fmt.Fprintf(&b, "diagnosable: %d (%.1f%%)  exact: %d  ambiguous: %d  silent: %d\n",
-		diagnosable, 100*float64(diagnosable)/float64(len(affecting)), exact, ambiguous, silent)
-	if diagnosable > 0 {
-		fmt.Fprintf(&b, "mean candidates per diagnosis: %.2f\n", float64(totalMatches)/float64(diagnosable))
-	}
-	res.Output = b.String()
-	res.Extras = map[string]float64{
-		"candidates":  float64(len(affecting)),
-		"diagnosable": float64(diagnosable),
-		"exact":       float64(exact),
-		"silent":      float64(silent),
-	}
-	return res, nil
 }

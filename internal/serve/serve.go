@@ -36,6 +36,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ledger"
 	"repro/internal/obs"
+	"repro/internal/task"
 )
 
 // LedgerSink receives one completed ledger record per finished job.
@@ -175,7 +176,7 @@ func (s *Server) Close() {
 // or ErrQueueFull when admission control rejects it, or a validation
 // error.
 func (s *Server) Submit(sp Spec) (*Job, error) {
-	if err := sp.normalize(); err != nil {
+	if err := sp.Normalize(); err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
@@ -236,7 +237,7 @@ func (s *Server) Cancel(id string) bool {
 		j.cancel()
 		j.hub.close()
 		s.col.Counter("serve.jobs.canceled").Inc()
-		s.record(j, nil, runResult{})
+		s.record(j, nil, nil)
 		return true
 	case StatusRunning:
 		j.mu.Unlock()
@@ -277,11 +278,13 @@ func (s *Server) runJob(j *Job) {
 
 	col := obs.New()
 	col.SetJournal(j.rec)
-	res, err := run(j.ctx, j.spec, s.cache, col)
+	res, err := task.Run(j.ctx, j.spec, s.cache, col)
 
 	j.mu.Lock()
 	j.finished = time.Now()
-	j.output = res.Output
+	if res != nil {
+		j.output = res.Output
+	}
 	var counter string
 	switch {
 	case err == nil:
@@ -306,15 +309,21 @@ func (s *Server) runJob(j *Job) {
 // record appends the job's ledger record immediately (daemons cannot
 // defer durability to process exit the way one-shot CLIs do). No-op
 // without a session or when the session has no -ledger.
-func (s *Server) record(j *Job, m *obs.Metrics, res runResult) {
+func (s *Server) record(j *Job, m *obs.Metrics, res *task.Result) {
 	if s.sess == nil {
 		return
 	}
-	flat := ledger.FlattenMetrics(m)
-	if flat == nil && len(res.Extras) > 0 {
-		flat = make(map[string]float64, len(res.Extras))
+	var circuit string
+	var hash uint64
+	var extras map[string]float64
+	if res != nil {
+		circuit, hash, extras = res.Circuit, res.Hash, res.Extras
 	}
-	for k, v := range res.Extras {
+	flat := ledger.FlattenMetrics(m)
+	if flat == nil && len(extras) > 0 {
+		flat = make(map[string]float64, len(extras))
+	}
+	for k, v := range extras {
 		flat[k] = v
 	}
 	j.mu.Lock()
@@ -334,9 +343,9 @@ func (s *Server) record(j *Job, m *obs.Metrics, res runResult) {
 		wall = 0
 	}
 	j.mu.Unlock()
-	rec := ledger.Record{Circuit: res.Circuit, Metrics: flat, Server: meta}
-	if res.Hash != 0 {
-		rec.Hash = ledger.HashString(res.Hash)
+	rec := ledger.Record{Circuit: circuit, Metrics: flat, Server: meta}
+	if hash != 0 {
+		rec.Hash = ledger.HashString(hash)
 	}
 	_ = s.sess.AppendRun(rec, exit, wall)
 }

@@ -1,0 +1,315 @@
+package task
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/faultsim"
+	"repro/internal/obs"
+	"repro/internal/scan"
+)
+
+// Result is a merged job outcome: the text report (partial on
+// interruption), the circuit identity and headline scalars for the
+// ledger, and the per-kind merged data for richer consumers (tables,
+// detection-profile plots, -why provenance).
+type Result struct {
+	// Kind echoes the spec's job kind.
+	Kind string `json:"kind"`
+	// Circuit and Hash identify the materialized circuit.
+	Circuit string `json:"circuit"`
+	Hash    uint64 `json:"hash,string,omitempty"`
+	// Output is the job's text report, byte-identical to the matching
+	// batch CLI's output (empty or partial when Interrupted).
+	Output string `json:"output"`
+	// Extras are the headline scalars merged into the ledger record.
+	Extras map[string]float64 `json:"extras,omitempty"`
+	// Interrupted marks a merge over an incomplete unit set (the run
+	// was canceled mid-flight).
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Faults is the full fault-axis length.
+	Faults int `json:"faults,omitempty"`
+
+	// Report and Design are the flow kind's full outcome (Design stays
+	// in-process).
+	Report *core.Report `json:"report,omitempty"`
+	Design *scan.Design `json:"-"`
+
+	// Easy, Hard and Unaffecting are merged screening counts (screen).
+	Easy        int `json:"easy,omitempty"`
+	Hard        int `json:"hard,omitempty"`
+	Unaffecting int `json:"unaffecting,omitempty"`
+
+	// Found, Redundant and Aborted are merged PODEM counts (atpg).
+	Found     int `json:"found,omitempty"`
+	Redundant int `json:"redundant,omitempty"`
+	Aborted   int `json:"aborted,omitempty"`
+
+	// DetectedAt is the full-axis first-detection vector (faultsim;
+	// -1 = undetected, including fault ranges no unit covered).
+	// Detected counts the non-negative entries; Gates, FFs and Cycles
+	// carry the header stats.
+	DetectedAt []int `json:"detected_at,omitempty"`
+	Detected   int   `json:"detected,omitempty"`
+	Gates      int   `json:"gates,omitempty"`
+	FFs        int   `json:"ffs,omitempty"`
+	Cycles     int   `json:"cycles,omitempty"`
+
+	// Candidates through Matches are merged diagnosis counts
+	// (diagnose).
+	Candidates int `json:"candidates,omitempty"`
+	Exact      int `json:"exact,omitempty"`
+	Ambiguous  int `json:"ambiguous,omitempty"`
+	Silent     int `json:"silent,omitempty"`
+	Matches    int `json:"matches,omitempty"`
+}
+
+// SimResult views a faultsim result's detection vector through the
+// faultsim.Result helpers (NumDetected, Undetected, Profile) for
+// consumers like the CLI's -profileplot.
+func (r *Result) SimResult() *faultsim.Result {
+	return &faultsim.Result{DetectedAt: r.DetectedAt}
+}
+
+// Merge reassembles a job result from unit partials. The partials must
+// cover the fault axis contiguously from 0 unless interrupted is set,
+// in which case whatever ran is merged and the report follows the
+// matching CLI's partial-output convention: flow and faultsim keep a
+// partial report, the other kinds report nothing. Merge never depends
+// on how the axis was split, so any unit partitioning yields the
+// byte-identical Result.
+func Merge(sp Spec, parts []*Partial, interrupted bool) (*Result, error) {
+	if err := sp.Normalize(); err != nil {
+		return nil, err
+	}
+	ps := make([]*Partial, 0, len(parts))
+	for _, p := range parts {
+		if p != nil {
+			ps = append(ps, p)
+		}
+	}
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].Lo < ps[j].Lo })
+
+	res := &Result{Kind: sp.Kind, Interrupted: interrupted}
+	if len(ps) == 0 {
+		return res, nil
+	}
+	head := ps[0]
+	res.Circuit, res.Hash = head.Circuit, head.Hash
+	res.Faults = head.Faults
+	res.Gates, res.FFs, res.Cycles = head.Gates, head.FFs, head.Cycles
+	for _, p := range ps {
+		if p.Kind != sp.Kind {
+			return nil, fmt.Errorf("task: merge: partial kind %q does not match spec kind %q", p.Kind, sp.Kind)
+		}
+	}
+	if !interrupted {
+		expect := 0
+		for _, p := range ps {
+			if p.Lo != expect {
+				return nil, fmt.Errorf("task: merge: unit coverage gap at fault %d (next partial starts at %d)", expect, p.Lo)
+			}
+			expect = p.Hi
+		}
+		if expect != res.Faults {
+			return nil, fmt.Errorf("task: merge: units cover [0,%d) of a %d-fault axis", expect, res.Faults)
+		}
+	}
+
+	switch sp.Kind {
+	case KindFlow:
+		if len(ps) != 1 {
+			return nil, fmt.Errorf("task: merge: flow cannot merge %d units (Plan emits one)", len(ps))
+		}
+		res.Report, res.Design = head.Report, head.Design
+		if res.Report != nil {
+			res.Output = core.FormatReport(res.Report)
+			res.Extras = FlowExtras(res.Report)
+		}
+	case KindScreen:
+		for _, p := range ps {
+			res.Easy += p.Easy
+			res.Hard += p.Hard
+			res.Unaffecting += p.Unaffecting
+		}
+		if !interrupted {
+			res.Output = formatScreenCounts(res.Circuit, res.Faults, res.Easy, res.Hard, res.Unaffecting)
+			res.Extras = map[string]float64{
+				"faults": float64(res.Faults),
+				"easy":   float64(res.Easy),
+				"hard":   float64(res.Hard),
+			}
+		}
+	case KindATPG:
+		for _, p := range ps {
+			res.Found += p.Found
+			res.Redundant += p.Redundant
+			res.Aborted += p.Aborted
+		}
+		if !interrupted {
+			var b strings.Builder
+			fmt.Fprintf(&b, "circuit %s: comb ATPG over %d faults\n", res.Circuit, res.Faults)
+			fmt.Fprintf(&b, "found %d  redundant %d  aborted %d\n", res.Found, res.Redundant, res.Aborted)
+			res.Output = b.String()
+			res.Extras = map[string]float64{
+				"faults":    float64(res.Faults),
+				"found":     float64(res.Found),
+				"redundant": float64(res.Redundant),
+				"aborted":   float64(res.Aborted),
+			}
+		}
+	case KindFaultSim:
+		res.DetectedAt = make([]int, res.Faults)
+		for i := range res.DetectedAt {
+			res.DetectedAt[i] = -1
+		}
+		for _, p := range ps {
+			copy(res.DetectedAt[p.Lo:p.Hi], p.DetectedAt)
+		}
+		for _, d := range res.DetectedAt {
+			if d >= 0 {
+				res.Detected++
+			}
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "circuit %s: %d gates, %d FFs; %d faults; %d cycles\n",
+			res.Circuit, res.Gates, res.FFs, res.Faults, res.Cycles)
+		note := ""
+		if interrupted {
+			note = "  (interrupted — partial)"
+		}
+		fmt.Fprintf(&b, "detected %d / %d faults (%.2f%% coverage)%s\n",
+			res.Detected, res.Faults, 100*float64(res.Detected)/float64(res.Faults), note)
+		res.Output = b.String()
+		res.Extras = map[string]float64{
+			"faults":   float64(res.Faults),
+			"detected": float64(res.Detected),
+		}
+		if res.Faults > 0 {
+			res.Extras["coverage"] = 100 * float64(res.Detected) / float64(res.Faults)
+		}
+	case KindDiagnose:
+		for _, p := range ps {
+			res.Candidates += p.Candidates
+			res.Exact += p.Exact
+			res.Ambiguous += p.Ambiguous
+			res.Silent += p.Silent
+			res.Matches += p.Matches
+		}
+		if !interrupted {
+			diagnosable := res.Exact + res.Ambiguous
+			var b strings.Builder
+			b.WriteString(FormatDiagnoseHeader(res.Circuit, res.Candidates))
+			fmt.Fprintf(&b, "diagnosable: %d (%.1f%%)  exact: %d  ambiguous: %d  silent: %d\n",
+				diagnosable, 100*float64(diagnosable)/float64(res.Candidates), res.Exact, res.Ambiguous, res.Silent)
+			if diagnosable > 0 {
+				fmt.Fprintf(&b, "mean candidates per diagnosis: %.2f\n", float64(res.Matches)/float64(diagnosable))
+			}
+			res.Output = b.String()
+			res.Extras = map[string]float64{
+				"candidates":  float64(res.Candidates),
+				"diagnosable": float64(diagnosable),
+				"exact":       float64(res.Exact),
+				"silent":      float64(res.Silent),
+			}
+		}
+	}
+	return res, nil
+}
+
+// Run executes a spec end to end in this process: Plan (single unit),
+// Execute, Merge. The returned error is context.Canceled (possibly
+// wrapped) when the job was canceled mid-flight; the Result still
+// carries the partial outcome then. A nil cache selects
+// engine.Default(); a nil collector runs uninstrumented.
+func Run(ctx context.Context, sp Spec, cache *engine.Cache, col *obs.Collector) (*Result, error) {
+	if err := sp.Normalize(); err != nil {
+		return nil, err
+	}
+	units, err := Plan(sp, 1, cache)
+	if err != nil {
+		return nil, err
+	}
+	return RunUnits(ctx, units, cache, col)
+}
+
+// RunUnits executes a plan's units sequentially in this process and
+// merges their partials. (A coordinator distributing units across
+// processes replaces this loop with shipping; Merge is shared.)
+func RunUnits(ctx context.Context, units []Unit, cache *engine.Cache, col *obs.Collector) (*Result, error) {
+	if len(units) == 0 {
+		return nil, fmt.Errorf("task: empty unit list")
+	}
+	sp := units[0].Spec
+	parts := make([]*Partial, 0, len(units))
+	var runErr error
+	for _, u := range units {
+		p, err := Execute(ctx, u, cache, col)
+		if p != nil {
+			parts = append(parts, p)
+		}
+		if err != nil {
+			runErr = err
+			break
+		}
+	}
+	res, merr := Merge(sp, parts, runErr != nil)
+	if res == nil {
+		res = &Result{Kind: sp.Kind, Interrupted: runErr != nil}
+	}
+	if runErr != nil {
+		return res, runErr
+	}
+	return res, merr
+}
+
+// FlowExtras distills a flow report's headline scalars for the run
+// ledger: fault totals and the chain-affecting fault coverage, the
+// paper's headline metric (fsctstats trends and drift-checks these
+// keys). Shared by fsctest and daemon flow jobs.
+func FlowExtras(r *core.Report) map[string]float64 {
+	ex := map[string]float64{
+		"faults":     float64(r.Faults),
+		"undetected": float64(r.Undetected()),
+	}
+	if aff := r.Affecting(); aff > 0 {
+		ex["coverage"] = 100 * float64(aff-r.Undetected()) / float64(aff)
+	}
+	return ex
+}
+
+// FormatScreen renders a screening job's report from screening
+// verdicts. The daemon and its e2e tests reproduce a screen job's
+// output through it.
+func FormatScreen(name string, screened []core.Screened) string {
+	easy, hard, unaff := 0, 0, 0
+	for i := range screened {
+		switch screened[i].Cat {
+		case core.Cat1:
+			easy++
+		case core.Cat2:
+			hard++
+		default:
+			unaff++
+		}
+	}
+	return formatScreenCounts(name, len(screened), easy, hard, unaff)
+}
+
+// formatScreenCounts is FormatScreen over pre-merged counts.
+func formatScreenCounts(name string, total, easy, hard, unaff int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "circuit %s: %d faults screened\n", name, total)
+	fmt.Fprintf(&b, "category 1 (easy): %d\ncategory 2 (hard): %d\nunaffecting: %d\n", easy, hard, unaff)
+	return b.String()
+}
+
+// FormatDiagnoseHeader renders the dictionary header line shared by
+// diagnose job reports and the diagnose CLI's interactive mode.
+func FormatDiagnoseHeader(name string, candidates int) string {
+	return fmt.Sprintf("circuit %s: dictionary over %d chain-affecting faults\n", name, candidates)
+}

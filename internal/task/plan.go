@@ -1,0 +1,119 @@
+package task
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/par"
+)
+
+// batchWidth is the packed-simulation fault-batch width every evaluator
+// in this repository shards by (63 faulty machines + the fault-free
+// lane). Plan aligns unit boundaries to it so a unit sees exactly the
+// batch geometry a single-node run would.
+const batchWidth = 63
+
+// Unit is one shard work-unit: a spec plus the contiguous slice
+// [Lo, Hi) of its fault axis that this unit owns. Units marshal to
+// JSON, so a coordinator can ship them to worker processes; Execute
+// runs one and returns the mergeable Partial.
+type Unit struct {
+	// Spec is the job description the unit belongs to. Every unit of a
+	// plan carries the same normalized spec.
+	Spec Spec `json:"spec"`
+	// Index and Count identify the unit within its plan (Index in
+	// [0, Count)).
+	Index int `json:"index"`
+	Count int `json:"count"`
+	// Lo and Hi bound the unit's fault-axis slice. Hi = -1 denotes the
+	// whole axis (the planner's single-unit fast path, which avoids
+	// materializing the circuit twice).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// slice resolves the unit's range against the actual axis length.
+func (u Unit) slice(n int) (lo, hi int, err error) {
+	lo, hi = u.Lo, u.Hi
+	if hi < 0 {
+		hi = n
+	}
+	if lo < 0 || lo > hi || hi > n {
+		return 0, 0, fmt.Errorf("task: unit range [%d,%d) outside fault axis [0,%d)", u.Lo, u.Hi, n)
+	}
+	return lo, hi, nil
+}
+
+// Plan splits a spec into at most shards deterministic work-units.
+// Unit boundaries are aligned to the 63-fault batch width, so merging
+// the units' Partials reassembles byte-identical to a single-unit run.
+//
+// Kind flow always plans as one unit: step 2 of the paper's flow
+// compacts vectors by dropping detected faults across the whole hard
+// list, coupling the fault axis — splitting it would change which
+// vectors survive. The other four kinds (screen, atpg, faultsim,
+// diagnose) decide every fault independently and shard freely.
+//
+// A nil cache selects the process-wide engine.Default().
+func Plan(sp Spec, shards int, cache *engine.Cache) ([]Unit, error) {
+	if err := sp.Normalize(); err != nil {
+		return nil, err
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards == 1 || sp.Kind == KindFlow {
+		return []Unit{{Spec: sp, Index: 0, Count: 1, Lo: 0, Hi: -1}}, nil
+	}
+	n, err := AxisLen(sp, cache)
+	if err != nil {
+		return nil, err
+	}
+	rs := par.Shards(n, batchWidth, shards)
+	if len(rs) == 0 { // empty axis: one empty unit keeps Merge uniform
+		rs = []par.Range{{Lo: 0, Hi: 0}}
+	}
+	units := make([]Unit, len(rs))
+	for i, r := range rs {
+		units[i] = Unit{Spec: sp, Index: i, Count: len(rs), Lo: r.Lo, Hi: r.Hi}
+	}
+	return units, nil
+}
+
+// AxisLen returns the length of the spec's fault axis — the dimension
+// Plan shards and Partial ranges index into. Derived structures
+// (collapsed fault lists, the combinational ATPG model) come from the
+// artifact cache, so planning a spec warms the same cache Execute uses.
+func AxisLen(sp Spec, cache *engine.Cache) (int, error) {
+	if err := sp.Normalize(); err != nil {
+		return 0, err
+	}
+	switch sp.Kind {
+	case KindFaultSim:
+		c, err := sp.BuildCircuit()
+		if err != nil {
+			return 0, err
+		}
+		if sp.Uncollapsed {
+			return len(fault.All(c)), nil
+		}
+		return len(engine.Resolve(cache).For(c).CollapsedFaults()), nil
+	case KindATPG:
+		d, err := sp.BuildDesign()
+		if err != nil {
+			return 0, err
+		}
+		cm, err := engine.Resolve(cache).For(d.C).CombModel()
+		if err != nil {
+			return 0, err
+		}
+		return len(engine.Resolve(cache).For(cm.C).CollapsedFaults()), nil
+	default: // flow, screen, diagnose: the scan-mode collapsed fault list
+		d, err := sp.BuildDesign()
+		if err != nil {
+			return 0, err
+		}
+		return len(engine.Resolve(cache).For(d.C).CollapsedFaults()), nil
+	}
+}

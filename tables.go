@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/core"
 )
 
 // Table1 renders the test-suite table (paper Table 1): circuit sizes,
@@ -118,25 +120,10 @@ func Figure5(r *Report) string {
 	return b.String()
 }
 
-// FormatReport renders one circuit's full report.
-func FormatReport(r *Report) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "circuit %s: %d gates, %d FFs, %d chains, %d faults\n",
-		r.Circuit, r.Gates, r.FFs, r.Chains, r.Faults)
-	fmt.Fprintf(&b, "  screening: easy=%d (%.1f%%)  hard=%d (%.1f%%)  affecting=%d (%.1f%%)  [%s]\n",
-		r.Easy, pct(r.Easy, r.Faults), r.Hard, pct(r.Hard, r.Faults),
-		r.Affecting(), pct(r.Affecting(), r.Faults), round(r.ScreenCPU))
-	fmt.Fprintf(&b, "  step 1: alternating sequence confirmed %d/%d easy faults (%d escapes)\n",
-		r.EasyConfirmed, r.Easy, r.EasyEscapes)
-	fmt.Fprintf(&b, "  step 2: %d vectors; det=%d undetectable=%d undetected=%d  [%s]\n",
-		r.Step2Vectors, r.Step2.Detected, r.Step2.Undetectable, r.Step2.Undetected, round(r.Step2.CPU))
-	fmt.Fprintf(&b, "  step 3: %d+%d C/O circuits; det=%d undetectable=%d undetected=%d  [%s]\n",
-		r.COCircuits, r.FinalCOCircuits, r.Step3.Detected, r.Step3.Undetectable,
-		r.Step3.Undetected, round(r.Step3.CPU))
-	fmt.Fprintf(&b, "  undetected: %d = %.4f%% of faults = %.4f%% of affecting\n",
-		r.Undetected(), pct(r.Undetected(), r.Faults), pct(r.Undetected(), r.Affecting()))
-	return b.String()
-}
+// FormatReport renders one circuit's full report. The rendering lives
+// in internal/core so the task layer shares it; this re-export keeps
+// the library surface stable.
+func FormatReport(r *Report) string { return core.FormatReport(r) }
 
 func pct(a, b int) float64 {
 	if b == 0 {
