@@ -10,7 +10,8 @@
 //
 //	fsctstats list  -ledger runs.jsonl [-circuit s9234] [-cli fsctest] [-since 24h] [-last 20] [-json]
 //	fsctstats trend -ledger runs.jsonl [filters] [-json]
-//	fsctstats check -ledger runs.jsonl [filters] [-window 5] [-keys coverage,wall_ns] [-threshold 0.1] [-v] [-json]
+//	fsctstats check -ledger runs.jsonl [filters] [-window 5] [-keys coverage,wall_ns] [-threshold 0.1] [-v] [-strict] [-json]
+//	fsctstats watch [-addr localhost:8341] [-interval 1s] [-once]
 //
 // list prints the matching records, newest last. trend groups them into
 // per-(CLI, circuit) series and shows the cross-run evolution of the
@@ -22,7 +23,16 @@
 // rise. It shares its threshold semantics with cmd/benchdiff via
 // internal/metriccmp: -keys entries match a flattened metric key
 // exactly or by final segment, and -threshold overrides every per-key
-// allowance. Series with no prior runs pass vacuously.
+// allowance. Series with no prior runs pass vacuously; an empty match
+// set warns on stderr (and fails under -strict, so CI catches a
+// mistyped ledger path).
+//
+// watch is the live counterpart: instead of the ledger it polls a
+// running fsctd daemon's /api/v1/live and /metrics endpoints and
+// renders a terminal dashboard — one block per job with a unit
+// completion bar, faults-per-second throughput, the ETA derived from
+// it, and any unit the straggler watchdog flagged highlighted as
+// STALLED. -once prints a single frame and exits (scripts, CI).
 //
 // -since accepts a Go duration ("36h") or an RFC 3339 timestamp.
 package main
@@ -42,6 +52,9 @@ func main() {
 		os.Exit(2)
 	}
 	sub := os.Args[1]
+	if sub == "watch" { // live daemon dashboard: own flags, no ledger
+		os.Exit(runWatchCmd(os.Args[2:]))
+	}
 	fs := flag.NewFlagSet("fsctstats "+sub, flag.ExitOnError)
 	var (
 		path    = fs.String("ledger", "", "run ledger `file` to query (required)")
@@ -55,6 +68,7 @@ func main() {
 		keys      = fs.String("keys", "", "check: comma-separated metric keys (default coverage,wall_ns,cache_hit_rate)")
 		threshold = fs.Float64("threshold", 0, "check: override every per-key allowance with this ratio (0.1 = ±10%)")
 		verbose   = fs.Bool("v", false, "check: print every comparison, not just drifts")
+		strict    = fs.Bool("strict", false, "check: exit non-zero when no records match (an empty gate usually means a broken -ledger path or filter)")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -83,6 +97,15 @@ func main() {
 	case "trend":
 		err = runTrend(os.Stdout, recs, *jsonOut)
 	case "check":
+		// An empty gate passes vacuously, which hides a mistyped path or
+		// an over-narrow filter from CI. Warn always; -strict turns the
+		// warning into a failure.
+		if len(recs) == 0 {
+			fmt.Fprintln(os.Stderr, "fsctstats: warning: no ledger records match (empty ledger, or filters excluded everything) — the check gates nothing")
+			if *strict {
+				os.Exit(1)
+			}
+		}
 		var drifted bool
 		drifted, err = runCheck(os.Stdout, recs, checkOptions{
 			Keys:      parseKeys(*keys),
@@ -117,13 +140,17 @@ func parseSince(s string) (time.Time, error) {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: fsctstats <list|trend|check> -ledger runs.jsonl [flags]
+	fmt.Fprintf(os.Stderr, `usage: fsctstats <list|trend|check|watch> [flags]
 
   list   print the matching ledger records, newest last
   trend  per-(CLI, circuit) evolution of runtime, coverage, cache hit rate
   check  flag metric drift of the newest run vs the rolling median of
-         prior runs; exits 1 on drift
+         prior runs; exits 1 on drift (-strict: also on an empty match)
+  watch  live terminal dashboard over a running fsctd daemon's
+         /api/v1/live: per-job unit progress bars, throughput, ETA and
+         highlighted stragglers
 
+list, trend and check query a -ledger file; watch polls -addr.
 run 'fsctstats <subcommand> -h' for the subcommand's flags
 `)
 }

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// runWatchCmd is the watch subcommand: a terminal dashboard over a
+// running fsctd daemon's /api/v1/live snapshot. Returns the process
+// exit code.
+func runWatchCmd(args []string) int {
+	fs := flag.NewFlagSet("fsctstats watch", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "localhost:8341", "fsctd daemon `address` to watch")
+		interval = fs.Duration("interval", time.Second, "poll/refresh interval")
+		once     = fs.Bool("once", false, "render one frame and exit (scripts, CI)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	tty := stdoutIsTTY() && !*once
+	for {
+		lv, counters, err := fetchLive(base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsctstats: %v\n", err)
+			return 1
+		}
+		var b strings.Builder
+		if tty {
+			b.WriteString("\x1b[2J\x1b[H") // clear + home between frames
+		}
+		renderWatch(&b, *addr, lv, counters, tty)
+		os.Stdout.WriteString(b.String())
+		if *once {
+			return 0
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetchLive pulls one dashboard's worth of daemon state: the live
+// unit-progress view plus the label-free /metrics samples (queue depth,
+// lifetime job counters).
+func fetchLive(base string) (serve.LiveView, map[string]float64, error) {
+	var lv serve.LiveView
+	resp, err := http.Get(base + "/api/v1/live")
+	if err != nil {
+		return lv, nil, fmt.Errorf("is fsctd running at %s? %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return lv, nil, fmt.Errorf("GET /api/v1/live: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&lv); err != nil {
+		return lv, nil, fmt.Errorf("GET /api/v1/live: %w", err)
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return lv, nil, err
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		return lv, nil, err
+	}
+	return lv, parseCounters(string(body)), nil
+}
+
+// parseCounters extracts the label-free samples of an OpenMetrics
+// exposition into name -> value (labelled samples and comments are
+// skipped — the dashboard only needs the scalar server counters).
+func parseCounters(text string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			continue
+		}
+		out[name] = v
+	}
+	return out
+}
+
+// renderWatch writes one dashboard frame: a header with queue and job
+// totals, then one block per job — completion bar, throughput, ETA and
+// the per-unit rows with stragglers highlighted. Pure function of its
+// inputs (the tests feed it canned views); color only decorates, the
+// plain text carries everything.
+func renderWatch(w io.Writer, addr string, lv serve.LiveView, counters map[string]float64, color bool) {
+	running, done := 0, 0
+	for _, j := range lv.Jobs {
+		switch j.Status {
+		case serve.StatusRunning:
+			running++
+		case serve.StatusDone:
+			done++
+		}
+	}
+	fmt.Fprintf(w, "fsctd %s — %d jobs (%d running, %d done)  queue %d  stalls %d  stall threshold %s\n",
+		addr, len(lv.Jobs), running, done,
+		int(counters["fsct_serve_queue_depth_total"]),
+		int(counters["fsct_serve_units_stalls_total"]),
+		fmtDur(time.Duration(lv.StallThresholdNS)))
+	for _, j := range lv.Jobs {
+		renderJob(w, j, color)
+	}
+	if len(lv.Jobs) == 0 {
+		fmt.Fprintln(w, "(no jobs)")
+	}
+}
+
+func renderJob(w io.Writer, j serve.LiveJob, color bool) {
+	fmt.Fprintf(w, "\n%s %s %s [%s]", j.ID, j.Kind, j.Circuit, j.Status)
+	p := j.Progress
+	if p == nil { // queued: no runner has planned it yet
+		fmt.Fprintln(w)
+		return
+	}
+	fmt.Fprintf(w, "  units %d/%d", p.UnitsDone, p.UnitsTotal)
+	if p.FaultsTotal > 0 {
+		fmt.Fprintf(w, "  faults %d/%d (%.1f%%)", p.FaultsDone, p.FaultsTotal,
+			100*float64(p.FaultsDone)/float64(p.FaultsTotal))
+	}
+	fmt.Fprintf(w, "  detected %d", p.Detected)
+	if p.Throughput > 0 {
+		fmt.Fprintf(w, "  %s", fmtRate(p.Throughput))
+	}
+	if p.ETANS > 0 {
+		fmt.Fprintf(w, "  ETA %s", fmtDur(time.Duration(p.ETANS)))
+	}
+	fmt.Fprintln(w)
+	for _, u := range p.Units {
+		renderUnit(w, u, color)
+	}
+}
+
+func renderUnit(w io.Writer, u telemetry.UnitSnapshot, color bool) {
+	fmt.Fprintf(w, "  unit %-3d %s %d/%d", u.Index, bar(u.Done, u.Faults, 12), u.Done, u.Faults)
+	switch {
+	case u.Stalled:
+		tag := fmt.Sprintf("STALLED idle %s", fmtDur(time.Duration(u.IdleNS)))
+		if color {
+			tag = "\x1b[1;31m" + tag + "\x1b[0m" // bold red: the row to look at
+		}
+		fmt.Fprintf(w, "  %s", tag)
+	case u.Running:
+		fmt.Fprintf(w, "  running %s", fmtDur(time.Duration(u.WallNS)))
+	case u.Finished && u.Error != "":
+		fmt.Fprintf(w, "  failed: %s", u.Error)
+	case u.Finished:
+		fmt.Fprintf(w, "  done %s", fmtDur(time.Duration(u.WallNS)))
+	default:
+		fmt.Fprint(w, "  pending")
+	}
+	fmt.Fprintln(w)
+}
+
+// bar renders a width-cell completion bar. Unknown totals (a
+// whole-axis unit still running) render as indeterminate.
+func bar(done, total, width int) string {
+	if total <= 0 {
+		return "[" + strings.Repeat("?", width) + "]"
+	}
+	filled := done * width / total
+	if filled > width {
+		filled = width
+	}
+	return "[" + strings.Repeat("=", filled) + strings.Repeat(" ", width-filled) + "]"
+}
+
+// fmtDur rounds a duration to a dashboard-friendly precision.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second).String()
+	case d >= time.Second:
+		return d.Round(100 * time.Millisecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}
+
+// fmtRate renders a faults-per-second throughput.
+func fmtRate(fps float64) string {
+	if fps >= 1000 {
+		return fmt.Sprintf("%.1f kf/s", fps/1000)
+	}
+	return fmt.Sprintf("%.0f f/s", fps)
+}
+
+// stdoutIsTTY reports whether stdout is a character device, selecting
+// full-screen frame redraws over append-only output.
+func stdoutIsTTY() bool {
+	fi, err := os.Stdout.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// cannedLive is a three-unit job mid-flight: one done, one running, one
+// stalled straggler.
+func cannedLive() serve.LiveView {
+	return serve.LiveView{
+		StallThresholdNS: (30 * time.Second).Nanoseconds(),
+		Jobs: []serve.LiveJob{
+			{
+				ID: "j000001", Kind: "faultsim", Circuit: "s3384", Status: serve.StatusRunning,
+				Progress: &telemetry.Snapshot{
+					RunID: "r", JobID: "j000001", Kind: "faultsim", Circuit: "s3384",
+					UnitsTotal: 3, UnitsDone: 1, UnitsRunning: 2, UnitsStalled: 1,
+					FaultsTotal: 189, FaultsDone: 100, Detected: 60,
+					Throughput: 63, ETANS: (2 * time.Second).Nanoseconds(),
+					Units: []telemetry.UnitSnapshot{
+						{Index: 0, Lo: 0, Hi: 63, Faults: 63, Done: 63, Detected: 40, Finished: true, WallNS: int64(time.Second)},
+						{Index: 1, Lo: 63, Hi: 126, Faults: 63, Done: 30, Detected: 20, Running: true, WallNS: int64(time.Second)},
+						{Index: 2, Lo: 126, Hi: 189, Faults: 63, Done: 7, Running: true, Stalled: true,
+							WallNS: int64(40 * time.Second), IdleNS: int64(35 * time.Second)},
+					},
+				},
+			},
+			{ID: "j000002", Kind: "screen", Circuit: "s27", Status: serve.StatusQueued},
+		},
+	}
+}
+
+func TestRenderWatchFrame(t *testing.T) {
+	var b strings.Builder
+	counters := map[string]float64{
+		"fsct_serve_queue_depth_total":  1,
+		"fsct_serve_units_stalls_total": 1,
+	}
+	renderWatch(&b, "localhost:8341", cannedLive(), counters, false)
+	out := b.String()
+	for _, want := range []string{
+		"2 jobs (1 running, 0 done)",
+		"queue 1",
+		"stall threshold 30s",
+		"j000001 faultsim s3384 [running]",
+		"units 1/3",
+		"faults 100/189 (52.9%)",
+		"detected 60",
+		"63 f/s",
+		"ETA 2s",
+		"unit 0   [============] 63/63  done 1s",
+		"unit 1   [=====       ] 30/63  running 1s",
+		"STALLED idle 35s",
+		"j000002 screen s27 [queued]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Error("color escapes leaked into a colorless frame")
+	}
+}
+
+func TestRenderWatchColorHighlightsStall(t *testing.T) {
+	var b strings.Builder
+	renderWatch(&b, "a", cannedLive(), nil, true)
+	if !strings.Contains(b.String(), "\x1b[1;31mSTALLED") {
+		t.Fatalf("stalled unit not highlighted:\n%s", b.String())
+	}
+}
+
+func TestRenderWatchEmpty(t *testing.T) {
+	var b strings.Builder
+	renderWatch(&b, "a", serve.LiveView{}, nil, false)
+	if !strings.Contains(b.String(), "(no jobs)") {
+		t.Fatalf("empty view frame = %q", b.String())
+	}
+}
+
+func TestBar(t *testing.T) {
+	for _, tc := range []struct {
+		done, total int
+		want        string
+	}{
+		{0, 10, "[          ]"},
+		{5, 10, "[=====     ]"},
+		{10, 10, "[==========]"},
+		{20, 10, "[==========]"}, // clamped
+		{3, 0, "[??????????]"},   // unknown span
+	} {
+		if got := bar(tc.done, tc.total, 10); got != tc.want {
+			t.Errorf("bar(%d,%d) = %q, want %q", tc.done, tc.total, got, tc.want)
+		}
+	}
+}
+
+func TestParseCounters(t *testing.T) {
+	text := "# TYPE fsct_x counter\n" +
+		"fsct_x_total 42\n" +
+		"fsct_pool_utilization{pool=\"faultsim\"} 0.9\n" + // labelled: skipped
+		"fsct_run_wall_seconds 1.5\n" +
+		"garbage line without value\n" +
+		"# EOF\n"
+	got := parseCounters(text)
+	if got["fsct_x_total"] != 42 || got["fsct_run_wall_seconds"] != 1.5 {
+		t.Fatalf("parseCounters = %v", got)
+	}
+	if _, ok := got[`fsct_pool_utilization{pool="faultsim"}`]; ok {
+		t.Fatal("labelled sample not skipped")
+	}
+	if len(got) != 2 {
+		t.Fatalf("parseCounters kept %d samples, want 2: %v", len(got), got)
+	}
+}
+
+// TestFetchLive drives the HTTP client against a canned daemon.
+func TestFetchLive(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/live", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"stall_threshold_ns":30000000000,"jobs":[{"id":"j000001","kind":"screen","circuit":"s27","status":"done","progress":{"units_total":1,"units_done":1,"units_running":0,"units_stalled":0,"faults_total":52,"faults_done":52,"detected":32}}]}`))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("fsct_serve_queue_depth_total 0\n# EOF\n"))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	lv, counters, err := fetchLive(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lv.Jobs) != 1 || lv.Jobs[0].Progress == nil || lv.Jobs[0].Progress.FaultsDone != 52 {
+		t.Fatalf("fetchLive view = %+v", lv)
+	}
+	if counters["fsct_serve_queue_depth_total"] != 0 {
+		t.Fatalf("fetchLive counters = %v", counters)
+	}
+	var b strings.Builder
+	renderWatch(&b, srv.URL, lv, counters, false)
+	if !strings.Contains(b.String(), "faults 52/52 (100.0%)") {
+		t.Fatalf("rendered fetched frame missing totals:\n%s", b.String())
+	}
+}

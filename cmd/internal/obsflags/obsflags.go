@@ -9,6 +9,8 @@
 //	-debug       /debug/pprof + /debug/vars + /metrics HTTP server
 //	-ledger      append the run's records to a JSONL run ledger
 //	-memprofile  write a pprof heap profile on exit
+//	-log         structured slog lines on stderr at a level
+//	-logfile     append structured JSON log lines to a file
 //
 // A command calls Register before flag.Parse, Open after it, hands
 // Session.Collector() to whatever it runs, and calls Session.Close
@@ -20,9 +22,11 @@
 package obsflags
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -34,6 +38,8 @@ import (
 	"repro/internal/journal"
 	"repro/internal/ledger"
 	"repro/internal/obs"
+	"repro/internal/task"
+	"repro/internal/telemetry"
 )
 
 // Flags holds the shared observability flag values.
@@ -45,6 +51,8 @@ type Flags struct {
 	Debug      string
 	Ledger     string
 	MemProfile string
+	Log        string
+	LogFile    string
 
 	fs *flag.FlagSet // consulted at Open for the explicitly-set flags
 }
@@ -60,6 +68,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Debug, "debug", "", "serve /debug/pprof, /debug/vars and /metrics on this `address` (e.g. localhost:6060)")
 	fs.StringVar(&f.Ledger, "ledger", "", "append this run's records to the JSONL run ledger at `file` (query with cmd/fsctstats)")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this `file` on exit (SIGINT included)")
+	fs.StringVar(&f.Log, "log", "", "emit structured log lines on stderr at this `level` (debug, info, warn, error)")
+	fs.StringVar(&f.LogFile, "logfile", "", "append structured JSON log lines to this `file` (level from -log, default info)")
 	return f
 }
 
@@ -97,6 +107,10 @@ type Session struct {
 	progress *journal.Progress
 	server   *http.Server
 
+	logger  *slog.Logger
+	runID   string
+	logFile *os.File
+
 	cli   string
 	start time.Time
 
@@ -114,6 +128,9 @@ type Session struct {
 // free.
 func (f *Flags) Open() (*Session, error) {
 	s := &Session{flags: f, start: time.Now(), cli: filepath.Base(os.Args[0])}
+	if err := s.openLogger(); err != nil {
+		return nil, err
+	}
 	if f.TraceFile != "" || f.Progress {
 		s.EnsureRecorder()
 	}
@@ -124,11 +141,82 @@ func (f *Flags) Open() (*Session, error) {
 	if f.Debug != "" {
 		srv, err := obs.ServeDebug(f.Debug)
 		if err != nil {
+			s.closeLogFile()
 			return nil, err
 		}
 		s.server = srv
 	}
+	s.logger.Info("run started", slog.String("cli", s.cli))
 	return s, nil
+}
+
+// openLogger builds the session's structured logger from -log (text on
+// stderr) and -logfile (JSON appended to a file), stamps every line
+// with a fresh run_id, and leaves the free discard logger when neither
+// flag is set.
+func (s *Session) openLogger() error {
+	f := s.flags
+	lvl := slog.LevelInfo
+	if f.Log != "" {
+		var err error
+		if lvl, err = telemetry.ParseLevel(f.Log); err != nil {
+			return err
+		}
+	}
+	var handlers []slog.Handler
+	if f.Log != "" {
+		handlers = append(handlers, slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	}
+	if f.LogFile != "" {
+		w, err := os.OpenFile(f.LogFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("logfile: %w", err)
+		}
+		s.logFile = w
+		handlers = append(handlers, slog.NewJSONHandler(w, &slog.HandlerOptions{Level: lvl}))
+	}
+	s.runID = telemetry.NewRunID()
+	s.logger = slog.New(telemetry.Fanout(handlers...)).With(slog.String(telemetry.KeyRunID, s.runID))
+	return nil
+}
+
+// closeLogFile closes the -logfile sink, once.
+func (s *Session) closeLogFile() {
+	if s.logFile != nil {
+		_ = s.logFile.Close()
+		s.logFile = nil
+	}
+}
+
+// Logger returns the session's structured logger (the discard logger
+// when neither -log nor -logfile was set — log unconditionally). Every
+// line carries the session's run_id.
+func (s *Session) Logger() *slog.Logger { return s.logger }
+
+// RunID returns the identifier correlating this process run's log
+// lines.
+func (s *Session) RunID() string { return s.runID }
+
+// TrackCtx installs a unit tracker for the run described by kind and
+// circuit: unit lifecycle transitions land in the session log under
+// correlated run_id/unit_id attributes, and — when the session has a
+// flight recorder — journal events feed the tracker's per-unit progress
+// heartbeat (chained in front of the progress renderer's observer, so
+// -progress keeps working). The returned context carries the tracker
+// into task.Execute; pass it to the run.
+func (s *Session) TrackCtx(ctx context.Context, kind, circuit string) context.Context {
+	tr := telemetry.NewRunTracker(telemetry.Info{RunID: s.runID, Kind: kind, Circuit: circuit}, s.logger)
+	if rec := s.recorder; rec != nil {
+		if prev := s.progress; prev != nil {
+			rec.SetObserver(func(e journal.Event) {
+				prev.Observe(e)
+				tr.Observe(e)
+			})
+		} else {
+			rec.SetObserver(tr.Observe)
+		}
+	}
+	return task.WithTracker(ctx, tr)
 }
 
 // EnsureRecorder attaches a flight recorder even when no flag asked
@@ -241,6 +329,12 @@ func (s *Session) Close() error {
 		if s.server != nil {
 			_ = s.server.Close()
 		}
+		s.mu.Lock()
+		exit := s.exit
+		s.mu.Unlock()
+		s.logger.Info("run finished",
+			slog.Int("exit", exit), slog.Duration("wall", time.Since(s.start)))
+		s.closeLogFile()
 	})
 	return s.closeErr
 }

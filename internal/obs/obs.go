@@ -374,6 +374,13 @@ func (c *Collector) Snapshot() *Metrics {
 	for name, ctr := range c.counters {
 		m.Counters[name] = ctr.Value()
 	}
+	// An attached flight recorder contributes its overwrite count: a
+	// non-zero journal.dropped_events warns that the event timeline (and
+	// everything derived from it, like live unit-progress estimates) is
+	// missing its oldest entries.
+	if rec := c.jr.Load(); rec != nil {
+		m.Counters["journal.dropped_events"] = rec.Dropped()
+	}
 	if len(c.hists) > 0 {
 		m.Histograms = make(map[string]HistogramMetric, len(c.hists))
 		for name, h := range c.hists {

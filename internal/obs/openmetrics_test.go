@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/journal"
 )
 
 // exposition renders a populated snapshot for the format tests.
@@ -125,6 +127,61 @@ func TestOpenMetricsFormatSanity(t *testing.T) {
 	}
 	if !strings.Contains(out, fmt.Sprintf("fsct_atpg_backtracks_count %d\n", hm.Count)) {
 		t.Errorf("_count does not match snapshot count %d:\n%s", hm.Count, out)
+	}
+}
+
+// TestOpenMetricsZeroObservationHistogram pins the degenerate
+// exposition: a histogram that was declared but never observed must
+// still render a complete, parseable family — one +Inf bucket at 0 and
+// zero _sum/_count — not vanish or emit bogus buckets.
+func TestOpenMetricsZeroObservationHistogram(t *testing.T) {
+	c := New()
+	c.Histogram("atpg.backtracks") // declared, zero observations
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, c.Snapshot()); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE fsct_atpg_backtracks histogram",
+		`fsct_atpg_backtracks_bucket{le="+Inf"} 0`,
+		"fsct_atpg_backtracks_sum 0",
+		"fsct_atpg_backtracks_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("zero-observation exposition missing %q:\n%s", want, out)
+		}
+	}
+	// No bounded bucket lines: every bucket is empty, so only the +Inf
+	// terminator appears.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "fsct_atpg_backtracks_bucket{le=") &&
+			!strings.Contains(line, "+Inf") {
+			t.Errorf("zero-observation histogram rendered bounded bucket %q", line)
+		}
+	}
+}
+
+// TestOpenMetricsJournalDropped pins satellite wiring: an attached
+// flight recorder's overwrite count surfaces as a counter in Snapshot
+// and therefore as fsct_journal_dropped_events_total in the exposition.
+func TestOpenMetricsJournalDropped(t *testing.T) {
+	c := New()
+	rec := journal.New(4)
+	c.SetJournal(rec)
+	for i := 0; i < 7; i++ { // capacity 4: three oldest events overwritten
+		rec.Emit(journal.Note("n"))
+	}
+	m := c.Snapshot()
+	if got := m.Counters["journal.dropped_events"]; got != 3 {
+		t.Fatalf("journal.dropped_events = %d, want 3", got)
+	}
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fsct_journal_dropped_events_total 3") {
+		t.Fatalf("exposition missing fsct_journal_dropped_events_total:\n%s", b.String())
 	}
 }
 

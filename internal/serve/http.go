@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -23,12 +24,47 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /api/v1/server", s.handleServer)
 	mux.HandleFunc("GET /api/v1/history", s.handleHistory)
+	mux.HandleFunc("GET /api/v1/live", s.handleLive)
+	mux.HandleFunc("GET /api/v1/live/events", s.handleLiveEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
 	})
-	return mux
+	return s.logRequests(mux)
+}
+
+// logRequests wraps the API mux with one structured debug line per
+// completed request (method, path, status, duration). Debug level keeps
+// polling dashboards out of an info-level log; the job-lifecycle lines
+// carry the operational story.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		s.log.Debug("request",
+			slog.String("method", r.Method), slog.String("path", r.URL.Path),
+			slog.Int("status", sw.code), slog.Duration("dur", time.Since(start)))
+	})
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards streaming flushes (the SSE handlers require it).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // writeError emits the API's uniform error shape.
@@ -182,6 +218,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m.Counters["serve.cache.misses"] = st.Misses
 	m.Counters["serve.cache.evictions"] = st.Evictions
 	m.Counters["serve.queue.depth"] = int64(s.q.depth())
+	// Unit-level telemetry, aggregated across every tracked job at
+	// scrape time (gauge-like, same convention as the cache samples),
+	// plus the flight recorders' total overwrite count.
+	var unitsTotal, unitsDone, unitsRunning, unitsStalled, dropped int64
+	for _, j := range s.Jobs() {
+		if live := j.Live(); live != nil {
+			unitsTotal += int64(live.UnitsTotal)
+			unitsDone += int64(live.UnitsDone)
+			unitsRunning += int64(live.UnitsRunning)
+			unitsStalled += int64(live.UnitsStalled)
+		}
+		dropped += j.rec.Dropped()
+	}
+	m.Counters["serve.units.total"] = unitsTotal
+	m.Counters["serve.units.done"] = unitsDone
+	m.Counters["serve.units.running"] = unitsRunning
+	m.Counters["serve.units.stalled"] = unitsStalled
+	m.Counters["journal.dropped_events"] = dropped
 	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
 	_ = obs.WriteOpenMetrics(w, m)
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/netlist"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 )
 
 // Job kinds, re-exported from the task layer. Each maps onto the run
@@ -92,6 +93,7 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 	queueWait time.Duration
+	tracker   *telemetry.RunTracker // set when a runner picks the job up
 }
 
 func newJob(parent context.Context, seq int64, sp Spec) *Job {
@@ -131,6 +133,16 @@ func (j *Job) Output() string {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.output
+}
+
+// Live freezes the job's unit-progress state, or nil while the job has
+// not reached a runner (queued and early-canceled jobs have no
+// tracker).
+func (j *Job) Live() *telemetry.Snapshot {
+	j.mu.Lock()
+	tr := j.tracker
+	j.mu.Unlock()
+	return tr.Snapshot()
 }
 
 // View is the JSON shape of a job on the status endpoints. Started and

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// LiveJob is one job's entry on /api/v1/live: identity, lifecycle
+// state, and the unit-progress snapshot (null while the job is queued —
+// no runner has planned it yet).
+type LiveJob struct {
+	ID       string              `json:"id"`
+	Kind     string              `json:"kind"`
+	Circuit  string              `json:"circuit"`
+	Status   Status              `json:"status"`
+	Progress *telemetry.Snapshot `json:"progress"`
+}
+
+// LiveView is the /api/v1/live response: every job's unit progress plus
+// the watchdog's stall threshold, so a dashboard can render "no
+// heartbeat for X of Y" without knowing the daemon's flags.
+type LiveView struct {
+	StallThresholdNS int64     `json:"stall_threshold_ns"`
+	Jobs             []LiveJob `json:"jobs"`
+}
+
+// liveSnapshot freezes the live view. With runningOnly, terminal and
+// queued jobs are dropped.
+func (s *Server) liveSnapshot(runningOnly bool) LiveView {
+	v := LiveView{
+		StallThresholdNS: s.watchdog.Threshold().Nanoseconds(),
+		Jobs:             []LiveJob{},
+	}
+	for _, j := range s.Jobs() {
+		st := j.Status()
+		if runningOnly && st != StatusRunning {
+			continue
+		}
+		v.Jobs = append(v.Jobs, LiveJob{
+			ID: j.ID(), Kind: j.spec.Kind, Circuit: j.spec.Circuit,
+			Status: st, Progress: j.Live(),
+		})
+	}
+	return v
+}
+
+// handleLive serves the live introspection snapshot: per-job unit
+// progress, throughput, ETA and stall flags. ?running=1 keeps only
+// running jobs.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.liveSnapshot(r.URL.Query().Get("running") == "1"))
+}
+
+// handleLiveEvents streams the live view as Server-Sent Events: one
+// `event: live` frame per unit-progress transition (unit start/finish,
+// stall flag, job terminal), coalesced under the same epoch-channel hub
+// the per-job streams use, plus a periodic refresh so wall-clock fields
+// (idle age, ETA) stay current during long quiet units. The stream ends
+// when the client disconnects or the server shuts down.
+func (s *Server) handleLiveEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	refresh := time.NewTicker(2 * time.Second)
+	defer refresh.Stop()
+	for {
+		// Grab the epoch before snapshotting, so a transition landing
+		// after the snapshot is guaranteed to wake the wait below.
+		epoch := s.liveHub.wait()
+		payload, _ := json.Marshal(s.liveSnapshot(false))
+		fmt.Fprintf(w, "event: live\ndata: %s\n\n", payload)
+		flusher.Flush()
+		select {
+		case <-epoch:
+			if s.ctx.Err() != nil {
+				return
+			}
+		case <-refresh.C:
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}

@@ -29,14 +29,17 @@ package serve
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/journal"
 	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 )
 
 // LedgerSink receives one completed ledger record per finished job.
@@ -74,6 +77,17 @@ type Config struct {
 	// reads. Typically the same path the Session appends to; empty
 	// disables the endpoint.
 	LedgerPath string
+	// StallThreshold is the no-progress age past which the straggler
+	// watchdog flags a running unit (surfaced on /api/v1/live and as a
+	// warning log). 0 selects telemetry.DefaultStallThreshold; negative
+	// disables stall detection.
+	StallThreshold time.Duration
+	// Logger receives the daemon's structured logs (request lines, job
+	// lifecycle, stall warnings), each stamped with RunID. Nil discards.
+	Logger *slog.Logger
+	// RunID correlates this daemon process's log lines (pass the
+	// obsflags session's run id). Empty mints a fresh one.
+	RunID string
 }
 
 // DefaultQueueLimit bounds the job queue when Config.QueueLimit is 0.
@@ -87,6 +101,11 @@ type Server struct {
 	col   *obs.Collector // server-lifetime counters behind /metrics
 	sess  LedgerSink
 	start time.Time
+	log   *slog.Logger
+	runID string
+
+	watchdog *telemetry.Watchdog
+	liveHub  *hub // bumped on any job's unit-progress transition
 
 	ctx  context.Context
 	stop context.CancelFunc
@@ -121,24 +140,52 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries > 0 {
 		cache.SetMaxEntries(cfg.CacheEntries)
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = telemetry.Discard()
+	}
+	runID := cfg.RunID
+	if runID == "" {
+		// A caller-supplied RunID means the caller's logger already
+		// stamps run_id on every line (the obsflags session does); only
+		// a minted one needs attaching here.
+		runID = telemetry.NewRunID()
+		logger = logger.With(slog.String(telemetry.KeyRunID, runID))
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:   cfg,
-		cache: cache,
-		col:   obs.New(),
-		sess:  cfg.Ledger,
-		start: time.Now(),
-		ctx:   ctx,
-		stop:  stop,
-		q:     newJobQueue(cfg.QueueLimit),
-		jobs:  make(map[string]*Job),
+		cfg:     cfg,
+		cache:   cache,
+		col:     obs.New(),
+		sess:    cfg.Ledger,
+		start:   time.Now(),
+		log:     logger,
+		runID:   runID,
+		liveHub: newHub(),
+		ctx:     ctx,
+		stop:    stop,
+		q:       newJobQueue(cfg.QueueLimit),
+		jobs:    make(map[string]*Job),
 	}
-	s.wg.Add(cfg.Runners)
+	s.watchdog = telemetry.NewWatchdog(cfg.StallThreshold, 0, logger)
+	s.watchdog.OnStall = func(stalls []telemetry.Stall) {
+		s.col.Counter("serve.units.stalls").Add(int64(len(stalls)))
+		s.liveHub.bump()
+	}
+	s.wg.Add(cfg.Runners + 1)
+	go func() {
+		defer s.wg.Done()
+		s.watchdog.Run(ctx)
+	}()
 	for i := 0; i < cfg.Runners; i++ {
 		go s.runner()
 	}
 	return s
 }
+
+// Watchdog returns the server's straggler watchdog (tests sweep it with
+// a fake clock).
+func (s *Server) Watchdog() *telemetry.Watchdog { return s.watchdog }
 
 // Cache returns the server's engine cache (tests inspect its Stats).
 func (s *Server) Cache() *engine.Cache { return s.cache }
@@ -170,6 +217,8 @@ func (s *Server) Close() {
 			j.mu.Unlock()
 		}
 	}
+	s.liveHub.close()
+	s.log.Info("server stopped", slog.Duration("uptime", time.Since(s.start)))
 }
 
 // Submit validates and admits one job. It returns the registered job,
@@ -187,6 +236,9 @@ func (s *Server) Submit(sp Spec) (*Job, error) {
 	if err := s.q.push(j); err != nil {
 		j.cancel()
 		s.col.Counter("serve.jobs.rejected").Inc()
+		s.log.Warn("job rejected",
+			slog.String("kind", sp.Kind), slog.String("circuit", sp.Circuit),
+			slog.String("error", err.Error()))
 		return nil, err
 	}
 	s.mu.Lock()
@@ -194,6 +246,10 @@ func (s *Server) Submit(sp Spec) (*Job, error) {
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
 	s.col.Counter("serve.jobs.submitted").Inc()
+	s.log.Info("job submitted",
+		slog.String(telemetry.KeyJobID, j.id),
+		slog.String("kind", sp.Kind), slog.String("circuit", sp.Circuit),
+		slog.Int("units", sp.Units), slog.Int("priority", sp.Priority))
 	return j, nil
 }
 
@@ -262,8 +318,8 @@ func (s *Server) runner() {
 }
 
 // runJob executes one popped job end to end: status transitions, the
-// kind dispatcher, terminal accounting, the SSE close and the ledger
-// record.
+// unit tracker and watchdog registration, the task pipeline, terminal
+// accounting, the SSE close and the ledger record.
 func (s *Server) runJob(j *Job) {
 	j.mu.Lock()
 	if j.status != StatusQueued { // canceled between pop and here
@@ -273,12 +329,43 @@ func (s *Server) runJob(j *Job) {
 	j.status = StatusRunning
 	j.started = time.Now()
 	j.queueWait = j.started.Sub(j.submitted)
+	tracker := telemetry.NewRunTracker(telemetry.Info{
+		RunID: s.runID, JobID: j.id,
+		Kind: j.spec.Kind, Circuit: j.spec.Circuit,
+	}, s.log)
+	j.tracker = tracker
 	j.mu.Unlock()
+	// Unit transitions wake both the job's own SSE stream and the
+	// server-wide live stream; journal events keep waking the job stream
+	// and double as the tracker's progress heartbeat.
+	tracker.SetOnChange(func() {
+		j.hub.bump()
+		s.liveHub.bump()
+	})
+	j.rec.SetObserver(func(e journal.Event) {
+		tracker.Observe(e)
+		j.hub.bump()
+	})
+	s.watchdog.Register(tracker)
+	defer s.watchdog.Unregister(tracker)
 	j.hub.bump()
+	s.log.Info("job started",
+		slog.String(telemetry.KeyJobID, j.id),
+		slog.String("kind", j.spec.Kind), slog.String("circuit", j.spec.Circuit),
+		slog.Duration("queue_wait", j.queueWait))
 
 	col := obs.New()
 	col.SetJournal(j.rec)
-	res, err := task.Run(j.ctx, j.spec, s.cache, col)
+	// Plan explicitly (rather than task.Run) so the tracker knows the
+	// whole shard map before the first unit starts; the merged result is
+	// byte-identical to task.Run's at any unit count.
+	ctx := task.WithTracker(j.ctx, tracker)
+	var res *task.Result
+	units, err := task.Plan(j.spec, j.spec.Units, s.cache)
+	if err == nil {
+		tracker.SetPlan(units)
+		res, err = task.RunUnits(ctx, units, s.cache, col)
+	}
 
 	j.mu.Lock()
 	j.finished = time.Now()
@@ -299,10 +386,22 @@ func (s *Server) runJob(j *Job) {
 		j.errMsg = err.Error()
 		counter = "serve.jobs.failed"
 	}
+	status := j.status
+	wall := j.finished.Sub(j.started)
 	j.mu.Unlock()
 	j.cancel() // release the context's resources
 	j.hub.close()
+	s.liveHub.bump()
 	s.col.Counter(counter).Inc()
+	attrs := []any{
+		slog.String(telemetry.KeyJobID, j.id),
+		slog.String("status", string(status)), slog.Duration("wall", wall),
+	}
+	if err != nil && status == StatusFailed {
+		s.log.Warn("job finished", append(attrs, slog.String("error", err.Error()))...)
+	} else {
+		s.log.Info("job finished", attrs...)
+	}
 	s.record(j, col.Snapshot(), res)
 }
 

@@ -80,11 +80,17 @@ type Partial struct {
 // Execute runs one work-unit. The returned error is context.Canceled
 // (possibly wrapped) when the run was canceled mid-flight; the partial
 // result returned alongside is still meaningful then. A nil cache
-// selects engine.Default(); a nil collector runs uninstrumented.
-func Execute(ctx context.Context, u Unit, cache *engine.Cache, col *obs.Collector) (*Partial, error) {
+// selects engine.Default(); a nil collector runs uninstrumented. When
+// the context carries a Tracker (WithTracker), Execute reports the
+// unit's start and finish to it.
+func Execute(ctx context.Context, u Unit, cache *engine.Cache, col *obs.Collector) (p *Partial, err error) {
 	sp := u.Spec
 	if err := sp.Normalize(); err != nil {
 		return nil, err
+	}
+	if tr := TrackerFrom(ctx); tr != nil {
+		tr.UnitStarted(u)
+		defer func() { tr.UnitFinished(u, p, err) }()
 	}
 	switch sp.Kind {
 	case KindFlow:

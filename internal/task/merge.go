@@ -221,16 +221,17 @@ func Merge(sp Spec, parts []*Partial, interrupted bool) (*Result, error) {
 	return res, nil
 }
 
-// Run executes a spec end to end in this process: Plan (single unit),
-// Execute, Merge. The returned error is context.Canceled (possibly
-// wrapped) when the job was canceled mid-flight; the Result still
-// carries the partial outcome then. A nil cache selects
-// engine.Default(); a nil collector runs uninstrumented.
+// Run executes a spec end to end in this process: Plan (sharding into
+// Spec.Units work-units; 0 or 1 plans a single unit), Execute, Merge.
+// The returned error is context.Canceled (possibly wrapped) when the
+// job was canceled mid-flight; the Result still carries the partial
+// outcome then. A nil cache selects engine.Default(); a nil collector
+// runs uninstrumented.
 func Run(ctx context.Context, sp Spec, cache *engine.Cache, col *obs.Collector) (*Result, error) {
 	if err := sp.Normalize(); err != nil {
 		return nil, err
 	}
-	units, err := Plan(sp, 1, cache)
+	units, err := Plan(sp, sp.Units, cache)
 	if err != nil {
 		return nil, err
 	}

@@ -8,11 +8,12 @@ import (
 	"repro/internal/par"
 )
 
-// batchWidth is the packed-simulation fault-batch width every evaluator
+// BatchWidth is the packed-simulation fault-batch width every evaluator
 // in this repository shards by (63 faulty machines + the fault-free
 // lane). Plan aligns unit boundaries to it so a unit sees exactly the
-// batch geometry a single-node run would.
-const batchWidth = 63
+// batch geometry a single-node run would; internal/telemetry uses it to
+// turn observed pool-batch completions into a live faults-done estimate.
+const BatchWidth = 63
 
 // Unit is one shard work-unit: a spec plus the contiguous slice
 // [Lo, Hi) of its fault axis that this unit owns. Units marshal to
@@ -70,7 +71,7 @@ func Plan(sp Spec, shards int, cache *engine.Cache) ([]Unit, error) {
 	if err != nil {
 		return nil, err
 	}
-	rs := par.Shards(n, batchWidth, shards)
+	rs := par.Shards(n, BatchWidth, shards)
 	if len(rs) == 0 { // empty axis: one empty unit keeps Merge uniform
 		rs = []par.Range{{Lo: 0, Hi: 0}}
 	}

@@ -109,6 +109,13 @@ type Spec struct {
 	// Priority orders the daemon queue: higher pops first (default 0;
 	// FIFO within a priority). It does not affect the run itself.
 	Priority int `json:"priority,omitempty"`
+	// Units asks Plan to shard the job into at most this many
+	// work-units (0 or 1 = one unit; flow always plans one). The merged
+	// result is byte-identical at any unit count — extra units buy
+	// per-unit telemetry granularity (progress, heartbeats, stall
+	// flags) and the re-dispatch grain a coordinator shards by, not a
+	// different answer.
+	Units int `json:"units,omitempty"`
 }
 
 // Defaults is the single source of truth for per-kind option defaults:
@@ -197,6 +204,9 @@ func (sp *Spec) Normalize() error {
 	}
 	if sp.ConeThreshold < 0 {
 		sp.ConeThreshold = d.ConeThreshold
+	}
+	if sp.Units < 0 {
+		sp.Units = 0
 	}
 	return nil
 }

@@ -1,0 +1,41 @@
+package task
+
+import "context"
+
+// Tracker observes unit execution: Execute announces every unit it
+// starts and finishes, so an observability layer (internal/telemetry)
+// can account per-unit progress, heartbeats and stall detection without
+// the task layer depending on it. Implementations must be safe for
+// concurrent use — a coordinator may run several units at once.
+//
+// UnitFinished receives the unit's partial (nil when Execute failed
+// before producing one) and the execution error (context.Canceled,
+// possibly wrapped, for interrupted units); the partial's Lo/Hi are
+// resolved against the actual axis by then, so a whole-axis unit
+// (Hi = -1) reports its real span on finish.
+type Tracker interface {
+	UnitStarted(u Unit)
+	UnitFinished(u Unit, p *Partial, err error)
+}
+
+// trackerKey carries the context's Tracker.
+type trackerKey struct{}
+
+// WithTracker returns a context that carries tr; Execute calls the
+// tracker's hooks for every unit run under that context. The tracker
+// rides the context rather than the Execute signature so every entry
+// point — RunUnits under the CLIs, the daemon's runners, a future
+// coordinator — threads it without widening the pipeline API.
+func WithTracker(ctx context.Context, tr Tracker) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, trackerKey{}, tr)
+}
+
+// TrackerFrom returns the context's Tracker, or nil when none is
+// attached.
+func TrackerFrom(ctx context.Context) Tracker {
+	tr, _ := ctx.Value(trackerKey{}).(Tracker)
+	return tr
+}
