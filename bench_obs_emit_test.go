@@ -1,7 +1,7 @@
 package fsct
 
 // TestEmitObsBench writes BENCH_obs.json: the BenchmarkObsOverhead*
-// tiers (instrumentation off / on / journal) measured for screening,
+// tiers (instrumentation off / on / journal / trace) measured for screening,
 // fault simulation and the full flow, so the <2% disabled-overhead
 // contract has a committed trajectory cmd/benchdiff can gate (the CI
 // job runs it warn-only, like BENCH_baseline.json).
@@ -28,17 +28,22 @@ type obsTiers struct {
 	Off     benchMeasure `json:"off"`
 	On      benchMeasure `json:"on"`
 	Journal benchMeasure `json:"journal"`
-	// OnOverhead / JournalOverhead are the headline ratios vs the off
-	// tier (1.02 = 2% slower); the off tier is the one under the <2%
-	// contract, the enabled tiers quantify what instrumentation costs.
+	Trace   benchMeasure `json:"trace"`
+	// OnOverhead / JournalOverhead / TraceOverhead are the headline
+	// ratios vs the off tier (1.02 = 2% slower); the off tier is the one
+	// under the <2% contract, the enabled tiers quantify what
+	// instrumentation costs (trace adds span assembly + OTLP export on
+	// top of the journal).
 	OnOverhead      float64 `json:"on_overhead"`
 	JournalOverhead float64 `json:"journal_overhead"`
+	TraceOverhead   float64 `json:"trace_overhead"`
 }
 
 func (o *obsTiers) ratios() {
 	if o.Off.NsPerOp > 0 {
 		o.OnOverhead = float64(o.On.NsPerOp) / float64(o.Off.NsPerOp)
 		o.JournalOverhead = float64(o.Journal.NsPerOp) / float64(o.Off.NsPerOp)
+		o.TraceOverhead = float64(o.Trace.NsPerOp) / float64(o.Off.NsPerOp)
 	}
 }
 
@@ -76,6 +81,11 @@ func TestEmitObsBench(t *testing.T) {
 	screen.Journal = measure(func() {
 		ScreenFaultsOpt(d, faults, ScreenOptions{Workers: 1, Obs: journalCollector()})
 	})
+	screen.Trace = measure(func() {
+		traceTier(func(col *Collector) {
+			ScreenFaultsOpt(d, faults, ScreenOptions{Workers: 1, Obs: col})
+		})
+	})
 	screen.ratios()
 	out.Engines = append(out.Engines, screen)
 
@@ -91,6 +101,11 @@ func TestEmitObsBench(t *testing.T) {
 	})
 	sim.Journal = measure(func() {
 		faultsim.Run(d.C, seq, cf, faultsim.Options{Workers: 1, Obs: journalCollector()})
+	})
+	sim.Trace = measure(func() {
+		traceTier(func(col *Collector) {
+			faultsim.Run(d.C, seq, cf, faultsim.Options{Workers: 1, Obs: col})
+		})
 	})
 	sim.ratios()
 	out.Engines = append(out.Engines, sim)
@@ -113,6 +128,13 @@ func TestEmitObsBench(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
+	flow.Trace = measure(func() {
+		traceTier(func(col *Collector) {
+			if _, err := RunFlow(fd, FlowParams{Workers: 1, Obs: col}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
 	flow.ratios()
 	out.Engines = append(out.Engines, flow)
 
@@ -127,6 +149,6 @@ func TestEmitObsBench(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range out.Engines {
-		t.Logf("%s (%s): on %.3fx, journal %.3fx vs off", e.Name, e.Circuit, e.OnOverhead, e.JournalOverhead)
+		t.Logf("%s (%s): on %.3fx, journal %.3fx, trace %.3fx vs off", e.Name, e.Circuit, e.OnOverhead, e.JournalOverhead, e.TraceOverhead)
 	}
 }

@@ -7,10 +7,10 @@ package fsct
 // and an enabled collector WITHOUT a journal pays no flight-recorder
 // cost either (the recorder handle is resolved once per pool, not per
 // item). The acceptance bound for this repo is <2% on the PR-1 compiled
-// evaluator path; compare the off/on/journal tiers with benchstat:
+// evaluator path; compare the off/on/journal/trace tiers with benchstat:
 //
 //	go test -bench 'ObsOverhead' -count 10 > obs.txt
-//	benchstat obs.txt   # off vs on vs journal, per engine
+//	benchstat obs.txt   # off vs on vs journal vs trace, per engine
 //
 // The "on" and "journal" variants additionally quantify what enabled
 // instrumentation costs (they are allowed to be slower; they exist so
@@ -18,10 +18,12 @@ package fsct
 // path or vice versa).
 
 import (
+	"io"
 	"testing"
 
 	"repro/internal/fault"
 	"repro/internal/faultsim"
+	"repro/internal/trace"
 )
 
 // journalCollector is an enabled collector with a flight recorder
@@ -30,6 +32,21 @@ func journalCollector() *Collector {
 	col := NewCollector()
 	col.SetJournal(NewJournal(0))
 	return col
+}
+
+// traceTier runs fn under a journal collector, then assembles the
+// recorded events into a span tree and exports it as OTLP/JSON — the
+// full distributed-tracing tier the CLIs run under -otlpfile. The
+// export is per-run here (the CLIs export once per process), so the
+// tier is an upper bound on what tracing can cost.
+func traceTier(fn func(col *Collector)) {
+	col := NewCollector()
+	rec := NewJournal(0)
+	col.SetJournal(rec)
+	fn(col)
+	ctx := trace.NewContext()
+	spans := trace.Assemble(ctx, trace.SpanID{}, "bench", rec.Snapshot(), rec.Elapsed().Nanoseconds())
+	_ = trace.WriteOTLP(io.Discard, trace.Trace{Ctx: ctx, OriginNS: 0, Spans: spans})
 }
 
 // BenchmarkObsOverheadScreen measures the screening engine with
@@ -57,6 +74,14 @@ func BenchmarkObsOverheadScreen(b *testing.B) {
 			ScreenFaultsOpt(d, faults, ScreenOptions{Workers: 1, Obs: journalCollector()})
 		}
 	})
+	b.Run("trace", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			traceTier(func(col *Collector) {
+				ScreenFaultsOpt(d, faults, ScreenOptions{Workers: 1, Obs: col})
+			})
+		}
+	})
 }
 
 // BenchmarkObsOverheadFaultSim measures compiled-evaluator sequential
@@ -82,6 +107,14 @@ func BenchmarkObsOverheadFaultSim(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			faultsim.Run(d.C, seq, faults, faultsim.Options{Workers: 1, Obs: journalCollector()})
+		}
+	})
+	b.Run("trace", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			traceTier(func(col *Collector) {
+				faultsim.Run(d.C, seq, faults, faultsim.Options{Workers: 1, Obs: col})
+			})
 		}
 	})
 }
@@ -114,6 +147,16 @@ func BenchmarkObsOverheadFlow(b *testing.B) {
 			if _, err := RunFlow(d, FlowParams{Workers: 1, Obs: journalCollector()}); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+	b.Run("trace", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			traceTier(func(col *Collector) {
+				if _, err := RunFlow(d, FlowParams{Workers: 1, Obs: col}); err != nil {
+					b.Fatal(err)
+				}
+			})
 		}
 	})
 }

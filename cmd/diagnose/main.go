@@ -76,6 +76,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	sess.StampTrace(&sp)
 
 	// -stats is exactly a diagnose-kind task: the report (dictionary
 	// header plus resolution statistics) and the ledger extras come from

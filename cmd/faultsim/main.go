@@ -82,6 +82,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	sess.StampTrace(&sp)
 	sp.Uncollapsed = *uncollapsed
 	if *mapEval {
 		sp.Eval = "packed"

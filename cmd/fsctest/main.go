@@ -126,6 +126,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fsctest: %s: %v\n", p.Name, serr)
 			exit(1)
 		}
+		sess.StampTrace(&sp)
 		// The journal is shared across circuits; remember where this
 		// circuit's events start so -why replays only its own slice
 		// (fault keys are circuit-local signal IDs).

@@ -12,6 +12,7 @@
 //	fsctstats trend -ledger runs.jsonl [filters] [-json]
 //	fsctstats check -ledger runs.jsonl [filters] [-window 5] [-keys coverage,wall_ns] [-threshold 0.1] [-v] [-strict] [-json]
 //	fsctstats watch [-addr localhost:8341] [-interval 1s] [-once]
+//	fsctstats trace (-otlp spans.json | -job j000001 [-addr localhost:8341]) [-top 10] [-json]
 //
 // list prints the matching records, newest last. trend groups them into
 // per-(CLI, circuit) series and shows the cross-run evolution of the
@@ -34,6 +35,13 @@
 // it, and any unit the straggler watchdog flagged highlighted as
 // STALLED. -once prints a single frame and exits (scripts, CI).
 //
+// trace analyzes an exported span tree — a CLI run's -otlpfile, or a
+// job's tree fetched live from fsctd's /api/v1/trace/{job} — and
+// reports the critical path (the span chain that bounds wall time, the
+// last finisher at every level), per-phase self-vs-child time, and
+// straggler attribution: which unit held the run up and in which phase
+// its time went.
+//
 // -since accepts a Go duration ("36h") or an RFC 3339 timestamp.
 package main
 
@@ -54,6 +62,9 @@ func main() {
 	sub := os.Args[1]
 	if sub == "watch" { // live daemon dashboard: own flags, no ledger
 		os.Exit(runWatchCmd(os.Args[2:]))
+	}
+	if sub == "trace" { // span-tree analysis: own flags, no ledger
+		os.Exit(runTraceCmd(os.Args[2:]))
 	}
 	fs := flag.NewFlagSet("fsctstats "+sub, flag.ExitOnError)
 	var (
@@ -140,7 +151,7 @@ func parseSince(s string) (time.Time, error) {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: fsctstats <list|trend|check|watch> [flags]
+	fmt.Fprintf(os.Stderr, `usage: fsctstats <list|trend|check|watch|trace> [flags]
 
   list   print the matching ledger records, newest last
   trend  per-(CLI, circuit) evolution of runtime, coverage, cache hit rate
@@ -149,8 +160,10 @@ func usage() {
   watch  live terminal dashboard over a running fsctd daemon's
          /api/v1/live: per-job unit progress bars, throughput, ETA and
          highlighted stragglers
+  trace  critical path, per-phase self time and straggler attribution
+         over an exported span tree (-otlp file, or -job from a daemon)
 
-list, trend and check query a -ledger file; watch polls -addr.
+list, trend and check query a -ledger file; watch and trace poll -addr.
 run 'fsctstats <subcommand> -h' for the subcommand's flags
 `)
 }

@@ -132,6 +132,11 @@ func renderWatch(w io.Writer, addr string, lv serve.LiveView, counters map[strin
 
 func renderJob(w io.Writer, j serve.LiveJob, color bool) {
 	fmt.Fprintf(w, "\n%s %s %s [%s]", j.ID, j.Kind, j.Circuit, j.Status)
+	if j.TraceID != "" {
+		// The job's distributed-trace identity: the handle to paste into
+		// `fsctstats trace -job` or an external trace viewer.
+		fmt.Fprintf(w, "  trace %s", j.TraceID)
+	}
 	p := j.Progress
 	if p == nil { // queued: no runner has planned it yet
 		fmt.Fprintln(w)

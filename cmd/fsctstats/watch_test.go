@@ -19,6 +19,7 @@ func cannedLive() serve.LiveView {
 		Jobs: []serve.LiveJob{
 			{
 				ID: "j000001", Kind: "faultsim", Circuit: "s3384", Status: serve.StatusRunning,
+				TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
 				Progress: &telemetry.Snapshot{
 					RunID: "r", JobID: "j000001", Kind: "faultsim", Circuit: "s3384",
 					UnitsTotal: 3, UnitsDone: 1, UnitsRunning: 2, UnitsStalled: 1,
@@ -49,7 +50,7 @@ func TestRenderWatchFrame(t *testing.T) {
 		"2 jobs (1 running, 0 done)",
 		"queue 1",
 		"stall threshold 30s",
-		"j000001 faultsim s3384 [running]",
+		"j000001 faultsim s3384 [running]  trace 4bf92f3577b34da6a3ce929d0e0e4736",
 		"units 1/3",
 		"faults 100/189 (52.9%)",
 		"detected 60",

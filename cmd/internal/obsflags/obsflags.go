@@ -5,6 +5,8 @@
 //	-trace       stream phase annotations to stderr
 //	-tracefile   export the run's flight-recorder timeline as a Chrome
 //	             trace-event JSON file (chrome://tracing, Perfetto)
+//	-otlpfile    export the same timeline as an OTLP/JSON span tree
+//	             (OpenTelemetry collectors, fsctstats trace)
 //	-progress    live per-phase progress on stderr (TTY-aware)
 //	-debug       /debug/pprof + /debug/vars + /metrics HTTP server
 //	-ledger      append the run's records to a JSONL run ledger
@@ -19,6 +21,13 @@
 // records are written on Close. Commands report per-circuit results
 // with RecordRun and their exit status with SetExit, so interrupted
 // runs land in the ledger with whatever they completed.
+//
+// Every session also roots a distributed-trace context: a fresh
+// 128-bit trace ID, or — when the TRACEPARENT environment variable
+// carries a valid W3C traceparent — a child of the caller's span, so a
+// CI script's trace threads through the CLIs it invokes. Commands
+// stamp it into the specs they run with StampTrace; -otlpfile exports
+// the assembled span tree on Close.
 package obsflags
 
 import (
@@ -32,6 +41,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"slices"
+	"strings"
 	"sync"
 	"time"
 
@@ -40,6 +51,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/task"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Flags holds the shared observability flag values.
@@ -47,6 +59,7 @@ type Flags struct {
 	Metrics    bool
 	Trace      bool
 	TraceFile  string
+	OTLPFile   string
 	Progress   bool
 	Debug      string
 	Ledger     string
@@ -63,7 +76,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	f := &Flags{fs: fs}
 	fs.BoolVar(&f.Metrics, "metrics", false, "instrument the run and report metrics")
 	fs.BoolVar(&f.Trace, "trace", false, "stream phase trace annotations to stderr")
-	fs.StringVar(&f.TraceFile, "tracefile", "", "write a Chrome trace-event timeline (chrome://tracing, Perfetto) to this `file`")
+	fs.StringVar(&f.TraceFile, "tracefile", "", "export the run's timeline to this `file` as Chrome trace events (chrome://tracing, Perfetto); same events as -otlpfile, viewer-oriented form")
+	fs.StringVar(&f.OTLPFile, "otlpfile", "", "export the run's timeline to this `file` as an OTLP/JSON span tree (OpenTelemetry collectors, fsctstats trace); same events as -tracefile, tooling-oriented form")
 	fs.BoolVar(&f.Progress, "progress", false, "render live per-phase progress on stderr")
 	fs.StringVar(&f.Debug, "debug", "", "serve /debug/pprof, /debug/vars and /metrics on this `address` (e.g. localhost:6060)")
 	fs.StringVar(&f.Ledger, "ledger", "", "append this run's records to the JSONL run ledger at `file` (query with cmd/fsctstats)")
@@ -77,7 +91,8 @@ func Register(fs *flag.FlagSet) *Flags {
 // use it to decide between the nil (free) collector and a real one.
 // -ledger counts: its records carry the metrics snapshot.
 func (f *Flags) Active() bool {
-	return f.Metrics || f.Trace || f.TraceFile != "" || f.Progress || f.Debug != "" || f.Ledger != ""
+	return f.Metrics || f.Trace || f.TraceFile != "" || f.OTLPFile != "" ||
+		f.Progress || f.Debug != "" || f.Ledger != ""
 }
 
 // setFlags collects the flags that were explicitly set on the command
@@ -114,9 +129,17 @@ type Session struct {
 	cli   string
 	start time.Time
 
-	mu   sync.Mutex
-	runs []ledger.Record
-	exit int
+	// tctx is the run's root trace context (the CLI invocation's span);
+	// tparent is the caller's span when TRACEPARENT carried one.
+	tctx    trace.Context
+	tparent trace.SpanID
+
+	mu         sync.Mutex
+	runs       []ledger.Record
+	exit       int
+	circuits   []string     // distinct circuits seen by RecordRun
+	hash       uint64       // last nonzero structural hash
+	traceAttrs []trace.Attr // extra OTLP resource attrs (SetTraceAttr)
 
 	closeOnce sync.Once
 	closeErr  error
@@ -127,11 +150,25 @@ type Session struct {
 // renderer, and the debug server. The zero-flag session is valid and
 // free.
 func (f *Flags) Open() (*Session, error) {
+	if f.TraceFile != "" && f.OTLPFile != "" &&
+		filepath.Clean(f.TraceFile) == filepath.Clean(f.OTLPFile) {
+		return nil, fmt.Errorf("-tracefile and -otlpfile name the same path %q: the exporters would overwrite each other (they share events, not a format)", f.TraceFile)
+	}
 	s := &Session{flags: f, start: time.Now(), cli: filepath.Base(os.Args[0])}
+	// Root the run's trace. A valid TRACEPARENT in the environment makes
+	// this invocation a child of the caller's span (CI scripts, make
+	// targets); anything else — unset or malformed — roots a fresh trace,
+	// the header being advisory by W3C convention.
+	if pc, err := trace.Parse(os.Getenv("TRACEPARENT")); err == nil {
+		s.tctx = trace.Context{Trace: pc.Trace, Span: trace.NewSpanID(), Flags: pc.Flags | trace.FlagSampled}
+		s.tparent = pc.Span
+	} else {
+		s.tctx = trace.NewContext()
+	}
 	if err := s.openLogger(); err != nil {
 		return nil, err
 	}
-	if f.TraceFile != "" || f.Progress {
+	if f.TraceFile != "" || f.OTLPFile != "" || f.Progress {
 		s.EnsureRecorder()
 	}
 	if f.Progress {
@@ -176,7 +213,9 @@ func (s *Session) openLogger() error {
 		handlers = append(handlers, slog.NewJSONHandler(w, &slog.HandlerOptions{Level: lvl}))
 	}
 	s.runID = telemetry.NewRunID()
-	s.logger = slog.New(telemetry.Fanout(handlers...)).With(slog.String(telemetry.KeyRunID, s.runID))
+	s.logger = slog.New(telemetry.Fanout(handlers...)).With(
+		slog.String(telemetry.KeyRunID, s.runID),
+		slog.String(telemetry.KeyTraceID, s.tctx.Trace.String()))
 	return nil
 }
 
@@ -197,6 +236,93 @@ func (s *Session) Logger() *slog.Logger { return s.logger }
 // lines.
 func (s *Session) RunID() string { return s.runID }
 
+// TraceContext returns the run's root trace context: the span that
+// owns everything this process does. Its Traceparent() is what
+// StampTrace writes into specs.
+func (s *Session) TraceContext() trace.Context { return s.tctx }
+
+// StampTrace stamps the session's trace context into sp, so the unit
+// spans the executor emits — and, for a spec forwarded to fsctd, the
+// daemon's job span — parent to this CLI invocation's root span. Call
+// it on every spec the command runs; the field never affects results.
+func (s *Session) StampTrace(sp *task.Spec) {
+	sp.TraceParent = s.tctx.Traceparent()
+}
+
+// SetTraceAttr adds one resource attribute to the run's exported trace
+// (the eval backend, say — facts the session cannot see from its own
+// flags). Later values for the same key win at export.
+func (s *Session) SetTraceAttr(key, value string) {
+	s.mu.Lock()
+	s.traceAttrs = append(s.traceAttrs, trace.Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Trace assembles the run's span tree from the flight recorder: the
+// root span (this CLI invocation, parented to TRACEPARENT's span when
+// one was inherited), one span per executed unit, and the phase,
+// worker-pool and ATPG spans inside each. The resource attributes
+// carry the run identity — run_id, cli, the circuits RecordRun saw,
+// the last structural hash, any SetTraceAttr extras — plus the
+// recorder's dropped-event count, so truncated traces self-describe.
+func (s *Session) Trace() trace.Trace {
+	rec := s.recorder
+	var events []journal.Event
+	var endNS, dropped int64
+	originNS := s.start.UnixNano()
+	if rec != nil {
+		events = rec.Snapshot()
+		endNS = rec.Elapsed().Nanoseconds()
+		dropped = rec.Dropped()
+		if o := rec.Origin(); !o.IsZero() {
+			originNS = o.UnixNano()
+		}
+	}
+	s.mu.Lock()
+	circuits := append([]string(nil), s.circuits...)
+	hash := s.hash
+	extras := append([]trace.Attr(nil), s.traceAttrs...)
+	s.mu.Unlock()
+	res := []trace.Attr{
+		{Key: "service.name", Value: journal.TraceProcessName},
+		{Key: "run_id", Value: s.runID},
+		{Key: "cli", Value: s.cli},
+	}
+	if len(circuits) > 0 {
+		res = append(res, trace.Attr{Key: "circuit", Value: strings.Join(circuits, ",")})
+	}
+	if hash != 0 {
+		res = append(res, trace.Attr{Key: "structural_hash", Value: fmt.Sprintf("%016x", hash)})
+	}
+	res = append(res, extras...)
+	res = append(res, trace.Attr{Key: "journal.dropped_events", Value: fmt.Sprintf("%d", dropped)})
+	return trace.Trace{
+		Ctx: s.tctx, Parent: s.tparent,
+		OriginNS: originNS,
+		Resource: res,
+		Spans:    trace.Assemble(s.tctx, s.tparent, s.cli, events, endNS),
+	}
+}
+
+// writeOTLP exports the assembled span tree to -otlpfile.
+func (s *Session) writeOTLP() error {
+	if s.flags.OTLPFile == "" {
+		return nil
+	}
+	w, err := os.Create(s.flags.OTLPFile)
+	if err != nil {
+		return fmt.Errorf("otlpfile: %w", err)
+	}
+	err = trace.WriteOTLP(w, s.Trace())
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("otlpfile: %w", err)
+	}
+	return nil
+}
+
 // TrackCtx installs a unit tracker for the run described by kind and
 // circuit: unit lifecycle transitions land in the session log under
 // correlated run_id/unit_id attributes, and — when the session has a
@@ -205,7 +331,10 @@ func (s *Session) RunID() string { return s.runID }
 // -progress keeps working). The returned context carries the tracker
 // into task.Execute; pass it to the run.
 func (s *Session) TrackCtx(ctx context.Context, kind, circuit string) context.Context {
-	tr := telemetry.NewRunTracker(telemetry.Info{RunID: s.runID, Kind: kind, Circuit: circuit}, s.logger)
+	tr := telemetry.NewRunTracker(telemetry.Info{
+		RunID: s.runID, Kind: kind, Circuit: circuit,
+		TraceID: s.tctx.Trace.String(),
+	}, s.logger)
 	if rec := s.recorder; rec != nil {
 		if prev := s.progress; prev != nil {
 			rec.SetObserver(func(e journal.Event) {
@@ -255,10 +384,20 @@ func (s *Session) Collector() *obs.Collector {
 // its name, structural hash (0 for none — the engine cache key, so
 // runs over structurally identical circuits compare across machines),
 // the metrics snapshot, and optional headline scalars ("coverage")
-// merged into the flattened metric map. No-op unless -ledger was set.
-// The record is completed (timestamp, CLI, flags, exit status, wall
-// time) and appended by Close.
+// merged into the flattened metric map. The circuit and hash also land
+// in the exported trace's resource attributes (every exporter wants
+// them, not just the ledger). Otherwise a no-op unless -ledger was
+// set. The record is completed (timestamp, CLI, flags, exit status,
+// wall time) and appended by Close.
 func (s *Session) RecordRun(circuit string, hash uint64, m *obs.Metrics, extra map[string]float64) {
+	s.mu.Lock()
+	if circuit != "" && !slices.Contains(s.circuits, circuit) {
+		s.circuits = append(s.circuits, circuit)
+	}
+	if hash != 0 {
+		s.hash = hash
+	}
+	s.mu.Unlock()
 	if s.flags.Ledger == "" {
 		return
 	}
@@ -309,7 +448,8 @@ func (s *Session) SetExit(code int) {
 }
 
 // Close flushes the session's sinks: the live progress line is
-// terminated, the journal is exported to -tracefile, and the pending
+// terminated, the journal is exported to -tracefile and the assembled
+// span tree to -otlpfile, and the pending
 // run records are appended to -ledger (also on interrupted runs — the
 // partial history is exactly what a SIGINT investigation wants). Safe
 // to call more than once; every exit path must reach it because
@@ -319,6 +459,9 @@ func (s *Session) Close() error {
 		s.progress.Flush()
 		if s.flags.TraceFile != "" && s.recorder != nil {
 			s.closeErr = s.writeTrace()
+		}
+		if err := s.writeOTLP(); err != nil && s.closeErr == nil {
+			s.closeErr = err
 		}
 		if err := s.writeLedger(); err != nil && s.closeErr == nil {
 			s.closeErr = err

@@ -8,6 +8,8 @@ import (
 
 	"repro/internal/ledger"
 	"repro/internal/obs"
+	"repro/internal/task"
+	"repro/internal/trace"
 )
 
 // open builds a Session from an isolated FlagSet parsed with args.
@@ -204,5 +206,105 @@ func TestRecordRunWithoutLedgerIsFree(t *testing.T) {
 	}
 	if len(recs) != 1 || recs[0].Circuit != "s27" || recs[0].Metrics != nil {
 		t.Fatalf("metric-less record wrong: %+v", recs)
+	}
+}
+
+// TestSamePathExportersRejected pins satellite behavior: -tracefile and
+// -otlpfile share events but not a format, so naming the same path must
+// fail at Open rather than silently overwrite one export with the
+// other.
+func TestSamePathExportersRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-tracefile", path, "-otlpfile", dir + "/./out.json"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Open(); err == nil {
+		t.Fatal("Open must reject -tracefile and -otlpfile naming the same path")
+	}
+	if !f.Active() {
+		t.Fatal("-otlpfile must count as instrumentation")
+	}
+}
+
+// TestOTLPFileWrittenOnClose: -otlpfile must leave a parseable
+// OTLP/JSON span tree after Close whose resource attributes carry the
+// run identity, including the circuit and structural hash captured by
+// RecordRun even without -ledger, and the recorder's drop count.
+func TestOTLPFileWrittenOnClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.json")
+	s := open(t, "-otlpfile", path)
+	if s.Recorder() == nil {
+		t.Fatal("-otlpfile must attach a flight recorder")
+	}
+	s.Collector().Phase("faultsim.seq").End()
+	s.RecordRun("s27", 0xabc, nil, nil)
+	s.SetTraceAttr("eval", "table")
+	var sp task.Spec
+	s.StampTrace(&sp)
+	if want := s.TraceContext().Traceparent(); sp.TraceParent != want {
+		t.Fatalf("StampTrace wrote %q, want %q", sp.TraceParent, want)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	w, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	tr, err := trace.ReadOTLP(w)
+	if err != nil {
+		t.Fatalf("ReadOTLP: %v", err)
+	}
+	if tr.Ctx.Trace != s.TraceContext().Trace {
+		t.Fatalf("exported trace %s, want session trace %s", tr.Ctx.Trace, s.TraceContext().Trace)
+	}
+	if len(tr.Spans) < 2 || tr.Spans[0].Kind != trace.SpanRoot {
+		t.Fatalf("span tree wrong: %+v", tr.Spans)
+	}
+	attrs := map[string]string{}
+	for _, a := range tr.Resource {
+		attrs[a.Key] = a.Value
+	}
+	for _, want := range []struct{ k, v string }{
+		{"circuit", "s27"}, {"structural_hash", "0000000000000abc"},
+		{"eval", "table"}, {"journal.dropped_events", "0"},
+	} {
+		if attrs[want.k] != want.v {
+			t.Errorf("resource %s = %q, want %q", want.k, attrs[want.k], want.v)
+		}
+	}
+	if attrs["run_id"] == "" || attrs["cli"] == "" {
+		t.Errorf("resource run identity missing: %v", attrs)
+	}
+}
+
+// TestTraceparentEnvJoinsCallerTrace: a valid TRACEPARENT in the
+// environment makes the session's root span a child of the caller's
+// span; a malformed one roots a fresh trace instead of failing Open.
+func TestTraceparentEnvJoinsCallerTrace(t *testing.T) {
+	t.Setenv("TRACEPARENT", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	s := open(t)
+	if got := s.TraceContext().Trace.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("session trace = %s, want the caller's", got)
+	}
+	tr := s.Trace()
+	if got := tr.Parent.String(); got != "00f067aa0ba902b7" {
+		t.Fatalf("root span parent = %s, want the caller's span", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Setenv("TRACEPARENT", "not-a-traceparent")
+	s2 := open(t)
+	if s2.TraceContext().Trace.IsZero() || s2.TraceContext().Trace == s.TraceContext().Trace {
+		t.Fatal("malformed TRACEPARENT must root a fresh trace")
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -71,6 +71,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	sess.StampTrace(&sp)
 	c, err := sp.BuildCircuit()
 	if err != nil {
 		fail(err)

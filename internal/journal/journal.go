@@ -65,6 +65,16 @@ const (
 	// KindCache is one artifact-cache lookup: Arg the cache name, A 1
 	// for a hit and 0 for a miss.
 	KindCache
+	// KindUnitBegin marks a task work-unit opening: A the unit index,
+	// B the plan's unit count, C and D the unit's fault-axis slice
+	// bounds Lo and Hi (D is -1 while the whole-axis sentinel is
+	// unresolved). The tracing layer (internal/trace) turns a
+	// begin/end pair into one unit span under the run's root span.
+	KindUnitBegin
+	// KindUnitEnd marks a task work-unit closing; payload as
+	// KindUnitBegin with the axis slice resolved, DurNS the unit's
+	// wall time (TNS the unit start, like all span events).
+	KindUnitEnd
 )
 
 func (k Kind) String() string {
@@ -85,6 +95,10 @@ func (k Kind) String() string {
 		return "detect"
 	case KindCache:
 		return "cache"
+	case KindUnitBegin:
+		return "unit_begin"
+	case KindUnitEnd:
+		return "unit_end"
 	}
 	return "unknown"
 }
@@ -232,6 +246,17 @@ func (r *Recorder) Capacity() int {
 	return cap(r.events)
 }
 
+// Origin returns the wall-clock instant of the recorder's clock
+// origin — the moment event offsets are measured from. Trace
+// exporters use it to place the run's spans on the absolute
+// timeline. Returns the zero time on the nil recorder.
+func (r *Recorder) Origin() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.start
+}
+
 // Elapsed returns the offset from the recorder origin to now.
 func (r *Recorder) Elapsed() time.Duration {
 	if r == nil {
@@ -290,6 +315,21 @@ func Cache(name string, hit bool) Event {
 		a = 1
 	}
 	return Event{Kind: KindCache, Arg: name, A: a}
+}
+
+// UnitBegin builds a work-unit-open event: unit index of the plan's
+// count units, covering fault-axis slice [lo, hi) (hi -1 while the
+// whole-axis sentinel is unresolved).
+func UnitBegin(index, count, lo, hi int) Event {
+	return Event{Kind: KindUnitBegin, A: int64(index), B: int64(count),
+		C: int64(lo), D: int64(hi)}
+}
+
+// UnitEnd builds a work-unit-close event spanning dur; the payload
+// mirrors UnitBegin with the axis slice resolved.
+func UnitEnd(index, count, lo, hi int, dur time.Duration) Event {
+	return Event{Kind: KindUnitEnd, A: int64(index), B: int64(count),
+		C: int64(lo), D: int64(hi), DurNS: dur.Nanoseconds()}
 }
 
 // LocChainSeg packs a chain/segment location into one payload field

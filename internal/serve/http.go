@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/ledger"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Handler returns the daemon's HTTP API. See SERVICE.md for the
@@ -26,6 +27,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/history", s.handleHistory)
 	mux.HandleFunc("GET /api/v1/live", s.handleLive)
 	mux.HandleFunc("GET /api/v1/live/events", s.handleLiveEvents)
+	mux.HandleFunc("GET /api/v1/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -89,6 +91,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&sp); err != nil {
 		writeError(w, http.StatusBadRequest, "bad spec: "+err.Error())
 		return
+	}
+	// An inbound W3C traceparent header joins the job to the caller's
+	// trace. The header is advisory per the spec — a malformed one is
+	// ignored, not rejected — while a traceparent inside the spec body
+	// is an explicit field and stays subject to strict validation in
+	// Normalize. The body wins when both are present.
+	if tp := r.Header.Get("traceparent"); tp != "" && sp.TraceParent == "" {
+		if _, err := trace.Parse(tp); err == nil {
+			sp.TraceParent = tp
+		}
 	}
 	j, err := s.Submit(sp)
 	switch {
@@ -156,6 +168,21 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.View())
+}
+
+// handleTrace serves the job's assembled span tree as an OTLP/JSON
+// payload: the job span (child of the submitter's span when the
+// submission carried a traceparent), per-unit spans and their nested
+// phase/pool/ATPG spans. Works on running jobs too — open spans end
+// "now" — so operators can inspect a stuck job's partial trace.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = trace.WriteOTLP(w, j.Trace(s.runID))
 }
 
 // serverView is the /api/v1/server snapshot: queue and job-table

@@ -12,6 +12,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/task"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Job kinds, re-exported from the task layer. Each maps onto the run
@@ -85,11 +86,18 @@ type Job struct {
 	rec    *journal.Recorder
 	hub    *hub
 
+	// tctx is the job's own trace context (its span is the job span);
+	// tparent is the submitter's span when the submission carried a
+	// traceparent, zero otherwise. Both are fixed at admission.
+	tctx    trace.Context
+	tparent trace.SpanID
+
 	mu        sync.Mutex
 	index     int // heap position; -1 when not queued
 	status    Status
 	errMsg    string
 	output    string
+	hash      uint64 // structural hash of the run's circuit, once known
 	started   time.Time
 	finished  time.Time
 	queueWait time.Duration
@@ -97,8 +105,24 @@ type Job struct {
 }
 
 func newJob(parent context.Context, seq int64, sp Spec) *Job {
+	// The job joins the submitter's trace when the (already normalized)
+	// spec carries a traceparent — the job span becomes a child of the
+	// caller's span — and roots a fresh trace otherwise. The spec is
+	// re-stamped with the job's own context, so the executor's unit
+	// spans (and any future remote shard) parent to the job span.
+	var tctx trace.Context
+	var tparent trace.SpanID
+	if pc, ok := sp.TraceContext(); ok {
+		tctx = trace.Context{Trace: pc.Trace, Span: trace.NewSpanID(), Flags: pc.Flags | trace.FlagSampled}
+		tparent = pc.Span
+	} else {
+		tctx = trace.NewContext()
+	}
+	sp.TraceParent = tctx.Traceparent()
 	ctx, cancel := context.WithCancel(parent)
 	j := &Job{
+		tctx:      tctx,
+		tparent:   tparent,
 		id:        fmt.Sprintf("j%06d", seq),
 		seq:       seq,
 		spec:      sp,
@@ -145,13 +169,62 @@ func (j *Job) Live() *telemetry.Snapshot {
 	return tr.Snapshot()
 }
 
+// TraceContext returns the job's trace context (the job span's
+// identity); its Traceparent is what the spec was re-stamped with.
+func (j *Job) TraceContext() trace.Context { return j.tctx }
+
+// Trace assembles the job's current span tree from its flight
+// recorder: the job span (parented to the submitter's span when the
+// submission carried a traceparent), one span per executed unit, the
+// phases inside each unit and their pool/ATPG leaves. Safe on a live
+// job — spans still open simply end "now" and carry the unclosed
+// attribute once the job is canceled mid-flight. runID is stamped into
+// the resource attributes alongside the job identity, the circuit's
+// structural hash (once the run resolved it), the eval backend and the
+// recorder's dropped-event count, so truncated traces self-describe.
+func (j *Job) Trace(runID string) trace.Trace {
+	j.mu.Lock()
+	status := j.status
+	hash := j.hash
+	finished := j.finished
+	j.mu.Unlock()
+	endNS := j.rec.Elapsed().Nanoseconds()
+	if status.Terminal() && !finished.IsZero() {
+		endNS = finished.Sub(j.rec.Origin()).Nanoseconds()
+	}
+	spans := trace.Assemble(j.tctx, j.tparent, "job "+j.id, j.rec.Snapshot(), endNS)
+	res := []trace.Attr{
+		{Key: "service.name", Value: journal.TraceProcessName},
+		{Key: "run_id", Value: runID},
+		{Key: "job_id", Value: j.id},
+		{Key: "kind", Value: j.spec.Kind},
+		{Key: "circuit", Value: j.spec.Circuit},
+		{Key: "eval", Value: j.spec.Eval},
+		{Key: "status", Value: string(status)},
+	}
+	if hash != 0 {
+		res = append(res, trace.Attr{Key: "structural_hash", Value: fmt.Sprintf("%016x", hash)})
+	}
+	res = append(res, trace.Attr{
+		Key: "journal.dropped_events", Value: fmt.Sprintf("%d", j.rec.Dropped())})
+	return trace.Trace{
+		Ctx: j.tctx, Parent: j.tparent,
+		OriginNS: j.rec.Origin().UnixNano(),
+		Resource: res,
+		Spans:    spans,
+	}
+}
+
 // View is the JSON shape of a job on the status endpoints. Started and
 // Finished are nil until the job reaches those states.
 type View struct {
-	ID        string     `json:"id"`
-	Kind      string     `json:"kind"`
-	Circuit   string     `json:"circuit"`
-	Priority  int        `json:"priority"`
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Circuit  string `json:"circuit"`
+	Priority int    `json:"priority"`
+	// TraceID is the job's distributed-trace identity (32 hex digits);
+	// GET /api/v1/trace/{id} returns the assembled span tree.
+	TraceID   string     `json:"trace_id,omitempty"`
 	Status    Status     `json:"status"`
 	Error     string     `json:"error,omitempty"`
 	Submitted time.Time  `json:"submitted"`
@@ -170,6 +243,7 @@ func (j *Job) View() View {
 		Kind:      j.spec.Kind,
 		Circuit:   j.spec.Circuit,
 		Priority:  j.spec.Priority,
+		TraceID:   j.tctx.Trace.String(),
 		Status:    j.status,
 		Error:     j.errMsg,
 		Submitted: j.submitted,

@@ -13,9 +13,13 @@ import (
 // state, and the unit-progress snapshot (null while the job is queued —
 // no runner has planned it yet).
 type LiveJob struct {
-	ID       string              `json:"id"`
-	Kind     string              `json:"kind"`
-	Circuit  string              `json:"circuit"`
+	ID      string `json:"id"`
+	Kind    string `json:"kind"`
+	Circuit string `json:"circuit"`
+	// TraceID is the job's distributed-trace identity, the handle into
+	// GET /api/v1/trace/{id}: a dashboard can jump from a stalled unit
+	// straight to the job's span tree.
+	TraceID  string              `json:"trace_id,omitempty"`
 	Status   Status              `json:"status"`
 	Progress *telemetry.Snapshot `json:"progress"`
 }
@@ -42,7 +46,8 @@ func (s *Server) liveSnapshot(runningOnly bool) LiveView {
 		}
 		v.Jobs = append(v.Jobs, LiveJob{
 			ID: j.ID(), Kind: j.spec.Kind, Circuit: j.spec.Circuit,
-			Status: st, Progress: j.Live(),
+			TraceID: j.tctx.Trace.String(),
+			Status:  st, Progress: j.Live(),
 		})
 	}
 	return v

@@ -248,6 +248,7 @@ func (s *Server) Submit(sp Spec) (*Job, error) {
 	s.col.Counter("serve.jobs.submitted").Inc()
 	s.log.Info("job submitted",
 		slog.String(telemetry.KeyJobID, j.id),
+		slog.String(telemetry.KeyTraceID, j.tctx.Trace.String()),
 		slog.String("kind", sp.Kind), slog.String("circuit", sp.Circuit),
 		slog.Int("units", sp.Units), slog.Int("priority", sp.Priority))
 	return j, nil
@@ -332,6 +333,7 @@ func (s *Server) runJob(j *Job) {
 	tracker := telemetry.NewRunTracker(telemetry.Info{
 		RunID: s.runID, JobID: j.id,
 		Kind: j.spec.Kind, Circuit: j.spec.Circuit,
+		TraceID: j.tctx.Trace.String(),
 	}, s.log)
 	j.tracker = tracker
 	j.mu.Unlock()
@@ -371,6 +373,7 @@ func (s *Server) runJob(j *Job) {
 	j.finished = time.Now()
 	if res != nil {
 		j.output = res.Output
+		j.hash = res.Hash // trace resource attribute
 	}
 	var counter string
 	switch {

@@ -3,6 +3,7 @@ package task
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/core"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/faultsim"
+	"repro/internal/journal"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/obs"
@@ -82,7 +84,10 @@ type Partial struct {
 // result returned alongside is still meaningful then. A nil cache
 // selects engine.Default(); a nil collector runs uninstrumented. When
 // the context carries a Tracker (WithTracker), Execute reports the
-// unit's start and finish to it.
+// unit's start and finish to it. When the collector records a
+// journal, the unit is bracketed by unit_begin/unit_end events — the
+// span boundaries the tracing layer (internal/trace) assembles into
+// per-unit spans under the spec's TraceParent.
 func Execute(ctx context.Context, u Unit, cache *engine.Cache, col *obs.Collector) (p *Partial, err error) {
 	sp := u.Spec
 	if err := sp.Normalize(); err != nil {
@@ -91,6 +96,20 @@ func Execute(ctx context.Context, u Unit, cache *engine.Cache, col *obs.Collecto
 	if tr := TrackerFrom(ctx); tr != nil {
 		tr.UnitStarted(u)
 		defer func() { tr.UnitFinished(u, p, err) }()
+	}
+	if rec := col.Journal(); rec.Enabled() {
+		rec.Emit(journal.UnitBegin(u.Index, u.Count, u.Lo, u.Hi))
+		start := time.Now()
+		// The end event always lands — also on cancel or failure — so
+		// partial traces keep their unit boundaries; the resolved axis
+		// slice comes from the partial when the kind resolved it.
+		defer func() {
+			lo, hi := u.Lo, u.Hi
+			if p != nil {
+				lo, hi = p.Lo, p.Hi
+			}
+			rec.Emit(journal.UnitEnd(u.Index, u.Count, lo, hi, time.Since(start)))
+		}()
 	}
 	switch sp.Kind {
 	case KindFlow:

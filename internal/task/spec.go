@@ -34,6 +34,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/scan"
 	"repro/internal/tpi"
+	"repro/internal/trace"
 )
 
 // SpecVersion is the schema version this build writes and accepts.
@@ -116,6 +117,28 @@ type Spec struct {
 	// flags) and the re-dispatch grain a coordinator shards by, not a
 	// different answer.
 	Units int `json:"units,omitempty"`
+	// TraceParent, when non-empty, is the W3C traceparent of the span
+	// that owns this job — the submitting client's span, or the daemon
+	// job span once fsctd re-stamps an accepted spec. The executor's
+	// unit spans parent to it, so a trace assembled anywhere (CLI
+	// export, daemon endpoint, future coordinator workers) joins into
+	// one tree. Normalize validates and canonicalizes it; it does not
+	// affect the run's result.
+	TraceParent string `json:"traceparent,omitempty"`
+}
+
+// TraceContext returns the spec's parsed trace context and whether
+// one is set. A spec that never passed Normalize may return false for
+// a malformed header; normalized specs parse cleanly.
+func (sp Spec) TraceContext() (trace.Context, bool) {
+	if sp.TraceParent == "" {
+		return trace.Context{}, false
+	}
+	tc, err := trace.Parse(sp.TraceParent)
+	if err != nil {
+		return trace.Context{}, false
+	}
+	return tc, true
 }
 
 // Defaults is the single source of truth for per-kind option defaults:
@@ -207,6 +230,13 @@ func (sp *Spec) Normalize() error {
 	}
 	if sp.Units < 0 {
 		sp.Units = 0
+	}
+	if sp.TraceParent != "" {
+		tc, err := trace.Parse(sp.TraceParent)
+		if err != nil {
+			return fmt.Errorf("task: %w", err)
+		}
+		sp.TraceParent = tc.Traceparent()
 	}
 	return nil
 }

@@ -11,6 +11,8 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/journal"
+	"repro/internal/obs"
 )
 
 // scrubDurations blanks the wall-time brackets in flow reports, the
@@ -270,6 +272,75 @@ func TestNormalizeErrors(t *testing.T) {
 		sp := c.sp
 		if err := sp.Normalize(); err == nil || !strings.Contains(err.Error(), c.frag) {
 			t.Errorf("Normalize(%+v) = %v, want %q", c.sp, err, c.frag)
+		}
+	}
+}
+
+// TestTraceParentNormalize: a spec's traceparent is validated and
+// canonicalized (lowercase hex, version 00) by Normalize, parsed back
+// by TraceContext, and rejected when malformed.
+func TestTraceParentNormalize(t *testing.T) {
+	sp := Spec{Kind: KindScreen, Circuit: "s27",
+		TraceParent: "00-4BF92F3577B34DA6A3CE929D0E0E4736-00F067AA0BA902B7-01"}
+	if err := sp.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	want := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if sp.TraceParent != want {
+		t.Errorf("canonicalized traceparent = %q, want %q", sp.TraceParent, want)
+	}
+	tc, ok := sp.TraceContext()
+	if !ok || tc.Traceparent() != want {
+		t.Errorf("TraceContext = %+v, %v", tc, ok)
+	}
+	bad := Spec{Kind: KindScreen, Circuit: "s27", TraceParent: "not-a-traceparent"}
+	if err := bad.Normalize(); err == nil || !strings.Contains(err.Error(), "traceparent") {
+		t.Errorf("bad traceparent Normalize = %v, want traceparent error", err)
+	}
+	if _, ok := (Spec{}).TraceContext(); ok {
+		t.Error("empty spec reports a trace context")
+	}
+}
+
+// TestExecuteEmitsUnitEvents: with a journal-recording collector, each
+// executed unit is bracketed by unit_begin/unit_end events carrying
+// the unit's identity and resolved fault-axis slice — the boundaries
+// the tracing layer assembles into unit spans.
+func TestExecuteEmitsUnitEvents(t *testing.T) {
+	sp := Spec{Kind: KindScreen, Circuit: "s27", Units: 2}
+	units, err := Plan(sp, sp.Units, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obs.New()
+	rec := journal.New(1024)
+	col.SetJournal(rec)
+	if _, err := RunUnits(context.Background(), units, nil, col); err != nil {
+		t.Fatal(err)
+	}
+	var begins, ends []journal.Event
+	for _, e := range rec.Snapshot() {
+		switch e.Kind {
+		case journal.KindUnitBegin:
+			begins = append(begins, e)
+		case journal.KindUnitEnd:
+			ends = append(ends, e)
+		}
+	}
+	if len(begins) != len(units) || len(ends) != len(units) {
+		t.Fatalf("unit events = %d begins / %d ends, want %d each",
+			len(begins), len(ends), len(units))
+	}
+	for i, e := range ends {
+		if int(e.A) != units[i].Index || int(e.B) != units[i].Count {
+			t.Errorf("unit end %d identity = (%d,%d), want (%d,%d)",
+				i, e.A, e.B, units[i].Index, units[i].Count)
+		}
+		if e.D < 0 {
+			t.Errorf("unit end %d: axis hi unresolved (%d)", i, e.D)
+		}
+		if e.TNS < begins[i].TNS {
+			t.Errorf("unit end %d starts at %d, before its begin %d", i, e.TNS, begins[i].TNS)
 		}
 	}
 }

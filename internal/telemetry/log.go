@@ -22,6 +22,9 @@ const (
 	KeyJobID = "job_id"
 	// KeyUnitID correlates the lines of one work-unit within a job.
 	KeyUnitID = "unit_id"
+	// KeyTraceID correlates log lines with the run's distributed trace
+	// (internal/trace): the 32-hex-digit W3C trace ID.
+	KeyTraceID = "trace_id"
 )
 
 // runIDCounter disambiguates run IDs minted within one nanosecond tick

@@ -105,6 +105,9 @@ type Info struct {
 	// Kind and Circuit describe the job.
 	Kind    string
 	Circuit string
+	// TraceID is the run's distributed-trace identity (KeyTraceID),
+	// when the run carries one: the hex form of trace.TraceID.
+	TraceID string
 }
 
 // RunTracker tracks every task.Unit of one run. It implements
@@ -142,6 +145,9 @@ func NewRunTracker(info Info, logger *slog.Logger) *RunTracker {
 	// adds only its own scope.
 	if info.JobID != "" {
 		logger = logger.With(slog.String(KeyJobID, info.JobID))
+	}
+	if info.TraceID != "" {
+		logger = logger.With(slog.String(KeyTraceID, info.TraceID))
 	}
 	return &RunTracker{
 		info:  info,
@@ -411,11 +417,12 @@ type UnitSnapshot struct {
 // of the daemon's /api/v1/live entries and the input of the fsctstats
 // watch dashboard.
 type Snapshot struct {
-	// RunID, JobID, Kind and Circuit echo the tracker's Info.
+	// RunID, JobID, Kind, Circuit and TraceID echo the tracker's Info.
 	RunID   string `json:"run_id,omitempty"`
 	JobID   string `json:"job_id,omitempty"`
 	Kind    string `json:"kind,omitempty"`
 	Circuit string `json:"circuit,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
 	// UnitsTotal is the plan's unit count (0 while unknown);
 	// UnitsDone/UnitsRunning/UnitsStalled partition the known units.
 	UnitsTotal   int `json:"units_total"`
@@ -449,6 +456,7 @@ func (t *RunTracker) Snapshot() *Snapshot {
 	s := &Snapshot{
 		RunID: t.info.RunID, JobID: t.info.JobID,
 		Kind: t.info.Kind, Circuit: t.info.Circuit,
+		TraceID:    t.info.TraceID,
 		UnitsTotal: t.count,
 	}
 	for i := 0; i < t.count || len(s.Units) < len(t.units); i++ {

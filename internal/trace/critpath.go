@@ -1,0 +1,129 @@
+// Critical-path analysis over an assembled span tree: the operator
+// questions a trace exists to answer. BuildTree resolves parent
+// linkage into a tree, CriticalPath walks the last-finisher chain
+// (the spans that gated the run's wall time), and SelfNS splits a
+// span's duration into own work vs time covered by children — the
+// inputs for straggler attribution and per-phase self/child
+// accounting in fsctstats trace.
+
+package trace
+
+import "sort"
+
+// Node is one span resolved into the trace's tree, children ordered
+// by start offset.
+type Node struct {
+	Span     *Span
+	Children []*Node
+}
+
+// BuildTree links spans (as returned by Assemble or ReadOTLP) into a
+// tree and returns the root: the first span whose parent is absent
+// from the set. Later parentless spans and spans whose parent is
+// missing — possible in truncated traces — attach under the root so
+// no span is silently lost. Returns nil on an empty slice.
+func BuildTree(spans []Span) *Node {
+	if len(spans) == 0 {
+		return nil
+	}
+	nodes := make([]*Node, len(spans))
+	byID := make(map[SpanID]*Node, len(spans))
+	for i := range spans {
+		nodes[i] = &Node{Span: &spans[i]}
+		byID[spans[i].ID] = nodes[i]
+	}
+	var root *Node
+	for i, n := range nodes {
+		p := spans[i].Parent
+		if parent, ok := byID[p]; ok && parent != n && !p.IsZero() {
+			parent.Children = append(parent.Children, n)
+			continue
+		}
+		if root == nil {
+			root = n
+		} else {
+			root.Children = append(root.Children, n)
+		}
+	}
+	var order func(n *Node)
+	order = func(n *Node) {
+		sort.SliceStable(n.Children, func(i, j int) bool {
+			return n.Children[i].Span.StartNS < n.Children[j].Span.StartNS
+		})
+		for _, c := range n.Children {
+			order(c)
+		}
+	}
+	if root != nil {
+		order(root)
+	}
+	return root
+}
+
+// CriticalPath returns the last-finisher chain from the root down to
+// a leaf: at every level, the child whose span ends last (ties broken
+// toward the later start). That chain is the set of spans that gated
+// the trace's wall time — shortening any other span cannot finish the
+// run earlier. Returns nil on a nil root.
+func CriticalPath(root *Node) []*Node {
+	if root == nil {
+		return nil
+	}
+	path := []*Node{root}
+	n := root
+	for len(n.Children) > 0 {
+		best := n.Children[0]
+		for _, c := range n.Children[1:] {
+			if c.Span.EndNS > best.Span.EndNS ||
+				(c.Span.EndNS == best.Span.EndNS && c.Span.StartNS > best.Span.StartNS) {
+				best = c
+			}
+		}
+		path = append(path, best)
+		n = best
+	}
+	return path
+}
+
+// SelfNS returns the span's self time: its duration minus the union
+// of its children's intervals (clamped to the span, overlaps counted
+// once). For a phase, this is the time the phase spent outside its
+// instrumented sub-spans — merge work, serialization, scheduling.
+func SelfNS(n *Node) int64 {
+	if n == nil {
+		return 0
+	}
+	type iv struct{ lo, hi int64 }
+	ivs := make([]iv, 0, len(n.Children))
+	for _, c := range n.Children {
+		lo, hi := c.Span.StartNS, c.Span.EndNS
+		if lo < n.Span.StartNS {
+			lo = n.Span.StartNS
+		}
+		if hi > n.Span.EndNS {
+			hi = n.Span.EndNS
+		}
+		if hi > lo {
+			ivs = append(ivs, iv{lo, hi})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	var covered int64
+	var curLo, curHi int64
+	for i, v := range ivs {
+		if i == 0 || v.lo > curHi {
+			covered += curHi - curLo
+			curLo, curHi = v.lo, v.hi
+			continue
+		}
+		if v.hi > curHi {
+			curHi = v.hi
+		}
+	}
+	covered += curHi - curLo
+	self := n.Span.DurNS() - covered
+	if self < 0 {
+		self = 0
+	}
+	return self
+}

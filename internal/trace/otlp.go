@@ -1,0 +1,217 @@
+// OTLP/JSON export and import. The wire shape is the OpenTelemetry
+// OTLP trace payload (resourceSpans -> scopeSpans -> spans) encoded
+// per the protobuf-JSON mapping — hex IDs, stringified uint64 nanos —
+// hand-built with encoding/json so the repo takes no OpenTelemetry
+// dependency. The reader accepts what the writer produces (one
+// resource, string-valued attributes); it is a round-trip and
+// analysis loader, not a general OTLP consumer.
+
+package trace
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Trace bundles an assembled span set with its identity and resource
+// attributes, ready for export. OriginNS is the wall-clock unix-nano
+// instant of span offset 0 (the journal recorder's clock origin);
+// zero means unknown and exports offsets as absolute times.
+type Trace struct {
+	Ctx      Context
+	Parent   SpanID // inbound parent of the root span; zero if none
+	OriginNS int64
+	Resource []Attr
+	Spans    []Span // root first, as returned by Assemble
+}
+
+// scopeName identifies this exporter in the OTLP scope block.
+const scopeName = "repro/internal/trace"
+
+// otlpSpanKindInternal is the OTLP SpanKind enum value for internal
+// spans; the fsct-specific kind travels as the fsct.kind attribute.
+const otlpSpanKindInternal = 1
+
+// The otlp* structs mirror the OTLP/JSON payload shape.
+type otlpDoc struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKeyValue `json:"attributes,omitempty"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpSpan struct {
+	TraceID      string         `json:"traceId"`
+	SpanID       string         `json:"spanId"`
+	ParentSpanID string         `json:"parentSpanId,omitempty"`
+	Name         string         `json:"name"`
+	Kind         int            `json:"kind"`
+	StartNano    string         `json:"startTimeUnixNano"`
+	EndNano      string         `json:"endTimeUnixNano"`
+	Attributes   []otlpKeyValue `json:"attributes,omitempty"`
+}
+
+type otlpKeyValue struct {
+	Key   string       `json:"key"`
+	Value otlpAnyValue `json:"value"`
+}
+
+type otlpAnyValue struct {
+	StringValue string `json:"stringValue"`
+}
+
+// WriteOTLP serializes the trace as one OTLP/JSON resource-spans
+// payload: the trace's resource attributes, one scope, every span
+// with its fsct.kind attribute and (for administratively closed
+// spans) unclosed=true.
+func WriteOTLP(w io.Writer, tr Trace) error {
+	spans := make([]otlpSpan, 0, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		attrs := make([]otlpKeyValue, 0, len(sp.Attrs)+2)
+		attrs = append(attrs, otlpKeyValue{Key: "fsct.kind", Value: otlpAnyValue{sp.Kind}})
+		for _, a := range sp.Attrs {
+			attrs = append(attrs, otlpKeyValue{Key: a.Key, Value: otlpAnyValue{a.Value}})
+		}
+		if sp.Unclosed {
+			attrs = append(attrs, otlpKeyValue{Key: "unclosed", Value: otlpAnyValue{"true"}})
+		}
+		o := otlpSpan{
+			TraceID:    tr.Ctx.Trace.String(),
+			SpanID:     sp.ID.String(),
+			Name:       sp.Name,
+			Kind:       otlpSpanKindInternal,
+			StartNano:  strconv.FormatInt(tr.OriginNS+sp.StartNS, 10),
+			EndNano:    strconv.FormatInt(tr.OriginNS+sp.EndNS, 10),
+			Attributes: attrs,
+		}
+		if !sp.Parent.IsZero() {
+			o.ParentSpanID = sp.Parent.String()
+		}
+		spans = append(spans, o)
+	}
+	res := make([]otlpKeyValue, 0, len(tr.Resource))
+	for _, a := range tr.Resource {
+		res = append(res, otlpKeyValue{Key: a.Key, Value: otlpAnyValue{a.Value}})
+	}
+	doc := otlpDoc{ResourceSpans: []otlpResourceSpans{{
+		Resource:   otlpResource{Attributes: res},
+		ScopeSpans: []otlpScopeSpans{{Scope: otlpScope{Name: scopeName}, Spans: spans}},
+	}}}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ReadOTLP loads a trace written by WriteOTLP: the first resource's
+// attributes and every span across its scopes. The root span is the
+// first span whose parent is absent or not in the payload; the
+// trace's origin is the earliest span start, so span offsets come
+// back relative to it regardless of the exporter's OriginNS.
+func ReadOTLP(r io.Reader) (Trace, error) {
+	var tr Trace
+	var doc otlpDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return tr, fmt.Errorf("trace: OTLP decode: %w", err)
+	}
+	if len(doc.ResourceSpans) == 0 {
+		return tr, fmt.Errorf("trace: OTLP payload has no resourceSpans")
+	}
+	rs := doc.ResourceSpans[0]
+	for _, kv := range rs.Resource.Attributes {
+		tr.Resource = append(tr.Resource, Attr{Key: kv.Key, Value: kv.Value.StringValue})
+	}
+	var raw []otlpSpan
+	for _, ss := range rs.ScopeSpans {
+		raw = append(raw, ss.Spans...)
+	}
+	if len(raw) == 0 {
+		return tr, fmt.Errorf("trace: OTLP payload has no spans")
+	}
+
+	origin := int64(0)
+	starts := make([]int64, len(raw))
+	ends := make([]int64, len(raw))
+	ids := make(map[SpanID]bool, len(raw))
+	for i, o := range raw {
+		var err error
+		if starts[i], err = strconv.ParseInt(o.StartNano, 10, 64); err != nil {
+			return tr, fmt.Errorf("trace: span %s: bad startTimeUnixNano: %v", o.SpanID, err)
+		}
+		if ends[i], err = strconv.ParseInt(o.EndNano, 10, 64); err != nil {
+			return tr, fmt.Errorf("trace: span %s: bad endTimeUnixNano: %v", o.SpanID, err)
+		}
+		if i == 0 || starts[i] < origin {
+			origin = starts[i]
+		}
+		id, err := parseSpanID(o.SpanID)
+		if err != nil {
+			return tr, err
+		}
+		ids[id] = true
+	}
+	tr.OriginNS = origin
+
+	rootSeen := false
+	for i, o := range raw {
+		sp := Span{Name: o.Name, StartNS: starts[i] - origin, EndNS: ends[i] - origin}
+		var err error
+		if sp.ID, err = parseSpanID(o.SpanID); err != nil {
+			return tr, err
+		}
+		if o.ParentSpanID != "" {
+			if sp.Parent, err = parseSpanID(o.ParentSpanID); err != nil {
+				return tr, err
+			}
+		}
+		for _, kv := range o.Attributes {
+			switch kv.Key {
+			case "fsct.kind":
+				sp.Kind = kv.Value.StringValue
+			case "unclosed":
+				sp.Unclosed = kv.Value.StringValue == "true"
+			default:
+				sp.Attrs = append(sp.Attrs, Attr{Key: kv.Key, Value: kv.Value.StringValue})
+			}
+		}
+		if !rootSeen && (sp.Parent.IsZero() || !ids[sp.Parent]) {
+			rootSeen = true
+			if len(o.TraceID) == 32 {
+				hex.Decode(tr.Ctx.Trace[:], []byte(o.TraceID))
+			}
+			tr.Ctx.Span = sp.ID
+			tr.Ctx.Flags = FlagSampled
+			tr.Parent = sp.Parent
+		}
+		tr.Spans = append(tr.Spans, sp)
+	}
+	return tr, nil
+}
+
+// parseSpanID decodes a 16-hex-digit OTLP span ID.
+func parseSpanID(s string) (SpanID, error) {
+	var id SpanID
+	if len(s) != 16 {
+		return id, fmt.Errorf("trace: span ID %q: want 16 hex digits", s)
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return id, fmt.Errorf("trace: span ID %q: %v", s, err)
+	}
+	return id, nil
+}
